@@ -1,0 +1,100 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Entrypoint chains vs linear scan** (§4.3): rules-evaluated per
+   operation as the rule base grows — the index keeps work flat while
+   the linear scan grows linearly.
+2. **Per-process vs global traversal state** (§5.1): the iptables-style
+   global state forces one interrupt-disable per invocation; the
+   per-process design needs none.
+3. **Lazy vs eager context retrieval** (§4.2): context-module
+   collections per syscall.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.rulesets.generated import generate_full_rulebase
+from repro.world import build_world, spawn_root_shell
+
+SIZES = [50, 200, 800]
+
+
+def _run_workload(config, rule_count):
+    world = build_world()
+    world.audit_enabled = False
+    pf = ProcessFirewall(config)
+    world.attach_firewall(pf)
+    pf.install_all(generate_full_rulebase(size=rule_count))
+    root = spawn_root_shell(world)
+    for _ in range(50):
+        world.sys.stat(root, "/etc/passwd")
+    return pf.stats
+
+
+def test_entrypoint_chain_scaling(run_once, emit):
+    def sweep():
+        rows = []
+        for size in SIZES:
+            linear = _run_workload(EngineConfig.lazycon(), size)
+            indexed = _run_workload(EngineConfig.optimized(), size)
+            rows.append((size, linear.rules_evaluated, indexed.rules_evaluated))
+        return rows
+
+    rows = run_once(sweep)
+    emit(
+        format_table(
+            ["rules installed", "linear scan evals", "EPTSPC evals"],
+            rows,
+            title="Ablation: entrypoint-specific chains vs linear scan",
+        )
+    )
+    # Linear grows with the rule base; the index stays flat.
+    assert rows[-1][1] > rows[0][1] * 2
+    assert rows[-1][2] <= rows[0][2] * 1.5
+
+
+def test_traversal_state_ablation(run_once, emit):
+    def compare():
+        per_process = _run_workload(EngineConfig.optimized(), 100)
+        global_state = _run_workload(
+            EngineConfig.optimized().clone(global_traversal_state=True), 100
+        )
+        return per_process, global_state
+
+    per_process, global_state = run_once(compare)
+    emit(
+        format_table(
+            ["design", "invocations", "irq disables"],
+            [
+                ("per-process state (paper)", per_process.invocations, per_process.irq_disables),
+                ("global state (iptables)", global_state.invocations, global_state.irq_disables),
+            ],
+            title="Ablation: traversal-state placement",
+        )
+    )
+    assert per_process.irq_disables == 0
+    assert global_state.irq_disables == global_state.invocations
+
+
+def test_lazy_context_ablation(run_once, emit):
+    def compare():
+        eager = _run_workload(EngineConfig.concache(), 400)
+        lazy = _run_workload(EngineConfig.lazycon(), 400)
+        return eager, lazy
+
+    eager, lazy = run_once(compare)
+    eager_total = sum(eager.context_collections.values())
+    lazy_total = sum(lazy.context_collections.values())
+    emit(
+        format_table(
+            ["mode", "context collections", "abstract cost"],
+            [
+                ("eager (CONCACHE)", eager_total, eager.context_cost),
+                ("lazy (LAZYCON)", lazy_total, lazy.context_cost),
+            ],
+            title="Ablation: lazy vs eager context retrieval",
+        )
+    )
+    assert lazy_total < eager_total
+    assert lazy.context_cost < eager.context_cost

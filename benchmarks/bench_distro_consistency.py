@@ -1,0 +1,30 @@
+"""§6.3.2: OS-distributor launch-environment consistency.
+
+Paper headline: 232 of 318 programs were launched in the packaged
+environment every time, so distributor-shipped rules cover them as-is.
+"""
+
+from repro.analysis.tables import format_table
+from repro.rulegen.distro import consistent_programs, synthesize_launches
+
+
+def test_distro_consistency(run_once, emit):
+    def analyze():
+        launches = synthesize_launches()
+        return consistent_programs(launches), len(launches)
+
+    (consistent, inconsistent), total_launches = run_once(analyze)
+    emit(
+        format_table(
+            ["Metric", "Ours", "Paper"],
+            [
+                ("programs traced", len(consistent) + len(inconsistent), 318),
+                ("consistent environment", len(consistent), 232),
+                ("inconsistent", len(inconsistent), 318 - 232),
+                ("launch records", total_launches, "~"),
+            ],
+            title="Section 6.3.2: launch-environment consistency",
+        )
+    )
+    assert len(consistent) == 232
+    assert len(consistent) + len(inconsistent) == 318

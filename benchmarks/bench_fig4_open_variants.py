@@ -1,0 +1,71 @@
+"""Figure 4: open-variant latency vs path length.
+
+Per-variant pytest-benchmark timings at n=7 plus the full grid (µs and
+syscall counts) at n ∈ {1, 4, 7}.  Shape expectations asserted:
+``safe_open`` grows steeply with n; ``safe_open_PF`` stays within a
+modest factor of the bare ``open``.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table, overhead_pct
+from repro.programs.libc import OPEN_VARIANTS
+from repro.workloads.openbench import FIGURE4_PATH_LENGTHS, _build, run_figure4, syscall_counts
+
+VARIANTS = list(OPEN_VARIANTS)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_variant_latency_n7(benchmark, variant):
+    kernel, proc, path = _build(7, with_firewall=(variant == "safe_open_PF"))
+    fn = OPEN_VARIANTS[variant]
+    sys = kernel.sys
+
+    def once():
+        sys.close(proc, fn(kernel, proc, path))
+
+    benchmark(once)
+
+
+def test_figure4_grid(run_once, emit):
+    def grid():
+        return run_figure4(iterations=250), syscall_counts()
+
+    timings, counts = run_once(grid)
+    rows = []
+    for variant in VARIANTS:
+        for n in FIGURE4_PATH_LENGTHS:
+            rows.append((
+                variant,
+                n,
+                timings[variant][n],
+                counts[variant][n],
+                overhead_pct(timings["open"][n], timings[variant][n]),
+            ))
+    emit(
+        format_table(
+            ["Variant", "n", "us/call", "syscalls", "overhead vs open %"],
+            rows,
+            title="Figure 4: open variants vs path length",
+        )
+    )
+    from repro.analysis.figures import grouped_bar_chart
+
+    emit(
+        grouped_bar_chart(
+            [
+                ("n = {}".format(n), [(v, timings[v][n]) for v in VARIANTS])
+                for n in FIGURE4_PATH_LENGTHS
+            ],
+            title="Figure 4 (bars, us/call)",
+            unit=" us",
+        )
+    )
+    # Shape: safe_open is the outlier and grows with n.
+    assert timings["safe_open"][7] > timings["safe_open"][1]
+    assert timings["safe_open"][7] > 3 * timings["open"][7]
+    # safe_open_PF stays close to the bare open (paper: 2.3% at n=7;
+    # our Python engine pays more per hook, so allow a small factor).
+    assert timings["safe_open_PF"][7] < 2 * timings["open"][7]
+    # The cheap program checks sit between open and safe_open.
+    assert timings["open"][7] <= timings["open_nolink"][7] <= timings["safe_open"][7]

@@ -1,0 +1,65 @@
+"""Figure 5: SymLinksIfOwnerMatch — program checks vs rule R8.
+
+Requests/second over the paper's (clients, path-length) grid for both
+modes.  Shape expectations: the firewall mode wins every cell, and its
+advantage grows with path length (the program mode pays per-component
+lstat/stat syscalls on every request).
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.workloads.webbench import (
+    FIGURE5_CLIENTS,
+    FIGURE5_PATH_LENGTHS,
+    apache_requests_per_second,
+    figure5_sweep,
+)
+
+
+@pytest.mark.parametrize("mode", ["program", "pf"])
+@pytest.mark.parametrize("depth", [1, 9])
+def test_request_latency(benchmark, mode, depth):
+    from repro.workloads.webbench import _build_server
+
+    servers, url = _build_server(mode, depth, clients=1)
+    server = servers[0]
+
+    def once():
+        assert server.serve(url).status == 200
+
+    benchmark(once)
+
+
+def test_figure5_grid(run_once, emit):
+    rows = run_once(figure5_sweep, requests=200)
+    emit(
+        format_table(
+            ["clients", "n", "program req/s", "PF req/s", "PF improvement %"],
+            [
+                (r["clients"], r["path_length"], r["program_rps"], r["pf_rps"], r["pf_improvement_pct"])
+                for r in rows
+            ],
+            title="Figure 5: SymLinksIfOwnerMatch in program vs PF rule R8",
+        )
+    )
+    from repro.analysis.figures import grouped_bar_chart
+
+    groups = []
+    for r in rows:
+        groups.append(
+            (
+                "c={}, n={}".format(r["clients"], r["path_length"]),
+                [("PF Rules", r["pf_rps"]), ("Program", r["program_rps"])],
+            )
+        )
+    emit(grouped_bar_chart(groups, title="Figure 5 (bars, requests/second)", unit=" req/s"))
+    # The PF mode must win every cell...
+    assert all(r["pf_improvement_pct"] > 0 for r in rows)
+    # ...and the advantage must grow with path length at high client
+    # counts (paper: 3.02% at n=1 up to 8.36% at n=9 for c=200).
+    by_c = {}
+    for r in rows:
+        by_c.setdefault(r["clients"], {})[r["path_length"]] = r["pf_improvement_pct"]
+    for c, series in by_c.items():
+        assert series[9] > series[1], "no growth with n for c={}: {}".format(c, series)

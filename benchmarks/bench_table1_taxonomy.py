@@ -1,0 +1,26 @@
+"""Table 1: resource access attack classes and their CVE counts.
+
+Static taxonomy data, rendered in the paper's print order, plus the
+CVE-share footer.  The benchmark times taxonomy assembly (trivially
+fast — included so the artifact is complete).
+"""
+
+from repro.analysis.tables import format_table
+from repro.attacks.taxonomy import CVE_SHARE, table1_rows
+
+
+def test_table1(run_once, emit):
+    rows = run_once(table1_rows)
+    body = [
+        (cls.name, cls.cwe, cls.cve_pre2007, cls.cve_2007_2012)
+        for cls in rows
+    ]
+    body.append(("% Total CVEs", "-", "{:.2%}".format(CVE_SHARE["<2007"]), "{:.2%}".format(CVE_SHARE["2007-12"])))
+    emit(
+        format_table(
+            ["Attack Class", "CWE class", "CVE <2007", "CVE 2007-12"],
+            body,
+            title="Table 1: Resource access attack classes",
+        )
+    )
+    assert len(rows) == 8

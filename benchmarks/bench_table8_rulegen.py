@@ -1,0 +1,47 @@
+"""Table 8: entrypoint classification vs invocation threshold.
+
+Runs the classifier over the synthetic two-week trace and renders the
+paper's table next to the printed values.  This reproduction is exact:
+the synthesis is constrained to the trace marginals the paper reports,
+and the classification algorithm does the rest.
+"""
+
+from repro.analysis.tables import format_table
+from repro.rulegen.classify import threshold_sweep, zero_fp_threshold
+from repro.rulegen.synth import synthesize_trace
+
+PAPER = {
+    0: (4570, 664, 0, 5234, 525),
+    5: (4436, 508, 290, 2329, 235),
+    10: (4384, 482, 368, 1536, 157),
+    50: (4257, 480, 497, 490, 28),
+    100: (4247, 480, 507, 295, 18),
+    500: (4233, 480, 521, 64, 4),
+    1000: (4230, 480, 524, 34, 1),
+    1149: (4229, 480, 525, 30, 0),
+    5000: (4229, 480, 525, 11, 0),
+}
+
+
+def test_table8(run_once, emit):
+    def build():
+        records = synthesize_trace(seed=0)
+        return records, threshold_sweep(records)
+
+    records, sweep = run_once(build)
+    rows = []
+    exact = True
+    for row in sweep:
+        t = row["threshold"]
+        ours = (row["high_only"], row["low_only"], row["both"], row["rules_produced"], row["false_positives"])
+        rows.append((t,) + ours + ("exact" if ours == PAPER[t] else "differs: paper={}".format(PAPER[t]),))
+        exact = exact and ours == PAPER[t]
+    emit(
+        format_table(
+            ["Threshold", "High Only", "Low Only", "Both", "Rules", "False Positives", "vs paper"],
+            rows,
+            title="Table 8: entrypoint classification vs invocation threshold",
+        )
+    )
+    assert exact
+    assert zero_fp_threshold(records) == 1149

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The OS-distributor workflow (§6.3.2), end to end.
+
+1. Assemble the rule files shipped by the installed packages.
+2. Lint and audit them with the ``pfctl`` tool.
+3. Boot a world, install the rules, and persist/restore the running
+   base with the pftables-save format.
+4. Review the deployment's denial log — the workflow that surfaced the
+   paper's two previously-unknown vulnerabilities (E8, E9).
+
+Run:  python examples/distro_packaging.py
+"""
+
+import os
+import tempfile
+
+from repro import ProcessFirewall, errors
+from repro.analysis.denials import collect_denials, render_denials
+from repro.cli import main as pfctl
+from repro.firewall.persist import list_rules, load_rules, save_rules
+from repro.rulesets.packages import all_packages, install_packages, rules_for_packages
+from repro.world import build_world, spawn_adversary, spawn_root_shell
+
+
+def main():
+    installed = ["libc6", "base-files", "apache2", "php5", "openssh-server"]
+    print("installed packages:", ", ".join(installed))
+    rules = rules_for_packages(installed)
+    print("their packages ship {} firewall rules\n".format(len(rules)))
+
+    # ---- lint + audit with pfctl -------------------------------------
+    with tempfile.NamedTemporaryFile("w", suffix=".pf", delete=False) as fh:
+        fh.write("\n".join(rules) + "\n")
+        rules_path = fh.name
+    try:
+        print("$ pfctl parse", os.path.basename(rules_path))
+        pfctl(["parse", rules_path])
+        print("\n$ pfctl audit", os.path.basename(rules_path))
+        pfctl(["audit", rules_path])
+    finally:
+        os.unlink(rules_path)
+
+    # ---- boot, enforce, persist --------------------------------------
+    kernel = build_world()
+    firewall = kernel.attach_firewall(ProcessFirewall())
+    install_packages(firewall, installed)
+    saved = save_rules(firewall)
+    print("\npftables-save serialization is {} lines; restoring into a "
+          "fresh firewall...".format(len(saved.splitlines())))
+    clone = ProcessFirewall()
+    print("restored", load_rules(clone, saved), "rules")
+
+    # ---- run the system; read the denial log -------------------------
+    victim = spawn_root_shell(kernel, comm="backupd")
+    adversary = spawn_adversary(kernel)
+    kernel.sys.symlink(adversary, "/etc/shadow", "/tmp/backup-target")
+    try:
+        kernel.sys.open(victim, "/tmp/backup-target")
+    except errors.PFDenied:
+        pass
+    print("\ndenial log after a day in production:")
+    print(render_denials(collect_denials(kernel)))
+    print("\n-> that root daemon following an adversary's link is either a")
+    print("   rule false positive or a real vulnerability: exactly how the")
+    print("   paper found E8 (Icecat) and E9 (the init script).")
+
+
+if __name__ == "__main__":
+    main()

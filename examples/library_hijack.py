@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""One rule, many programs: untrusted library loads system-wide.
+
+Reproduces the E1/E8 family: the dynamic linker can be steered to an
+adversary's shared object via RUNPATH (the Debian-installer bug) or an
+insecure environment (Icecat).  A single firewall rule — R1, pinned to
+ld.so's library-open entrypoint — blocks every variant for every
+program on the system, with no program changes.
+
+Run:  python examples/library_hijack.py
+"""
+
+from repro import ProcessFirewall, errors
+from repro.programs.ld_so import DynamicLinker
+from repro.rulesets.default import RULES_R1_R12
+from repro.world import build_world, spawn_adversary
+
+
+def try_load(kernel, comm, env=None, runpath=()):
+    victim = kernel.spawn(comm, uid=0, label="unconfined_t",
+                          binary_path="/usr/bin/" + comm, env=env)
+    linker = DynamicLinker(kernel, victim, runpath=runpath)
+    try:
+        path, _image = linker.load_library("libssl.so")
+        return "loaded {}".format(path)
+    except errors.PFDenied as denied:
+        return "BLOCKED ({})".format(denied.rule.text.split(" -d ")[0] + " ...")
+    except errors.ENOENT:
+        return "library not found"
+
+
+def run(world_name, with_rule):
+    kernel = build_world()
+    if with_rule:
+        firewall = kernel.attach_firewall(ProcessFirewall())
+        firewall.install(RULES_R1_R12[0])  # R1
+    adversary = spawn_adversary(kernel)
+    # The adversary stages a trojan in two writable locations.
+    for path in ("/tmp/libssl.so",):
+        fd = kernel.sys.open(adversary, path, flags=0x41, mode=0o755)
+        kernel.sys.write(adversary, fd, b"\x7fELF trojan")
+        kernel.sys.close(adversary, fd)
+    kernel.mkdirs("/tmp/svn", uid=1000, mode=0o755)
+    fd = kernel.sys.open(adversary, "/tmp/svn/libssl.so", flags=0x41, mode=0o755)
+    kernel.sys.write(adversary, fd, b"\x7fELF trojan")
+    kernel.sys.close(adversary, fd)
+
+    print("=== {} ===".format(world_name))
+    print("icecat, insecure launcher env :", try_load(kernel, "icecat", env={"LD_LIBRARY_PATH": "/tmp"}))
+    print("apache2, insecure RUNPATH     :", try_load(kernel, "apache2", runpath=("/tmp/svn",)))
+    print("java, clean environment       :", try_load(kernel, "java"))
+    print()
+
+
+def main():
+    run("stock kernel", with_rule=False)
+    run("with rule R1", with_rule=True)
+
+
+if __name__ == "__main__":
+    main()

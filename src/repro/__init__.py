@@ -1,0 +1,25 @@
+"""Reproduction of "Process Firewalls: Protecting Processes During
+Resource Access" (Vijayakumar, Schiffman, Jaeger — EuroSys 2013).
+
+Public API tour:
+
+- :class:`repro.kernel.Kernel` — the simulated OS (VFS, processes,
+  DAC/MAC, LSM hooks).
+- :class:`repro.firewall.ProcessFirewall` — the paper's contribution, an
+  iptables-style rule engine over the system-call interface.
+- :func:`repro.firewall.pftables` — install rules in the paper's rule
+  language.
+- :mod:`repro.attacks` — runnable resource-access attack scenarios
+  (Table 2 classes and the E1-E9 exploits of Table 4).
+- :mod:`repro.rulesets` — the shipped rules R1-R12 and generated rule
+  bases.
+- :mod:`repro.rulegen` — rule generation from logs, vulnerabilities and
+  runtime traces (§6.3).
+"""
+
+__version__ = "1.0.0"
+
+from repro.kernel import Kernel
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+
+__all__ = ["Kernel", "EngineConfig", "ProcessFirewall", "__version__"]

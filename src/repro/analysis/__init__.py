@@ -1,0 +1,5 @@
+"""Rendering and shape-checking helpers shared by the benchmarks."""
+
+from repro.analysis.tables import format_table, overhead_pct
+
+__all__ = ["format_table", "overhead_pct"]

@@ -1,0 +1,80 @@
+"""Denial-log analysis: how the paper *found* new vulnerabilities.
+
+E8 (Icecat) was discovered because rule R1 "silently blocked this
+attack; we noticed it later in our denial logs", and E9 surfaced from
+examining accesses matching the system-wide safe-open rules.  This
+module turns the kernel audit trail's firewall drops into aggregated
+reports an analyst (or an OS distributor triaging a deployment) reads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class DenialReport:
+    """Aggregated drops for one (program, operation, rule) site."""
+
+    __slots__ = ("comm", "op", "rule_text", "count", "paths", "first_time", "last_time")
+
+    def __init__(self, comm, op, rule_text):
+        self.comm = comm
+        self.op = op
+        self.rule_text = rule_text
+        self.count = 0
+        self.paths = set()
+        self.first_time = None
+        self.last_time = None
+
+    def add(self, record):
+        self.count += 1
+        if record.path:
+            self.paths.add(record.path)
+        if self.first_time is None:
+            self.first_time = record.time
+        self.last_time = record.time
+
+    def summary(self):
+        return "{} x {} {} on {} (rule: {})".format(
+            self.count, self.comm, self.op, sorted(self.paths) or "?", self.rule_text or "?"
+        )
+
+
+def _rule_text_from_detail(detail):
+    marker = "rule matched: "
+    if detail and detail.startswith(marker):
+        return detail[len(marker):]
+    return None
+
+
+def collect_denials(kernel):
+    """Group the audit trail's ``pf_drop`` records into reports."""
+    reports = {}  # type: Dict[tuple, DenialReport]
+    for record in kernel.audit:
+        if record.decision != "pf_drop":
+            continue
+        rule_text = _rule_text_from_detail(record.detail)
+        key = (record.comm, record.op, rule_text)
+        report = reports.get(key)
+        if report is None:
+            report = reports[key] = DenialReport(record.comm, record.op, rule_text)
+        report.add(record)
+    return sorted(reports.values(), key=lambda r: -r.count)
+
+
+def suspected_vulnerabilities(kernel, benign_programs=()):
+    """Reports for programs *not* expected to trip any rule.
+
+    A denial from a program the deployment considers benign means one
+    of two things — a false positive in the rule base, or (as with E8)
+    a real, previously-unknown vulnerability the firewall just blocked.
+    Either way it deserves a human.
+    """
+    benign = set(benign_programs)
+    return [report for report in collect_denials(kernel) if not benign or report.comm in benign]
+
+
+def render_denials(reports):
+    if not reports:
+        return "no firewall denials recorded"
+    return "\n".join(report.summary() for report in reports)

@@ -1,0 +1,51 @@
+"""Plain-text figure rendering: horizontal bar charts for Figures 4-5.
+
+Keeps the benchmark artifact self-contained (no plotting dependencies):
+each figure's data is also rendered as labelled ASCII bars so the shape
+the paper plots is visible directly in ``benchmarks/results.txt``.
+"""
+
+from __future__ import annotations
+
+#: Width of the bar area in characters.
+BAR_WIDTH = 48
+
+
+def bar_chart(series, title=None, unit=""):
+    """Render labelled horizontal bars.
+
+    Args:
+        series: iterable of ``(label, value)`` pairs.
+        title: optional chart heading.
+        unit: suffix printed after each value.
+    """
+    items = [(str(label), float(value)) for label, value in series]
+    if not items:
+        return title or ""
+    peak = max(value for _label, value in items) or 1.0
+    label_width = max(len(label) for label, _value in items)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for label, value in items:
+        filled = int(round(value / peak * BAR_WIDTH))
+        bar = "#" * max(filled, 1 if value > 0 else 0)
+        lines.append(
+            "{:<{w}}  {:<{bw}}  {:.2f}{}".format(label, bar, value, unit, w=label_width, bw=BAR_WIDTH)
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups, title=None, unit=""):
+    """Render groups of bars (one blank-separated block per group).
+
+    Args:
+        groups: iterable of ``(group_label, [(label, value), ...])``.
+    """
+    blocks = []
+    if title:
+        blocks.append(title + "\n" + "=" * len(title))
+    for group_label, series in groups:
+        blocks.append(bar_chart(series, title=str(group_label), unit=unit))
+    return "\n\n".join(blocks)

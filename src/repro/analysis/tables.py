@@ -1,0 +1,37 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+
+def overhead_pct(baseline, value):
+    """Percentage overhead of ``value`` relative to ``baseline``."""
+    if baseline == 0:
+        return 0.0
+    return (value - baseline) / baseline * 100.0
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return "{:.2f}".format(value)
+    return str(value)
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned text table (no external dependencies)."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

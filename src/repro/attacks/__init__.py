@@ -1,0 +1,19 @@
+"""Resource-access attack scenarios.
+
+Every attack class of the paper's Table 2 has a runnable scenario here,
+and :mod:`repro.attacks.exploits` instantiates the nine concrete
+exploits of Table 4 (E1-E9).  Each scenario supports:
+
+- ``run(with_firewall=False)`` — the exploit must **succeed** on a
+  stock kernel;
+- ``run(with_firewall=True)`` — the exploit must be **blocked** by the
+  scenario's rules;
+- ``run_benign(with_firewall=True)`` — the program's legitimate
+  function must keep working (no false positives, the paper's hard
+  requirement §4.1).
+"""
+
+from repro.attacks.base import AttackResult, AttackScenario
+from repro.attacks.taxonomy import ATTACK_CLASSES, AttackClass
+
+__all__ = ["AttackResult", "AttackScenario", "ATTACK_CLASSES", "AttackClass"]

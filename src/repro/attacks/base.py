@@ -1,0 +1,128 @@
+"""Scenario framework.
+
+A scenario owns its whole lifecycle: it builds a fresh world per run
+(so attack and benign runs never contaminate each other), optionally
+attaches a firewall with the scenario's rules, executes either the
+exploit or the legitimate workload, and reports an
+:class:`AttackResult`.
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.world import build_world
+
+
+class AttackResult:
+    """Outcome of one scenario run.
+
+    Attributes:
+        succeeded: the adversary achieved the attack goal.
+        blocked: a Process Firewall DROP stopped the attempt.
+        denied: some non-firewall denial (DAC/MAC) stopped it.
+        detail: human-readable explanation.
+    """
+
+    __slots__ = ("succeeded", "blocked", "denied", "detail")
+
+    def __init__(self, succeeded, blocked=False, denied=False, detail=""):
+        self.succeeded = succeeded
+        self.blocked = blocked
+        self.denied = denied
+        self.detail = detail
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        state = "succeeded" if self.succeeded else ("blocked" if self.blocked else "failed")
+        return "<AttackResult {} {}>".format(state, self.detail)
+
+
+class AttackScenario:
+    """Base class for all attack scenarios.
+
+    Subclasses set the class attributes and implement ``_setup``,
+    ``_attack`` and ``_benign``.
+    """
+
+    #: Scenario name (e.g. "E1: Apache RUNPATH library load").
+    name = "abstract"
+    #: Key into :data:`repro.attacks.taxonomy.ATTACK_CLASSES`.
+    attack_class = ""
+    #: CVE / BID reference, or "unpatched" / "unknown" per Table 4.
+    reference = ""
+    #: The victim program, for Table 4 rendering.
+    program = ""
+    #: Most scenarios' exploits succeed on a stock kernel; invariants-
+    #: style scenarios (e.g. "SIGKILL is never blocked") set this False.
+    expect_success_without_pf = True
+
+    def __init__(self):
+        self.kernel = None
+        self.firewall = None
+
+    # ------------------------------------------------------------------
+    # subclass interface
+    # ------------------------------------------------------------------
+
+    def rules(self):
+        """pftables lines that block this scenario (Table 5 subset)."""
+        raise NotImplementedError
+
+    def _setup(self, kernel):
+        """Create processes/files; store them on ``self``."""
+        raise NotImplementedError
+
+    def _attack(self):
+        """Run the exploit; return True when the adversary's goal held.
+
+        Firewall denials (:class:`repro.errors.PFDenied`) propagate —
+        the framework classifies them.
+        """
+        raise NotImplementedError
+
+    def _benign(self):
+        """Run the legitimate workload; return True when it worked."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def build(self, with_firewall, config=None, extra_rules=()):
+        kernel = build_world()
+        self.kernel = kernel
+        self.firewall = None
+        if with_firewall:
+            firewall = ProcessFirewall(config or EngineConfig.optimized())
+            kernel.attach_firewall(firewall)
+            firewall.install_all(list(self.rules()) + list(extra_rules))
+            self.firewall = firewall
+        self._setup(kernel)
+        return kernel
+
+    def run(self, with_firewall=False, config=None):
+        """Execute the exploit; returns an :class:`AttackResult`."""
+        self.build(with_firewall, config=config)
+        try:
+            succeeded = self._attack()
+        except errors.PFDenied as exc:
+            return AttackResult(False, blocked=True, detail=exc.message)
+        except errors.KernelError as exc:
+            return AttackResult(False, denied=True, detail="{}: {}".format(exc.errno_name, exc.message))
+        detail = "attack goal reached" if succeeded else "attack goal not reached"
+        # Some victims absorb the denial internally (a web server maps
+        # EACCES to a 403); a firewall drop during the attempt still
+        # counts as "blocked by the PF".
+        blocked = (
+            not succeeded and self.firewall is not None and self.firewall.stats.drops > 0
+        )
+        return AttackResult(bool(succeeded), blocked=blocked, detail=detail)
+
+    def run_benign(self, with_firewall=True, config=None):
+        """Execute the legitimate workload; returns True when unharmed.
+
+        A :class:`PFDenied` here is a false positive — the thing the
+        paper's rule-generation methodology is designed to avoid.
+        """
+        self.build(with_firewall, config=config)
+        return bool(self._benign())

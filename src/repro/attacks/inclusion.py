@@ -1,0 +1,55 @@
+"""PHP local file inclusion (E4, CWE-98).
+
+A Joomla!-style component splices an unfiltered request parameter into
+an ``include`` pathname.  Rule R4 pins the interpreter's include
+entrypoint to files labeled ``httpd_user_script_exec_t`` — one rule
+covering every badly-written component at once (the paper cites 82
+Joomla! component CVEs in 2010 alone)."""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackScenario
+from repro.programs.php import PhpInterpreter
+from repro.rulesets.default import RULES_R1_R12
+from repro.world import spawn_adversary
+
+JOOMLA_DIR = "/var/www/html/components/com_gcalendar"
+
+
+class JoomlaFileInclusion(AttackScenario):
+    """E4 — CVE-2010-0972 (gCalendar component LFI)."""
+
+    name = "E4: Joomla! gCalendar PHP file inclusion"
+    attack_class = "php_file_inclusion"
+    reference = "CVE-2010-0972"
+    program = "Joomla! gCalendar"
+
+    def rules(self):
+        return [RULES_R1_R12[3]]  # R4
+
+    def _setup(self, kernel):
+        kernel.mkdirs(JOOMLA_DIR, label="httpd_user_script_exec_t")
+        kernel.add_file(
+            JOOMLA_DIR + "/gcalendar_view.php", b"<?php render_calendar(); ?>",
+            label="httpd_user_script_exec_t",
+        )
+        self.victim = kernel.spawn("php5", uid=0, label="httpd_t", binary_path="/usr/bin/php5")
+        self.php = PhpInterpreter(kernel, self.victim)
+        self.adversary = spawn_adversary(kernel)
+
+    def _attack(self):
+        # The adversary stages "code" in a location they control (a /tmp
+        # upload, a log file, a session file ... any low-integrity file).
+        sys = self.kernel.sys
+        fd = sys.open(self.adversary, "/tmp/evil_payload", flags=0x41, mode=0o644)
+        sys.write(self.adversary, fd, b"<?php system($_GET['cmd']); ?>")
+        sys.close(self.adversary, fd)
+        # controller=../../../../../tmp/evil_payload%00
+        source = self.php.run_component(
+            JOOMLA_DIR, "", "../../../../../../tmp/evil_payload\x00"
+        )
+        return b"system(" in source
+
+    def _benign(self):
+        source = self.php.run_component(JOOMLA_DIR, "", "gcalendar_view")
+        return b"render_calendar" in source

@@ -1,0 +1,267 @@
+"""Untrusted search path / untrusted library load scenarios.
+
+Covers Table 4's E1 (Apache RUNPATH), E2 (dstat Python path), E3
+(libdbus environment), E7 (java config search) and E8 (Icecat insecure
+environment).  The common shape: a trusted process resolves a *name*
+through a search path that an adversary can extend or reorder, and the
+first hit wins.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackScenario
+from repro.programs.dbus import DbusDaemon, LibDbusClient
+from repro.programs.java import JavaRuntime
+from repro.programs.ld_so import DynamicLinker
+from repro.programs.python_interp import PythonInterpreter
+from repro.rulesets.default import RULES_R1_R12
+from repro.world import ADVERSARY_UID, spawn_adversary
+
+
+class ApacheRunpathLibrary(AttackScenario):
+    """E1 — CVE-2006-1564: module binaries installed with an insecure
+    ``RUNPATH`` pointing into ``/tmp/svn``, so ``ld.so`` loads an
+    adversary-planted shared object.  Blocked by rule R1."""
+
+    name = "E1: Apache untrusted library load (insecure RUNPATH)"
+    attack_class = "untrusted_library"
+    reference = "CVE-2006-1564"
+    program = "Apache"
+
+    TROJAN_DIR = "/tmp/svn"
+    LIBRARY = "mod_ssl.so"
+
+    def rules(self):
+        return [RULES_R1_R12[0]]  # R1
+
+    def _setup(self, kernel):
+        # The legitimate module, in a trusted location.
+        kernel.mkdirs("/usr/lib/apache2", label="httpd_modules_t")
+        kernel.add_file("/usr/lib/apache2/" + self.LIBRARY, b"\x7fELF legit", mode=0o755, label="httpd_modules_t")
+        self.victim = kernel.spawn("apache2", uid=0, label="httpd_t", binary_path="/usr/bin/apache2")
+        # The insecure RUNPATH baked in by the buggy installer, searched
+        # before the default directories.
+        self.linker = DynamicLinker(kernel, self.victim, runpath=(self.TROJAN_DIR, "/usr/lib/apache2"))
+        self.adversary = spawn_adversary(kernel)
+
+    def _plant(self):
+        sys = self.kernel.sys
+        sys.mkdir(self.adversary, self.TROJAN_DIR, mode=0o755)
+        fd = sys.open(self.adversary, self.TROJAN_DIR + "/" + self.LIBRARY, flags=0x41, mode=0o755)  # O_CREAT|O_WRONLY
+        sys.write(self.adversary, fd, b"\x7fELF trojan")
+        sys.close(self.adversary, fd)
+
+    def _attack(self):
+        self._plant()
+        path, _image = self.linker.load_library(self.LIBRARY)
+        return path.startswith(self.TROJAN_DIR)
+
+    def _benign(self):
+        # No trojan planted: the loader must still find the real module.
+        path, _image = self.linker.load_library(self.LIBRARY)
+        return path == "/usr/lib/apache2/" + self.LIBRARY
+
+
+class IcecatEnvironmentLibrary(AttackScenario):
+    """E8 — previously unknown: GNU Icecat's launcher exported an
+    insecure environment variable putting the working directory on the
+    library search path.  Blocked silently by rule R1 (the paper found
+    it in the denial logs)."""
+
+    name = "E8: Icecat untrusted library (insecure environment)"
+    attack_class = "untrusted_library"
+    reference = "unknown (found by PF)"
+    program = "Icecat"
+
+    LIBRARY = "libssl.so"
+
+    def rules(self):
+        return [RULES_R1_R12[0]]  # R1
+
+    def _setup(self, kernel):
+        self.victim = kernel.spawn(
+            "icecat",
+            uid=0,
+            label="unconfined_t",
+            binary_path="/usr/bin/icecat",
+            cwd="/tmp",
+            env={"LD_LIBRARY_PATH": "/tmp"},  # the launcher's bug
+        )
+        self.linker = DynamicLinker(kernel, self.victim)
+        self.adversary = spawn_adversary(kernel)
+
+    def _attack(self):
+        sys = self.kernel.sys
+        fd = sys.open(self.adversary, "/tmp/" + self.LIBRARY, flags=0x41, mode=0o755)
+        sys.write(self.adversary, fd, b"\x7fELF trojan")
+        sys.close(self.adversary, fd)
+        path, _image = self.linker.load_library(self.LIBRARY)
+        return path.startswith("/tmp/")
+
+    def _benign(self):
+        path, _image = self.linker.load_library(self.LIBRARY)
+        return path == "/lib/" + self.LIBRARY
+
+
+class DstatModulePath(AttackScenario):
+    """E2 — CVE-2009-4081: dstat's module search path included the
+    working directory, enabling a Trojan-horse Python module.  Blocked
+    by rule R2."""
+
+    name = "E2: dstat untrusted Python module path"
+    attack_class = "untrusted_search_path"
+    reference = "CVE-2009-4081"
+    program = "dstat"
+
+    MODULE = "dstat_disk"
+
+    def rules(self):
+        return [RULES_R1_R12[1]]  # R2
+
+    def _setup(self, kernel):
+        kernel.mkdirs("/usr/share/dstat", label="usr_t")
+        kernel.add_file("/usr/share/dstat/{}.py".format(self.MODULE), b"# real plugin", label="usr_t")
+        # dstat (root) runs from an adversary-writable directory.
+        self.victim = kernel.spawn(
+            "dstat", uid=0, label="unconfined_t", binary_path="/usr/bin/python2.7", cwd="/tmp"
+        )
+        self.interp = PythonInterpreter(
+            kernel, self.victim, cwd_path="/tmp", sys_path=["", "/usr/share/dstat"]
+        )
+        self.adversary = spawn_adversary(kernel)
+
+    def _attack(self):
+        sys = self.kernel.sys
+        fd = sys.open(self.adversary, "/tmp/{}.py".format(self.MODULE), flags=0x41, mode=0o644)
+        sys.write(self.adversary, fd, b"import os; os.system('evil')")
+        sys.close(self.adversary, fd)
+        path, _source = self.interp.import_module(self.MODULE)
+        return path.startswith("/tmp/")
+
+    def _benign(self):
+        path, _source = self.interp.import_module(self.MODULE)
+        return path == "/usr/share/dstat/{}.py".format(self.MODULE)
+
+
+class LibDbusEnvironmentSocket(AttackScenario):
+    """E3 — CVE-2012-3524: libdbus honoured
+    ``DBUS_SYSTEM_BUS_ADDRESS`` even inside setuid binaries, letting the
+    invoking user point a privileged client at their own socket.
+    Blocked by rule R3 for every vulnerable setuid program at once."""
+
+    name = "E3: libdbus untrusted bus address (setuid)"
+    attack_class = "untrusted_search_path"
+    reference = "CVE-2012-3524"
+    program = "libdbus"
+
+    FAKE_BUS = "/tmp/fake_bus"
+
+    def rules(self):
+        return [RULES_R1_R12[2]]  # R3
+
+    def _setup(self, kernel):
+        # The real system bus.
+        self.dbus_proc = kernel.spawn(
+            "dbus-daemon", uid=0, label="system_dbusd_t", binary_path="/bin/dbus-daemon"
+        )
+        DbusDaemon(kernel, self.dbus_proc).setup()
+        # The adversary's impostor bus in /tmp.
+        self.adversary = spawn_adversary(kernel)
+        kernel.sys.bind(self.adversary, self.FAKE_BUS, mode=0o777)
+        # The victim: a setuid-root binary launched by the adversary,
+        # environment included.
+        self.victim = kernel.spawn(
+            "setuid-tool", uid=ADVERSARY_UID, label="unconfined_t", binary_path="/bin/sh",
+            env={"DBUS_SYSTEM_BUS_ADDRESS": self.FAKE_BUS},
+        )
+        self.victim.creds.euid = 0  # setuid bit took effect at exec
+        self.client = LibDbusClient(kernel, self.victim)
+
+    def _attack(self):
+        listener_pid = self.client.connect()
+        return listener_pid == self.adversary.pid
+
+    def _benign(self):
+        # Without a hostile environment the client reaches the real bus.
+        self.victim.env.pop("DBUS_SYSTEM_BUS_ADDRESS", None)
+        listener_pid = self.client.connect()
+        return listener_pid == self.dbus_proc.pid
+
+
+class ShellPathHijack(AttackScenario):
+    """The original CWE-426: a root shell with ``.`` on ``$PATH`` runs
+    the adversary's trojan instead of the system binary.  Blocked by a
+    T1 rule pinning the shell's exec entrypoint to trusted binaries."""
+
+    name = "root shell PATH hijack (dot on PATH)"
+    attack_class = "untrusted_search_path"
+    reference = "CWE-426"
+    program = "bash"
+
+    def rules(self):
+        from repro.programs.shell import EPT_PATH_EXEC
+
+        return [
+            "pftables -A input -i {ept:#x} -p /bin/bash -o FILE_EXEC -d ~{{SYSHIGH}} -j DROP".format(
+                ept=EPT_PATH_EXEC
+            )
+        ]
+
+    def _setup(self, kernel):
+        from repro.programs.shell import ShellScript
+
+        self.victim = kernel.spawn(
+            "bash", uid=0, label="unconfined_t", binary_path="/bin/bash", cwd="/tmp",
+            env={"PATH": ".:/usr/bin:/bin"},
+        )
+        self.shell = ShellScript(kernel, self.victim)
+        self.shell.cwd_path = "/tmp"
+        kernel.add_file("/usr/bin/netstat", b"\x7fELF real", mode=0o755, label="bin_t")
+        self.adversary = spawn_adversary(kernel)
+
+    def _attack(self):
+        sys = self.kernel.sys
+        fd = sys.open(self.adversary, "/tmp/netstat", flags=0x41, mode=0o755)
+        sys.write(self.adversary, fd, b"#!/bin/sh evil")
+        sys.close(self.adversary, fd)
+        path, child = self.shell.run_command("netstat")
+        return path.startswith("/tmp/")
+
+    def _benign(self):
+        path, child = self.shell.run_command("netstat")
+        return path == "/usr/bin/netstat"
+
+
+class JavaConfigSearch(AttackScenario):
+    """E7 — unpatched for 2+ years: ``java`` loads configuration found
+    relative to the working directory before the system copy.  Blocked
+    by rule R7 (generated from the known vulnerability)."""
+
+    name = "E7: java untrusted configuration search path"
+    attack_class = "untrusted_search_path"
+    reference = "unpatched"
+    program = "java"
+
+    def rules(self):
+        return [RULES_R1_R12[6]]  # R7
+
+    def _setup(self, kernel):
+        kernel.mkdirs("/etc/java", label="etc_t")
+        kernel.add_file("/etc/java/jvm.cfg", b"-server KNOWN\n", label="etc_t")
+        self.victim = kernel.spawn(
+            "java", uid=0, label="unconfined_t", binary_path="/usr/bin/java", cwd="/tmp"
+        )
+        self.java = JavaRuntime(kernel, self.victim, cwd_path="/tmp")
+        self.adversary = spawn_adversary(kernel)
+
+    def _attack(self):
+        sys = self.kernel.sys
+        fd = sys.open(self.adversary, "/tmp/jvm.cfg", flags=0x41, mode=0o644)
+        sys.write(self.adversary, fd, b"-agentpath:/tmp/evil.so\n")
+        sys.close(self.adversary, fd)
+        path, _data = self.java.load_config()
+        return path.startswith("/tmp/")
+
+    def _benign(self):
+        path, _data = self.java.load_config()
+        return path == "/etc/java/jvm.cfg"

@@ -1,0 +1,99 @@
+"""Signal-handler races (E5, CWE-479).
+
+CVE-2006-5051: a second handled signal delivered while sshd's
+non-reentrant handler runs corrupts shared state.  The system-wide
+rules R9-R12 track handler entry/exit in the process ``STATE`` and drop
+delivery of any *handled, blockable* signal while a handler is running
+— unblockable signals (SIGKILL) still pass, so the defence cannot be
+used to shield a process from termination."""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackScenario
+from repro.proc import signals as sig
+from repro.programs.sshd import Sshd
+from repro.rulesets.default import SIGNAL_RULE_TEXTS
+
+
+class SshdSignalRace(AttackScenario):
+    """E5 — openssh non-reentrant signal handler race."""
+
+    name = "E5: openssh non-reentrant signal handler race"
+    attack_class = "signal_race"
+    reference = "CVE-2006-5051"
+    program = "openssh"
+
+    def rules(self):
+        return SIGNAL_RULE_TEXTS
+
+    def _setup(self, kernel):
+        self.victim = kernel.spawn("sshd", uid=0, label="sshd_t", binary_path="/usr/sbin/sshd")
+        self.sshd = Sshd(kernel, self.victim)
+        self.sshd.install_handlers()
+
+    def _attack(self):
+        kernel = self.kernel
+        # The login-grace timeout fires: SIGALRM enters its handler.
+        kernel.sys.kill(self.victim, self.victim.pid, sig.SIGALRM)
+        self.sshd.note_handler_entry()
+        # While the (slow, non-reentrant) handler runs, the adversary's
+        # connection teardown triggers SIGTERM.
+        try:
+            kernel.sys.kill(self.victim, self.victim.pid, sig.SIGTERM)
+            self.sshd.note_handler_entry()
+        finally:
+            corrupted = self.sshd.corrupted
+        # Unwind whatever handlers are active.
+        while self.victim.signals.in_handler:
+            self.sshd.finish_handler()
+        return corrupted
+
+    def _benign(self):
+        kernel = self.kernel
+        # Sequential signals with proper returns must both be handled.
+        kernel.sys.kill(self.victim, self.victim.pid, sig.SIGALRM)
+        self.sshd.note_handler_entry()
+        self.sshd.finish_handler()
+        kernel.sys.kill(self.victim, self.victim.pid, sig.SIGTERM)
+        self.sshd.note_handler_entry()
+        self.sshd.finish_handler()
+        return self.sshd.handler_entries == 2 and not self.sshd.corrupted
+
+
+class SigreturnResetsState(AttackScenario):
+    """Companion scenario: after a clean ``sigreturn``, delivery works
+    again (rule R12's reset) — and SIGKILL is never droppable even
+    mid-handler (the SIGNAL_MATCH unblockable carve-out)."""
+
+    name = "signal rules reset on sigreturn; SIGKILL unaffected"
+    attack_class = "signal_race"
+    reference = "rules R9-R12"
+    program = "any"
+    expect_success_without_pf = False
+
+    def rules(self):
+        return SIGNAL_RULE_TEXTS
+
+    def _setup(self, kernel):
+        self.victim = kernel.spawn("daemon", uid=0, label="unconfined_t", binary_path="/bin/sh")
+        kernel.sys.sigaction(self.victim, sig.SIGUSR1, handler_pc=0x9000)
+        kernel.sys.sigaction(self.victim, sig.SIGUSR2, handler_pc=0x9100)
+
+    def _attack(self):
+        kernel = self.kernel
+        # Enter a handler, then SIGKILL: must terminate despite rules.
+        kernel.sys.kill(self.victim, self.victim.pid, sig.SIGUSR1)
+        killer = kernel.spawn("killer", uid=0, label="unconfined_t", binary_path="/bin/sh")
+        kernel.sys.kill(killer, self.victim.pid, sig.SIGKILL)
+        # "Attack" goal inverted: returns True if SIGKILL was blocked,
+        # i.e. the defence introduced a protection-abuse hole.
+        return self.victim.alive
+
+    def _benign(self):
+        kernel = self.kernel
+        kernel.sys.kill(self.victim, self.victim.pid, sig.SIGUSR1)
+        kernel.sys.sigreturn(self.victim)
+        kernel.sys.kill(self.victim, self.victim.pid, sig.SIGUSR2)
+        handled = self.victim.signals.in_handler
+        kernel.sys.sigreturn(self.victim)
+        return handled

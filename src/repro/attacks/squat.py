@@ -1,0 +1,123 @@
+"""File / IPC squatting (CWE-283).
+
+The adversary *pre-creates* the name a victim is about to use, so the
+victim's data lands in (or is served from) an adversary-controlled
+resource.  Two variants: a report file squat (secrecy: the victim
+writes secrets into an adversary-readable file) and a UNIX-socket squat
+(the victim client talks to an impostor service)."""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackScenario
+from repro.programs.base import Program
+from repro.vfs.file import OpenFlags
+from repro.world import spawn_adversary
+
+#: The report daemon's write-open call site.
+EPT_REPORT_OPEN = 0x7710
+
+REPORT_PATH = "/tmp/nightly-report"
+
+
+class ReportService(Program):
+    """A root service that drops a sensitive report into /tmp."""
+
+    BINARY = "/usr/sbin/reportd"
+
+    def write_report(self, data=b"secret-findings\n"):
+        with self.frame(EPT_REPORT_OPEN, "emit_report"):
+            fd = self.sys.open(
+                self.proc, REPORT_PATH, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY | OpenFlags.O_TRUNC,
+                mode=0o600,
+            )
+        self.sys.write(self.proc, fd, data)
+        self.sys.close(self.proc, fd)
+
+
+class FileSquatReport(AttackScenario):
+    """The adversary squats the report name with a world-readable file;
+    the victim's ``O_CREAT`` open silently reuses it and the secret
+    leaks.  Blocked by dropping writes to adversary-readable resources
+    at the report entrypoint (Table 2 rows 1-2: the unsafe resource is
+    the adversary-accessible one)."""
+
+    name = "file squat on /tmp report"
+    attack_class = "file_ipc_squat"
+    reference = "CWE-283"
+    program = "reportd"
+
+    def rules(self):
+        return [
+            "pftables -A input -i {ept:#x} -p /usr/sbin/reportd -o FILE_OPEN "
+            "-m ADVERSARY --readable -j DROP".format(ept=EPT_REPORT_OPEN)
+        ]
+
+    def _setup(self, kernel):
+        kernel.mkdirs("/usr/sbin", label="bin_t")
+        kernel.add_file("/usr/sbin/reportd", b"\x7fELF", mode=0o755, label="bin_t")
+        self.victim = kernel.spawn("reportd", uid=0, label="unconfined_t", binary_path="/usr/sbin/reportd")
+        self.service = ReportService(kernel, self.victim)
+        self.adversary = spawn_adversary(kernel)
+
+    def _attack(self):
+        sys = self.kernel.sys
+        # Squat: adversary-owned, adversary-readable.
+        fd = sys.open(self.adversary, REPORT_PATH, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666)
+        sys.close(self.adversary, fd)
+        self.service.write_report()
+        # Can the adversary read the secret?
+        fd = sys.open(self.adversary, REPORT_PATH)
+        data = sys.read(self.adversary, fd)
+        sys.close(self.adversary, fd)
+        return b"secret-findings" in data
+
+    def _benign(self):
+        self.service.write_report()
+        inode = self.kernel.lookup(REPORT_PATH)
+        return inode.uid == 0 and inode.data == b"secret-findings\n"
+
+
+class SocketSquat(AttackScenario):
+    """IPC squat: the adversary binds the agent socket name first, so a
+    privileged client hands its requests to the impostor.  Blocked by a
+    T1 rule pinning the client's connect to trusted socket labels."""
+
+    name = "UNIX-socket squat on agent socket"
+    attack_class = "file_ipc_squat"
+    reference = "CWE-283"
+    program = "agent client"
+
+    SOCKET = "/tmp/agent.sock"
+    EPT_CONNECT = 0x8890
+
+    class _AgentClient(Program):
+        BINARY = "/usr/bin/agent-client"
+
+    def rules(self):
+        # The client may only talk to sockets it (root) owns; a squat in
+        # /tmp is adversary-writable and gets dropped.
+        return [
+            "pftables -A input -i {ept:#x} -p /usr/bin/agent-client "
+            "-o UNIX_STREAM_SOCKET_CONNECT -m ADVERSARY --writable -j DROP".format(ept=self.EPT_CONNECT)
+        ]
+
+    def _setup(self, kernel):
+        kernel.add_file("/usr/bin/agent-client", b"\x7fELF", mode=0o755, label="bin_t")
+        self.victim = kernel.spawn(
+            "agent-client", uid=0, label="unconfined_t", binary_path="/usr/bin/agent-client"
+        )
+        self.client = self._AgentClient(kernel, self.victim)
+        self.adversary = spawn_adversary(kernel)
+        self.real_agent = kernel.spawn("agent", uid=0, label="unconfined_t", binary_path="/bin/sh")
+
+    def _connect(self):
+        with self.client.frame(self.EPT_CONNECT, "agent_connect"):
+            return self.kernel.sys.connect(self.victim, self.SOCKET)
+
+    def _attack(self):
+        self.kernel.sys.bind(self.adversary, self.SOCKET, mode=0o777)
+        return self._connect() == self.adversary.pid
+
+    def _benign(self):
+        self.kernel.sys.bind(self.real_agent, self.SOCKET, mode=0o600)
+        return self._connect() == self.real_agent.pid

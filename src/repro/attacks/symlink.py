@@ -1,0 +1,159 @@
+"""Link following (CWE-59): planted symlinks in shared directories.
+
+E9's shape: a root-privileged script creates its scratch file in
+``/tmp`` with a plain ``O_CREAT`` open; an adversary pre-plants a
+symlink at that name and the root write lands on the link target.  The
+system-wide ``safe_open`` firewall rules block traversal of
+adversary-owned links into files the adversary does not own."""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackScenario
+from repro.programs.base import Program
+from repro.programs.shell import ShellScript
+from repro.rulesets.default import safe_open_pf_rules
+from repro.world import spawn_adversary
+
+SCRATCH = "/tmp/net-sched.lock"
+
+
+class InitScriptSymlinkClobber(AttackScenario):
+    """E9 — previously unknown: an Ubuntu init script's unsafe create."""
+
+    name = "E9: init script symlink-follow file clobber"
+    attack_class = "link_following"
+    reference = "unknown (found by PF, assigned a CVE)"
+    program = "init script"
+
+    TARGET = "/etc/passwd"
+
+    def rules(self):
+        return safe_open_pf_rules()
+
+    def _setup(self, kernel):
+        self.victim = kernel.spawn("init-script", uid=0, label="init_t", binary_path="/bin/bash")
+        self.script = ShellScript(kernel, self.victim)
+        self.adversary = spawn_adversary(kernel)
+        self.original = kernel.lookup(self.TARGET).data
+
+    def _attack(self):
+        self.kernel.sys.symlink(self.adversary, self.TARGET, SCRATCH)
+        self.script.redirect_to(SCRATCH)
+        clobbered = self.kernel.lookup(self.TARGET).data != self.original
+        return clobbered
+
+    def _benign(self):
+        # No planted link: the script creates and writes its file.
+        self.script.redirect_to(SCRATCH)
+        created = self.kernel.lookup(SCRATCH, follow=False)
+        return created is not None and created.data == b"started\n"
+
+
+class HardlinkClobber(AttackScenario):
+    """Hard-link variant of link following (CWE-62).
+
+    No symlink is ever traversed, so link rules cannot fire: the
+    adversary *hard-links* a high-integrity file under the name the
+    victim scribbles on.  Table 2's second row applies — for link
+    following the **unsafe** resource is the adversary-*inaccessible*
+    one: the scratch entrypoint should only ever touch scratch-labeled
+    objects, and a hard link carries the target's label with it, so a
+    T1 rule pinning the call site to tmp labels drops the clobber.
+    """
+
+    name = "hard-link clobber of a system file"
+    attack_class = "link_following"
+    reference = "CWE-62"
+    program = "statusd"
+
+    SCRATCH_NAME = "/var/tmp/statusd.scratch"
+    EPT_SCRATCH = 0x7A10
+
+    class _StatusDaemon(Program):
+        BINARY = "/usr/sbin/statusd"
+
+        def write_scratch(self, data=b"status\n"):
+            from repro.vfs.file import OpenFlags
+
+            with self.frame(HardlinkClobber.EPT_SCRATCH, "scratch_write"):
+                fd = self.sys.open(
+                    self.proc,
+                    HardlinkClobber.SCRATCH_NAME,
+                    flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY | OpenFlags.O_TRUNC,
+                    mode=0o666,
+                )
+            self.sys.write(self.proc, fd, data)
+            self.sys.close(self.proc, fd)
+
+    def rules(self):
+        from repro.rulesets.default import restrict_entrypoint_rule
+
+        return [
+            restrict_entrypoint_rule(
+                "/usr/sbin/statusd",
+                self.EPT_SCRATCH,
+                ("tmp_t", "user_tmp_t"),
+                op="FILE_OPEN",
+            )
+        ]
+
+    def _setup(self, kernel):
+        # Non-sticky world-writable dir (hard links in sticky /tmp would
+        # already fail the "protected_hardlinks"-era unlink checks).
+        kernel.mkdirs("/var/tmp", mode=0o777, label="tmp_t")
+        kernel.add_file("/usr/sbin/statusd", b"\x7fELF", mode=0o755, label="bin_t")
+        # The target must be adversary-*linkable*: world-readable suffices
+        # for link(2); pick a config file the adversary can read.
+        kernel.add_file("/etc/app.conf", b"trusted=1\n", uid=0, mode=0o644, label="etc_t")
+        self.victim = kernel.spawn("statusd", uid=0, label="unconfined_t", binary_path="/usr/sbin/statusd")
+        self.daemon = self._StatusDaemon(kernel, self.victim)
+        self.adversary = spawn_adversary(kernel)
+
+    def _attack(self):
+        self.kernel.sys.link(self.adversary, "/etc/app.conf", self.SCRATCH_NAME)
+        self.daemon.write_scratch()
+        return self.kernel.lookup("/etc/app.conf").data != b"trusted=1\n"
+
+    def _benign(self):
+        self.daemon.write_scratch()
+        # Second run reuses the (now adversary-writable-looking? no —
+        # root-owned 0666-masked) scratch; it must keep working.
+        self.daemon.write_scratch()
+        return self.kernel.lookup(self.SCRATCH_NAME).data == b"status\n"
+
+
+class SetuidTempfileLinkFollow(AttackScenario):
+    """The §2 running example: a setuid program reads its config from
+    ``/tmp`` and is redirected to ``/etc/shadow`` — a secrecy attack
+    (the victim leaks what it reads)."""
+
+    name = "setuid /tmp read redirected to /etc/shadow"
+    attack_class = "link_following"
+    reference = "paper §2"
+    program = "setuid tool"
+
+    TMPFILE = "/tmp/tool-state"
+
+    def rules(self):
+        return safe_open_pf_rules()
+
+    def _setup(self, kernel):
+        self.victim = kernel.spawn("setuid-tool", uid=1000, label="unconfined_t", binary_path="/bin/sh")
+        self.victim.creds.euid = 0
+        self.script = ShellScript(kernel, self.victim)
+        self.adversary = spawn_adversary(kernel)
+
+    def _attack(self):
+        self.kernel.sys.symlink(self.adversary, "/etc/shadow", self.TMPFILE)
+        fd = self.kernel.sys.open(self.victim, self.TMPFILE)
+        leaked = self.kernel.sys.read(self.victim, fd)
+        self.kernel.sys.close(self.victim, fd)
+        return b"secret" in leaked
+
+    def _benign(self):
+        # The victim's own state file round-trips fine.
+        self.script.redirect_to(self.TMPFILE, data=b"state=1\n")
+        fd = self.kernel.sys.open(self.victim, self.TMPFILE)
+        data = self.kernel.sys.read(self.victim, fd)
+        self.kernel.sys.close(self.victim, fd)
+        return data == b"state=1\n"

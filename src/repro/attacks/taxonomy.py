@@ -1,0 +1,103 @@
+"""The attack taxonomy: Tables 1 and 2 of the paper.
+
+Table 1 gives per-class CVE counts (static data, reproduced verbatim);
+Table 2 gives, for each class, the safe/unsafe resource properties and
+the process context a defence needs.  The scenario classes in this
+package each reference their taxonomy row, and the Table 2 benchmark
+checks that the *implemented* scenarios consume exactly the context the
+paper says is necessary.
+"""
+
+from __future__ import annotations
+
+
+class AttackClass:
+    """One row of Tables 1+2.
+
+    Attributes:
+        name: attack class name as printed.
+        cwe: Common Weakness Enumeration id.
+        cve_pre2007 / cve_2007_2012: Table 1's CVE counts.
+        safe_resource / unsafe_resource: Table 2 columns 1-2.
+        process_context: Table 2 column 4 — what the firewall must see.
+    """
+
+    __slots__ = (
+        "name",
+        "cwe",
+        "cve_pre2007",
+        "cve_2007_2012",
+        "safe_resource",
+        "unsafe_resource",
+        "process_context",
+    )
+
+    def __init__(self, name, cwe, cve_pre2007, cve_2007_2012, safe_resource, unsafe_resource, process_context):
+        self.name = name
+        self.cwe = cwe
+        self.cve_pre2007 = cve_pre2007
+        self.cve_2007_2012 = cve_2007_2012
+        self.safe_resource = safe_resource
+        self.unsafe_resource = unsafe_resource
+        self.process_context = process_context
+
+
+_HIGH = "adversary inaccessible (high integrity, high secrecy)"
+_LOW = "adversary accessible (low integrity, low secrecy)"
+
+ATTACK_CLASSES = {
+    "untrusted_search_path": AttackClass(
+        "Untrusted Search Path", "CWE-426", 109, 329, _HIGH, _LOW, ("entrypoint",)
+    ),
+    "untrusted_library": AttackClass(
+        "Untrusted Library Load", "CWE-426", 97, 91, _HIGH, _LOW, ("entrypoint",)
+    ),
+    "file_ipc_squat": AttackClass(
+        "File/IPC squat", "CWE-283", 13, 9, _HIGH, _LOW, ("entrypoint",)
+    ),
+    "directory_traversal": AttackClass(
+        "Directory Traversal", "CWE-22", 1057, 1514, _LOW, _HIGH, ("entrypoint",)
+    ),
+    "php_file_inclusion": AttackClass(
+        "PHP File Inclusion", "CWE-98", 1112, 1020, _HIGH, _LOW, ("entrypoint",)
+    ),
+    "link_following": AttackClass(
+        "Link Following", "CWE-59", 480, 357, _LOW, _HIGH, ("entrypoint",)
+    ),
+    "toctou_race": AttackClass(
+        "TOCTTOU Races",
+        "CWE-362",
+        17,
+        14,
+        'same as previous "check"/"use"',
+        'different from previous "check"/"use"',
+        ("entrypoint", "syscall_trace"),
+    ),
+    "signal_race": AttackClass(
+        "Signal Races",
+        "CWE-479",
+        9,
+        1,
+        "no signal (blocked)",
+        "adversary delivers signal",
+        ("syscall_trace", "in_signal_handler"),
+    ),
+}
+
+#: Table 1 footer: share of all CVEs in each period.
+CVE_SHARE = {"<2007": 0.1240, "2007-12": 0.0941}
+
+
+def table1_rows():
+    """Rows in the paper's print order for the Table 1 bench."""
+    order = [
+        "untrusted_search_path",
+        "untrusted_library",
+        "file_ipc_squat",
+        "directory_traversal",
+        "php_file_inclusion",
+        "link_following",
+        "toctou_race",
+        "signal_race",
+    ]
+    return [ATTACK_CLASSES[key] for key in order]

@@ -1,0 +1,346 @@
+"""TOCTTOU races (CWE-362), scheduled deterministically.
+
+Three variants from §2.1, each using the cooperative scheduler to place
+the adversary's namespace mutation exactly inside the victim's
+check/use window:
+
+- the classic ``access``/``open`` race of a setuid mail-style helper;
+- the ``lstat``/``open`` symlink-swap of Figure 1(a) lines 3-6;
+- Kirch's **cryogenic sleep**: the adversary waits for the checked
+  inode's number to recycle, defeating ``(dev, ino)`` comparisons;
+- the D-Bus ``bind``/``chmod`` race (E6, rules R5/R6).
+
+The firewall defence is template T2: record the resource identity at
+the "check" entrypoint in the process ``STATE``, and drop the "use"
+when the identity changed.
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.attacks.base import AttackScenario
+from repro.programs.base import Program
+from repro.programs.dbus import DbusDaemon
+from repro.programs.libc import SafetyViolation, open_nolink
+from repro.rulesets.default import safe_open_pf_rules, toctou_rules
+from repro.sched.scheduler import Scheduler
+from repro.vfs.file import OpenFlags
+from repro.world import spawn_adversary
+
+MAILDIR_FILE = "/tmp/user-mbox"
+
+#: The mail helper's check and use call sites.
+EPT_ACCESS_CHECK = 0x5510
+EPT_OPEN_USE = 0x5544
+
+
+class MailHelper(Program):
+    """A setuid-root helper appending to a user-supplied mailbox path.
+
+    It uses ``access(2)`` to ask "may the *real* user write this?" and
+    then opens with root privilege — the canonical non-atomic pair.
+    """
+
+    BINARY = "/usr/bin/mail-helper"
+
+    def deliver(self, path, data=b"mail\n"):
+        """Generator threadlet: one yield between check and use."""
+        with self.frame(EPT_ACCESS_CHECK, "access_check"):
+            self.sys.access(self.proc, path, "w")
+        yield  # <-- the race window
+        with self.frame(EPT_OPEN_USE, "open_use"):
+            fd = self.sys.open(self.proc, path, flags=OpenFlags.O_WRONLY | OpenFlags.O_APPEND)
+        self.sys.write(self.proc, fd, data)
+        self.sys.close(self.proc, fd)
+        return fd
+
+
+class AccessOpenRace(AttackScenario):
+    """The adversary swaps their mailbox for a link to ``/etc/passwd``
+    inside the access/open window; the setuid victim appends to the
+    password file.  Blocked by T2 rules keyed on the helper's
+    entrypoints."""
+
+    name = "setuid access/open TOCTTOU race"
+    attack_class = "toctou_race"
+    reference = "CWE-362"
+    program = "mail helper"
+
+    def rules(self):
+        return toctou_rules(
+            "/usr/bin/mail-helper", EPT_ACCESS_CHECK, "FILE_GETATTR", EPT_OPEN_USE, "FILE_OPEN"
+        ) + safe_open_pf_rules()
+
+    def _setup(self, kernel):
+        kernel.add_file("/usr/bin/mail-helper", b"\x7fELF", mode=0o755, label="bin_t")
+        self.victim = kernel.spawn(
+            "mail-helper", uid=1000, label="unconfined_t", binary_path="/usr/bin/mail-helper"
+        )
+        self.victim.creds.euid = 0  # setuid root
+        self.helper = MailHelper(kernel, self.victim)
+        self.adversary = spawn_adversary(kernel)
+        self.passwd_before = kernel.lookup("/etc/passwd").data
+
+    def _adversary_swap(self):
+        sys = self.kernel.sys
+        fd = sys.open(self.adversary, MAILDIR_FILE, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666)
+        sys.close(self.adversary, fd)
+        yield  # victim's access() check happens here
+        sys.unlink(self.adversary, MAILDIR_FILE)
+        sys.symlink(self.adversary, "/etc/passwd", MAILDIR_FILE)
+
+    def _attack(self):
+        sched = Scheduler(policy="scripted", script=["adversary", "victim", "adversary", "victim"])
+        sched.add("adversary", self._adversary_swap())
+        sched.add("victim", self.helper.deliver(MAILDIR_FILE))
+        sched.run()
+        victim_error = sched.get("victim").error
+        if isinstance(victim_error, errors.PFDenied):
+            raise victim_error
+        if victim_error is not None:
+            raise victim_error
+        return self.kernel.lookup("/etc/passwd").data != self.passwd_before
+
+    def _benign(self):
+        sys = self.kernel.sys
+        fd = sys.open(self.adversary, MAILDIR_FILE, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666)
+        sys.close(self.adversary, fd)
+        sched = Scheduler()
+        sched.add("victim", self.helper.deliver(MAILDIR_FILE))
+        sched.run()
+        if sched.get("victim").error is not None:
+            raise sched.get("victim").error
+        return self.kernel.lookup(MAILDIR_FILE).data.endswith(b"mail\n")
+
+
+class LstatOpenSymlinkSwap(AttackScenario):
+    """Figure 1(a) lines 3-6: ``open_nolink`` raced by a symlink swap.
+
+    The per-component ``safe_open`` firewall rules close it: the swap
+    happens *before* the open's walk, so the walk itself traverses the
+    adversary's link and is dropped atomically."""
+
+    name = "lstat/open symlink-swap race"
+    attack_class = "toctou_race"
+    reference = "Figure 1a"
+    program = "open_nolink caller"
+
+    VICTIM_FILE = "/tmp/work-file"
+
+    def rules(self):
+        return safe_open_pf_rules()
+
+    def _setup(self, kernel):
+        self.victim = kernel.spawn("worker", uid=0, label="unconfined_t", binary_path="/bin/sh")
+        self.adversary = spawn_adversary(kernel)
+        self.leaked = None
+
+    def _victim_steps(self):
+        sys = self.kernel.sys
+        st = sys.lstat(self.victim, self.VICTIM_FILE)
+        if st.is_symlink():
+            raise SafetyViolation("link detected")
+        yield  # the window
+        fd = sys.open(self.victim, self.VICTIM_FILE)
+        self.leaked = sys.read(self.victim, fd)
+        sys.close(self.victim, fd)
+
+    def _adversary_steps(self):
+        sys = self.kernel.sys
+        fd = sys.open(self.adversary, self.VICTIM_FILE, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666)
+        sys.close(self.adversary, fd)
+        yield  # victim lstats the innocent file here
+        sys.unlink(self.adversary, self.VICTIM_FILE)
+        sys.symlink(self.adversary, "/etc/shadow", self.VICTIM_FILE)
+
+    def _attack(self):
+        sched = Scheduler(policy="scripted", script=["adversary", "victim", "adversary", "victim"])
+        sched.add("adversary", self._adversary_steps())
+        sched.add("victim", self._victim_steps())
+        sched.run()
+        victim_error = sched.get("victim").error
+        if victim_error is not None:
+            raise victim_error
+        return self.leaked is not None and b"secret" in self.leaked
+
+    def _benign(self):
+        sys = self.kernel.sys
+        fd = sys.open(self.adversary, self.VICTIM_FILE, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666)
+        sys.write(self.adversary, fd, b"innocent")
+        sys.close(self.adversary, fd)
+        sched = Scheduler()
+        sched.add("victim", self._victim_steps())
+        sched.run()
+        if sched.get("victim").error is not None:
+            raise sched.get("victim").error
+        return self.leaked == b"innocent"
+
+
+#: The spooler's check and use call sites.
+EPT_SPOOL_CHECK = 0x6620
+EPT_SPOOL_OPEN = 0x6648
+
+
+class Spooler(Program):
+    """A root spooler doing the lstat/open/fstat identity dance."""
+
+    BINARY = "/usr/sbin/spoold"
+
+
+class CryogenicSleepRace(AttackScenario):
+    """Kirch's cryogenic sleep (§2.1): the adversary recycles the
+    checked inode's *number*, so even the ``fstat`` identity comparison
+    passes while the object is a different file.
+
+    Inode-number state (template T2) is structurally blind here — the
+    numbers *match*.  The firewall defence that works evaluates the
+    invariant at the atomic use point: the spooler's open entrypoint
+    must never touch an adversary-writable resource, and the planted
+    file is adversary-owned no matter what number it recycled."""
+
+    name = "cryogenic-sleep inode recycling race"
+    attack_class = "toctou_race"
+    reference = "Kirch 2000"
+    program = "open_nolink+fstat caller"
+
+    VICTIM_FILE = "/tmp/spool-file"
+    PLANT_FILE = "/tmp/planted-by-adversary"
+
+    def rules(self):
+        return [
+            "pftables -A input -i {ept:#x} -p /usr/sbin/spoold -o FILE_OPEN "
+            "-m ADVERSARY --writable -j DROP".format(ept=EPT_SPOOL_OPEN)
+        ]
+
+    def _setup(self, kernel):
+        kernel.mkdirs("/usr/sbin", label="bin_t")
+        kernel.add_file("/usr/sbin/spoold", b"\x7fELF", mode=0o755, label="bin_t")
+        self.victim = kernel.spawn("spoold", uid=0, label="unconfined_t", binary_path="/usr/sbin/spoold")
+        self.spooler = Spooler(kernel, self.victim)
+        self.adversary = spawn_adversary(kernel)
+        self.check_passed = False
+        self.opened_generation = None
+        self.checked_generation = None
+
+    def _victim_steps(self):
+        sys = self.kernel.sys
+        with self.spooler.frame(EPT_SPOOL_CHECK, "spool_check"):
+            lbuf = sys.lstat(self.victim, self.VICTIM_FILE)
+        if lbuf.is_symlink():
+            raise SafetyViolation("link detected")
+        self.checked_generation = lbuf.st_generation
+        yield  # cryogenic sleep: SIGSTOP'ed by the adversary
+        with self.spooler.frame(EPT_SPOOL_OPEN, "spool_open"):
+            fd = sys.open(self.victim, self.VICTIM_FILE)
+        fbuf = sys.fstat(self.victim, fd)
+        sys.close(self.victim, fd)
+        if not fbuf.same_file(lbuf):
+            raise SafetyViolation("race detected")
+        self.check_passed = True
+        self.opened_generation = fbuf.st_generation
+
+    def _adversary_steps(self):
+        sys = self.kernel.sys
+        fd = sys.open(self.adversary, self.VICTIM_FILE, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666)
+        sys.close(self.adversary, fd)
+        yield  # victim lstats; records (dev, ino)
+        # Free the checked inode's number ...
+        sys.unlink(self.adversary, self.VICTIM_FILE)
+        # ... wait for it to recycle into a file the adversary controls
+        # (eager recycling: the very next create reuses it) ...
+        fd = sys.open(self.adversary, self.PLANT_FILE, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666)
+        sys.write(self.adversary, fd, b"adversary content")
+        sys.close(self.adversary, fd)
+        # ... and hard-link it back under the checked name.
+        sys.link(self.adversary, self.PLANT_FILE, self.VICTIM_FILE)
+
+    def _attack(self):
+        sched = Scheduler(policy="scripted", script=["adversary", "victim", "adversary", "victim"])
+        sched.add("adversary", self._adversary_steps())
+        sched.add("victim", self._victim_steps())
+        sched.run()
+        victim_error = sched.get("victim").error
+        if victim_error is not None:
+            raise victim_error
+        # Attack goal: the identity check passed yet the object differs
+        # (generation proves the inode number was recycled).
+        return self.check_passed and self.opened_generation != self.checked_generation
+
+    def _benign(self):
+        sys = self.kernel.sys
+        fd = sys.open(self.victim, self.VICTIM_FILE, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o600)
+        sys.close(self.victim, fd)
+        sched = Scheduler()
+        sched.add("victim", self._victim_steps())
+        sched.run()
+        if sched.get("victim").error is not None:
+            raise sched.get("victim").error
+        return self.check_passed and self.opened_generation == self.checked_generation
+
+
+class DbusBindChmodRace(AttackScenario):
+    """E6 — unpatched: dbus-daemon binds its socket then ``chmod``\\ s
+    it; an adversary swaps the path in between and the mode change
+    applies to a resource of their choosing (here: a link to
+    ``/etc/shadow``, making it world-readable).  Rules R5/R6 record the
+    bound inode and drop a setattr on anything else."""
+
+    name = "E6: dbus-daemon bind/chmod TOCTTOU"
+    attack_class = "toctou_race"
+    reference = "unpatched"
+    program = "dbus-daemon"
+
+    # A session bus in a world-writable, non-sticky directory (the
+    # sticky bit on /tmp would stop the adversary's unlink before the
+    # race even started; plenty of real shared directories lack it).
+    SOCKET = "/var/tmp/dbus-session-socket"
+
+    def rules(self):
+        # R5/R6 as shipped, rebased onto the session daemon's state key,
+        # plus the FILE_SETATTR companion the generator emits for the
+        # same template (chmod-through-a-swapped-path reaches a file
+        # object, not a socket).
+        return [
+            "pftables -A input -i 0x3c750 -p /bin/dbus-daemon -o SOCKET_BIND "
+            "-j STATE --set --key 0xbeef --value C_INO",
+            "pftables -A input -i 0x3c786 -p /bin/dbus-daemon -o SOCKET_SETATTR "
+            "-m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
+            "pftables -A input -i 0x3c786 -p /bin/dbus-daemon -o FILE_SETATTR "
+            "-m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
+        ]
+
+    def _setup(self, kernel):
+        kernel.mkdirs("/var/tmp", mode=0o777, label="tmp_t")
+        self.victim = kernel.spawn(
+            "dbus-daemon", uid=0, label="system_dbusd_t", binary_path="/bin/dbus-daemon"
+        )
+        self.daemon = DbusDaemon(kernel, self.victim, socket_path=self.SOCKET)
+        self.adversary = spawn_adversary(kernel)
+
+    def _victim_steps(self):
+        self.daemon.bind_socket(label=None)
+        yield  # the bind->chmod window
+        self.daemon.chmod_socket(mode=0o666)
+
+    def _adversary_steps(self):
+        sys = self.kernel.sys
+        yield  # let the daemon bind first
+        sys.unlink(self.adversary, self.SOCKET)
+        sys.symlink(self.adversary, "/etc/shadow", self.SOCKET)
+
+    def _attack(self):
+        sched = Scheduler(policy="scripted", script=["victim", "adversary", "adversary", "victim"])
+        sched.add("victim", self._victim_steps())
+        sched.add("adversary", self._adversary_steps())
+        sched.run()
+        victim_error = sched.get("victim").error
+        if victim_error is not None:
+            raise victim_error
+        shadow = self.kernel.lookup("/etc/shadow")
+        return bool(shadow.mode & 0o044)  # world/group-readable now?
+
+    def _benign(self):
+        self.daemon.bind_socket(label=None)
+        self.daemon.chmod_socket(mode=0o666)
+        sock = self.kernel.lookup(self.SOCKET, follow=False)
+        return sock.mode & 0o777 == 0o666

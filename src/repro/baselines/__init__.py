@@ -1,0 +1,29 @@
+"""Baseline defences the paper compares against.
+
+Two families:
+
+- **Program defences** — the ``open`` variants of
+  :mod:`repro.programs.libc` (Figure 4's baselines: ``O_NOFOLLOW``,
+  lstat/open, the full race dance, Chari's ``safe_open``).
+- **System-only defences** (this package) — kernel mechanisms with *no
+  process context*, which §2.2 argues are "fundamentally limited ...
+  prone to false positives or negatives" (citing Cai et al. [7]):
+
+  - :class:`repro.baselines.raceguard.RaceGuard` — RaceGuard-style
+    TOCTTOU detection [11]: track each process's recent check and deny
+    a use that resolves differently, for *every* check/use pair in
+    *every* program;
+  - :class:`repro.baselines.openwall.OpenwallSymlinkPolicy` — the
+    classic protected-symlinks sysctl: restrict following links in
+    sticky world-writable directories by owner, for *every* process.
+
+Each is an LSM module (they run in the authorization layer, like their
+real counterparts — not in the Process Firewall).  The comparison bench
+shows both stop their target attack **and** break a legitimate
+workload that the context-aware firewall rules leave alone.
+"""
+
+from repro.baselines.openwall import OpenwallSymlinkPolicy
+from repro.baselines.raceguard import RaceGuard
+
+__all__ = ["OpenwallSymlinkPolicy", "RaceGuard"]

@@ -1,0 +1,85 @@
+"""The baseline comparison matrix (shared by bench and runner).
+
+One symlink attack plus two benign workloads that *look* like attacks
+to context-free mechanisms, run under each defence.
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.baselines.openwall import OpenwallSymlinkPolicy
+from repro.baselines.raceguard import RaceGuard
+from repro.firewall.engine import ProcessFirewall
+from repro.rulesets.default import safe_open_pf_rules
+from repro.vfs.file import OpenFlags
+from repro.world import build_world, spawn_adversary, spawn_root_shell
+
+DEFENSES = ["none", "raceguard", "openwall", "process firewall"]
+
+
+def build_defended_world(defense):
+    kernel = build_world()
+    if defense == "raceguard":
+        kernel.lsm.register(RaceGuard())
+    elif defense == "openwall":
+        kernel.lsm.register(OpenwallSymlinkPolicy())
+    elif defense == "process firewall":
+        firewall = kernel.attach_firewall(ProcessFirewall())
+        firewall.install_all(safe_open_pf_rules())
+    elif defense != "none":
+        raise errors.EINVAL("unknown defense {!r}".format(defense))
+    return kernel
+
+
+def symlink_attack_succeeds(kernel):
+    """Planted /tmp link into /etc/passwd, followed by root."""
+    victim, adversary = spawn_root_shell(kernel), spawn_adversary(kernel)
+    kernel.sys.symlink(adversary, "/etc/passwd", "/tmp/trap")
+    try:
+        kernel.sys.open(victim, "/tmp/trap")
+        return True
+    except errors.EACCES:
+        return False
+
+
+def benign_sharing_works(kernel):
+    """Root reads a user's own file through the user's own link."""
+    root, user = spawn_root_shell(kernel), spawn_adversary(kernel)
+    kernel.add_file("/tmp/users-own", b"theirs", uid=1000, mode=0o644)
+    kernel.sys.symlink(user, "/tmp/users-own", "/tmp/users-link")
+    try:
+        kernel.sys.open(root, "/tmp/users-link")
+        return True
+    except errors.EACCES:
+        return False
+
+
+def benign_rotation_works(kernel):
+    """stat, trusted rename, open — a legitimate identity change."""
+    reader = spawn_root_shell(kernel, "reader")
+    rotator = spawn_root_shell(kernel, "logrotate")
+    kernel.add_file("/var/app.log", b"old", uid=0, mode=0o644)
+    kernel.sys.stat(reader, "/var/app.log")
+    kernel.sys.rename(rotator, "/var/app.log", "/var/app.log.1")
+    fd = kernel.sys.open(rotator, "/var/app.log", flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o644)
+    kernel.sys.close(rotator, fd)
+    try:
+        kernel.sys.open(reader, "/var/app.log")
+        return True
+    except errors.EACCES:
+        return False
+
+
+def comparison_matrix():
+    """Rows of (defense, attack_succeeds, sharing_ok, rotation_ok)."""
+    rows = []
+    for defense in DEFENSES:
+        rows.append(
+            (
+                defense,
+                symlink_attack_succeeds(build_defended_world(defense)),
+                benign_sharing_works(build_defended_world(defense)),
+                benign_rotation_works(build_defended_world(defense)),
+            )
+        )
+    return rows

@@ -1,0 +1,45 @@
+"""Openwall/protected-symlinks system-only link policy.
+
+The classic hardening (Openwall patch, later the
+``fs.protected_symlinks`` sysctl): in a sticky world-writable directory
+(``/tmp``), a symlink may only be followed when the link's owner equals
+the follower's fsuid or the directory's owner.
+
+System-wide and context-free, so it over-blocks: Chari et al.'s
+analysis (adopted by the paper's safe-open rules) permits following an
+adversary's link into the adversary's *own* files — common with
+user-managed spools and sockets — but this policy denies it whenever a
+different user follows.  The firewall rules express the finer invariant
+because they can compare the link's owner against the *target's* owner.
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.security.lsm import Op
+
+
+class OpenwallSymlinkPolicy:
+    """LSM module enforcing sticky-directory symlink restrictions."""
+
+    def __init__(self):
+        self.denials = 0
+
+    def authorize(self, operation):
+        if operation.op not in (Op.LNK_FILE_READ, Op.LINK_READ):
+            return
+        link = operation.obj
+        if link is None:
+            return
+        sticky_dir = operation.extra.get("sticky_parent")
+        if sticky_dir is None:
+            return  # the policy only covers sticky world-writable dirs
+        follower = operation.proc.creds.euid
+        if link.uid == follower:
+            return
+        if link.uid == sticky_dir.uid:
+            return
+        self.denials += 1
+        raise errors.EACCES(
+            "protected_symlinks: uid {} may not follow link owned by {}".format(follower, link.uid)
+        )

@@ -1,0 +1,65 @@
+"""RaceGuard-style system-only TOCTTOU defence (Cowan et al. [11]).
+
+The mechanism: remember, per process, the object identity each pathname
+resolved to at "check"-shaped syscalls (stat/lstat/access); when a
+"use"-shaped syscall (open) resolves the same pathname to a *different*
+object, deny it.  No process context: it cannot know which check/use
+pairs belong together, so it applies the invariant to **every** pair in
+**every** program.
+
+That is exactly the shape Cai et al. proved unsound: programs that
+legitimately expect a name to be rebound between a stat and an open
+(log rotation, atomic-rename config updates, editors) trip it.  The
+comparison bench demonstrates the false positive; the Process
+Firewall's T2 rules — scoped to the vulnerable program's specific
+check/use entrypoints — do not fire on those programs at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro import errors
+from repro.security.lsm import Op
+
+#: Operations treated as a "check" of a pathname.
+CHECK_OPS = frozenset({Op.FILE_GETATTR})
+#: Operations treated as a "use" of a pathname.
+USE_OPS = frozenset({Op.FILE_OPEN})
+
+
+class RaceGuard:
+    """LSM module: deny uses whose object changed since the check."""
+
+    def __init__(self, window=64):
+        #: (pid, path) -> (dev, ino) remembered at check time.
+        self._checked = {}  # type: Dict[Tuple[int, str], Tuple[int, int]]
+        #: Bound on remembered checks per process (the real system used
+        #: a small per-process cache).
+        self.window = window
+        self.denials = 0
+
+    def _key(self, operation):
+        return (operation.proc.pid, operation.path)
+
+    def authorize(self, operation):
+        if operation.obj is None or operation.path is None:
+            return
+        identity = (operation.obj.device, operation.obj.ino)
+        if operation.op in CHECK_OPS:
+            self._remember(operation, identity)
+            return
+        if operation.op in USE_OPS:
+            remembered = self._checked.pop(self._key(operation), None)
+            if remembered is not None and remembered != identity:
+                self.denials += 1
+                raise errors.EACCES(
+                    "raceguard: {} rebound between check and use".format(operation.path)
+                )
+
+    def _remember(self, operation, identity):
+        pid = operation.proc.pid
+        mine = [key for key in self._checked if key[0] == pid]
+        if len(mine) >= self.window:
+            self._checked.pop(mine[0], None)
+        self._checked[self._key(operation)] = identity

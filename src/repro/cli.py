@@ -1,0 +1,178 @@
+"""``pfctl`` — command-line front end for rule files.
+
+The paper's deployment story has OS distributors shipping rule bases in
+packages; this tool is the maintainer's lint/test harness for those
+files:
+
+- ``parse``  — validate a rules file (one pftables line per row,
+  ``#`` comments allowed); non-zero exit on the first bad line.
+- ``fmt``    — print the normalized (re-rendered) rules.
+- ``list``   — install into a fresh firewall and print the chain view.
+- ``save``   — emit the pftables-save serialization.
+- ``audit``  — install the rules into the standard world and run the
+  paper's nine exploits against them, reporting which are blocked.
+
+Usage::
+
+    python -m repro.cli parse myrules.pf
+    python -m repro.cli audit myrules.pf
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import errors
+from repro.firewall.engine import ProcessFirewall
+from repro.firewall.persist import list_rules, save_rules
+from repro.firewall.pftables import parse_rule, pftables
+
+
+def read_rule_lines(path):
+    """Read a rules file: one pftables line per row, # comments."""
+    with open(path) as fh:
+        lines = []
+        for raw in fh:
+            line = raw.strip()
+            if line and not line.startswith("#"):
+                lines.append(line)
+        return lines
+
+
+def _load_file(path):
+    firewall = ProcessFirewall()
+    for line in read_rule_lines(path):
+        pftables(firewall, line)
+    return firewall
+
+
+def cmd_parse(args):
+    ok = True
+    for i, line in enumerate(read_rule_lines(args.file), 1):
+        try:
+            parse_rule(line)
+        except errors.KernelError as exc:
+            print("{}:{}: {}".format(args.file, i, exc.message))
+            ok = False
+            if not args.keep_going:
+                return 1
+    if ok:
+        print("{}: OK".format(args.file))
+    return 0 if ok else 1
+
+
+def cmd_fmt(args):
+    for line in read_rule_lines(args.file):
+        parsed = parse_rule(line)
+        chain_part = "-A {} ".format(parsed.chain)
+        print("pftables -t {} {}{}".format(parsed.table, chain_part, parsed.rule.render()))
+    return 0
+
+
+def cmd_list(args):
+    firewall = _load_file(args.file)
+    print(list_rules(firewall, verbose=args.verbose))
+    return 0
+
+
+def cmd_save(args):
+    firewall = _load_file(args.file)
+    sys.stdout.write(save_rules(firewall))
+    return 0
+
+
+def cmd_suggest(args):
+    from repro.rulegen.classify import rules_for_threshold
+    from repro.rulegen.trace import records_from_json
+
+    with open(args.log) as fh:
+        records = records_from_json(fh.read())
+    rules = rules_for_threshold(records, threshold=args.threshold)
+    for rule in rules:
+        print(rule)
+    if not rules:
+        print("# no pure entrypoints above threshold {}".format(args.threshold), file=sys.stderr)
+    return 0
+
+
+def cmd_lint(args):
+    from repro.firewall.validate import lint_rulebase, render_findings
+    from repro.world import build_world
+
+    firewall = _load_file(args.file)
+    kernel = build_world()
+    findings = lint_rulebase(firewall, policy=kernel.adversaries.policy, kernel=kernel)
+    print(render_findings(findings))
+    return 0 if not findings else 3
+
+
+def cmd_audit(args):
+    from repro.attacks.exploits import EXPLOITS
+
+    rule_lines = read_rule_lines(args.file)
+    blocked = 0
+    print("auditing {} rules against the paper's nine exploits".format(len(rule_lines)))
+    for eid in sorted(EXPLOITS):
+        scenario = EXPLOITS[eid]()
+        scenario.rules = lambda _lines=rule_lines: list(_lines)
+        result = scenario.run(with_firewall=True)
+        verdict = "BLOCKED" if (result.blocked or not result.succeeded) else "not blocked"
+        if verdict == "BLOCKED":
+            blocked += 1
+        print("  {}  {:<40} {}".format(eid, scenario.name[:40], verdict))
+    print("{}/9 exploits blocked by this rule set".format(blocked))
+    return 0 if blocked == len(EXPLOITS) else 2
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="pfctl", description=__doc__.split("\n\n")[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("parse", help="validate a rules file")
+    p.add_argument("file")
+    p.add_argument("--keep-going", action="store_true", help="report every bad line")
+    p.set_defaults(func=cmd_parse)
+
+    p = sub.add_parser("fmt", help="print normalized rules")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_fmt)
+
+    p = sub.add_parser("list", help="print the chain view")
+    p.add_argument("file")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser("save", help="emit pftables-save serialization")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_save)
+
+    p = sub.add_parser("suggest", help="generate T1 rules from a JSON LOG trace")
+    p.add_argument("log")
+    p.add_argument("--threshold", type=int, default=100)
+    p.set_defaults(func=cmd_suggest)
+
+    p = sub.add_parser("lint", help="static checks against the standard world")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("audit", help="run the E1-E9 exploits against the rules")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_audit)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except errors.KernelError as exc:
+        print("pfctl: {}".format(exc.message), file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print("pfctl: {}".format(exc), file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Logical clock for the simulated kernel.
+
+A simple monotonically increasing counter: every syscall ticks it once.
+Used for inode timestamps, audit ordering, and deterministic scheduling.
+"""
+
+from __future__ import annotations
+
+
+class LogicalClock:
+    """Monotonic logical time."""
+
+    def __init__(self):
+        self._now = 0
+
+    def now(self):
+        return self._now
+
+    def tick(self, amount=1):
+        self._now += amount
+        return self._now

@@ -1,0 +1,42 @@
+"""The Process Firewall — the paper's primary contribution.
+
+An iptables-style rule engine interposed on the system-call interface
+*after* access-control authorization (Figure 2).  It evaluates
+attack-specific invariants expressed over:
+
+- **process context** — the program entrypoint (user-stack PC relative
+  to the binary load base), the per-process ``STATE`` dictionary
+  (syscall-trace state), and signal-handler state;
+- **resource context** — resource identity (dev/ino), SELinux object
+  label, DAC owner, symlink-target owner, and adversary accessibility.
+
+Key engineering features reproduced from the paper:
+
+- lazy context retrieval with a per-field bitmask (§4.2);
+- context caching across hook invocations within one syscall (§4.2);
+- entrypoint-specific chains replacing linear rule scans (§4.3);
+- per-process traversal state, so the engine is reentrant without
+  disabling interrupts (§5.1);
+- deny-only rules with a default allow (§4.1), making rule order within
+  a chain irrelevant for decisions;
+- the ``pftables`` rule language with extensible match/target/context
+  modules (§5.2).
+"""
+
+from repro.firewall.context import ContextField, ContextFrame
+from repro.firewall.engine import EngineConfig, EngineStats, ProcessFirewall
+from repro.firewall.rule import Chain, Rule, RuleBase
+from repro.firewall.pftables import parse_rule, pftables
+
+__all__ = [
+    "ContextField",
+    "ContextFrame",
+    "EngineConfig",
+    "EngineStats",
+    "ProcessFirewall",
+    "Chain",
+    "Rule",
+    "RuleBase",
+    "parse_rule",
+    "pftables",
+]

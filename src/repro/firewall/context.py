@@ -1,0 +1,115 @@
+"""Context fields, the context bitmask, and per-operation frames.
+
+The paper §4.2: "The Process Firewall associates each context field with
+a bit in a context bit mask that shows which context field values have
+already been collected."  A :class:`ContextFrame` is that bitmask plus
+the collected values for one mediated operation; fields whose scope is
+``"syscall"`` may be reused across operations within the same syscall
+when context caching is enabled.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class ContextField(enum.IntFlag):
+    """Every kind of context a rule can require (bitmask members)."""
+
+    SUBJECT_LABEL = 1 << 0
+    OBJECT_LABEL = 1 << 1
+    RESOURCE_ID = 1 << 2
+    PROGRAM = 1 << 3
+    ENTRYPOINT = 1 << 4
+    ADV_WRITABLE = 1 << 5
+    ADV_READABLE = 1 << 6
+    DAC_OWNER = 1 << 7
+    TGT_DAC_OWNER = 1 << 8
+    SIGNAL_INFO = 1 << 9
+    SYSCALL_ARGS = 1 << 10
+    SCRIPT_ENTRYPOINT = 1 << 11
+    OBJ_IDENTITY = 1 << 12
+
+
+#: Fields that stay valid for the whole syscall (process-derived), and
+#: may therefore be cached across multiple hook invocations (§4.2: "the
+#: process call stack used to find program entrypoints is valid
+#: throughout a single system call, but multiple resource requests may
+#: be made, e.g., in pathname resolution").
+SYSCALL_SCOPED = (
+    ContextField.SUBJECT_LABEL
+    | ContextField.PROGRAM
+    | ContextField.ENTRYPOINT
+    | ContextField.SYSCALL_ARGS
+    | ContextField.SCRIPT_ENTRYPOINT
+)
+
+
+def field_scope(field):
+    """Return "syscall" or "operation" for a context field."""
+    return "syscall" if field & SYSCALL_SCOPED else "operation"
+
+
+#: Plain-int view of the syscall-scoped mask (hot-path comparisons use
+#: int arithmetic; IntFlag operator dispatch is measurably slower).
+_SYSCALL_SCOPED_INT = int(SYSCALL_SCOPED)
+
+#: The same set as a frozenset for hot-path membership tests.
+_SYSCALL_SCOPED_FIELDS = frozenset(
+    field for field in ContextField if int(field) & _SYSCALL_SCOPED_INT
+)
+
+
+class ContextFrame:
+    """Collected context for one mediated operation.
+
+    Attributes:
+        mask: bitwise OR (plain int) of the collected field bits.
+        values: field -> collected value.
+    """
+
+    __slots__ = ("mask", "values", "scoped_dirty")
+
+    def __init__(self):
+        self.mask = 0
+        self.values = {}  # type: Dict[ContextField, object]
+        #: True when a syscall-scoped field was collected *this frame*
+        #: (as opposed to absorbed from the cache) — tells the engine
+        #: whether the per-process cache needs rewriting.
+        self.scoped_dirty = False
+
+    def has(self, field):
+        # ``field.value`` keeps the arithmetic on plain ints: IntFlag's
+        # reflected operators would otherwise hijack ``int op IntFlag``
+        # and pay enum-member construction on every call.
+        return bool(self.mask & field.value)
+
+    def get(self, field):
+        return self.values[field]
+
+    def put(self, field, value):
+        bits = field.value
+        self.mask |= bits
+        if bits & _SYSCALL_SCOPED_INT:
+            self.scoped_dirty = True
+        self.values[field] = value
+
+    def absorb_cached(self, cached_values):
+        """Seed this frame with syscall-scoped values from the cache."""
+        mask = self.mask
+        values = self.values
+        for field, value in cached_values.items():
+            mask |= field.value
+            values[field] = value
+        self.mask = mask
+
+    def syscall_scoped_values(self):
+        """Extract the fields eligible for cross-operation caching."""
+        if not self.mask & _SYSCALL_SCOPED_INT:
+            return {}
+        return {
+            field: value
+            for field, value in self.values.items()
+            if field in _SYSCALL_SCOPED_FIELDS
+        }

@@ -1,0 +1,365 @@
+"""The Process Firewall engine: the rule-processing loop of Figure 3.
+
+Invoked by the kernel after DAC + MAC authorization for every mediated
+operation.  The engine builds its "packet" on demand from context
+modules, walks the applicable chains, and raises
+:class:`repro.errors.PFDenied` when a ``DROP`` rule matches.  The
+default verdict is allow (§4.1: deny-only rules + default allow).
+
+Engine optimizations are individually switchable so Table 6's columns
+are directly expressible:
+
+====================  ==========================================
+Column                :class:`EngineConfig` preset
+====================  ==========================================
+DISABLED              ``EngineConfig.disabled()``
+BASE / FULL           ``EngineConfig.unoptimized()``
+CONCACHE              ``EngineConfig.concache()``
+LAZYCON               ``EngineConfig.lazycon()``
+EPTSPC                ``EngineConfig.optimized()`` (the default)
+====================  ==========================================
+
+(BASE vs FULL differ by rule-base size, not engine configuration.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import errors
+from repro.firewall import targets as tg
+from repro.firewall.context import ContextField, ContextFrame
+from repro.firewall.modules.registry import collect_field
+from repro.firewall.rule import RuleBase
+from repro.security.lsm import Op
+
+#: Maximum user-chain jump depth, like iptables' traversal limits.
+MAX_CHAIN_DEPTH = 16
+
+
+class EngineConfig:
+    """Feature switches for the engine optimizations (paper §4.2-4.3)."""
+
+    __slots__ = ("enabled", "context_cache", "lazy_context", "entrypoint_chains", "global_traversal_state")
+
+    def __init__(
+        self,
+        enabled=True,
+        context_cache=True,
+        lazy_context=True,
+        entrypoint_chains=True,
+        global_traversal_state=False,
+    ):
+        self.enabled = enabled
+        self.context_cache = context_cache
+        self.lazy_context = lazy_context
+        self.entrypoint_chains = entrypoint_chains
+        #: Ablation: emulate iptables' global traversal state, which
+        #: requires disabling preemption/interrupts per invocation
+        #: (counted in ``stats.irq_disables``) instead of the paper's
+        #: per-process state (§5.1).
+        self.global_traversal_state = global_traversal_state
+
+    # ---- Table 6 column presets ----
+
+    @classmethod
+    def disabled(cls):
+        return cls(enabled=False)
+
+    @classmethod
+    def unoptimized(cls):
+        """FULL: every optimization off — eager context, linear scan."""
+        return cls(context_cache=False, lazy_context=False, entrypoint_chains=False)
+
+    @classmethod
+    def concache(cls):
+        """FULL + context caching."""
+        return cls(context_cache=True, lazy_context=False, entrypoint_chains=False)
+
+    @classmethod
+    def lazycon(cls):
+        """CONCACHE + lazy context retrieval."""
+        return cls(context_cache=True, lazy_context=True, entrypoint_chains=False)
+
+    @classmethod
+    def optimized(cls):
+        """EPTSPC: all optimizations (the shipping default)."""
+        return cls()
+
+    def clone(self, **overrides):
+        values = {name: getattr(self, name) for name in self.__slots__}
+        values.update(overrides)
+        return EngineConfig(**values)
+
+
+class EngineStats:
+    """Counters exposed to the benchmark harness."""
+
+    def __init__(self):
+        self.invocations = 0
+        self.rules_evaluated = 0
+        self.drops = 0
+        self.accepts = 0
+        self.context_collections = {}  # type: Dict[str, int]
+        self.context_cost = 0
+        self.cache_hits = 0
+        self.irq_disables = 0
+
+    def reset(self):
+        self.__init__()
+
+
+class ProcessFirewall:
+    """The firewall proper: rule base + engine + statistics."""
+
+    def __init__(self, config=None):
+        self.config = config or EngineConfig.optimized()
+        self.rules = RuleBase()
+        self.kernel = None  # set by Kernel.attach_firewall
+        self.stats = EngineStats()
+        self.log_records = []
+        #: Shared traversal stack used only in the iptables-emulation
+        #: ablation (global_traversal_state).
+        self._shared_traversal = []
+        #: Memo of relevant top-level chains per op, keyed by rule-base
+        #: version (hot-path optimization for the op-index skip).
+        self._chain_memo = {}
+        self._chain_memo_version = -1
+
+    # ------------------------------------------------------------------
+    # policy plumbing
+    # ------------------------------------------------------------------
+
+    def tcb_subjects(self):
+        policy = self.kernel.adversaries.policy if self.kernel else None
+        return policy.tcb_subjects if policy is not None else frozenset()
+
+    def tcb_objects(self):
+        policy = self.kernel.adversaries.policy if self.kernel else None
+        return policy.tcb_objects if policy is not None else frozenset()
+
+    def install(self, rule_text):
+        """Install one ``pftables`` rule line (convenience wrapper)."""
+        from repro.firewall.pftables import pftables
+
+        return pftables(self, rule_text)
+
+    def install_all(self, rule_texts):
+        return [self.install(text) for text in rule_texts]
+
+    def flush(self):
+        self.rules = RuleBase()
+        self.stats.reset()
+        self.log_records = []
+
+    # ------------------------------------------------------------------
+    # context retrieval (lazy, bitmask-guarded — §4.2)
+    # ------------------------------------------------------------------
+
+    def ensure(self, field, operation, frame):
+        """Return the context value, collecting it if not yet present.
+
+        A context module hitting malformed process memory (EFAULT)
+        yields ``None`` rather than failing the mediation — paper §4.4:
+        the engine "aborts evaluation of malformed context without
+        itself exiting or functioning incorrectly", at the cost of the
+        malformed process's own protection.
+        """
+        if frame.has(field):
+            return frame.get(field)
+        try:
+            return collect_field(field, operation, self.kernel, frame, self.stats)
+        except errors.EFAULT:
+            frame.put(field, None)
+            return None
+
+    # ------------------------------------------------------------------
+    # the main loop (Figure 3)
+    # ------------------------------------------------------------------
+
+    def mediate(self, operation):
+        """Evaluate the rule base; raise :class:`PFDenied` on DROP."""
+        if not self.config.enabled:
+            return
+        self.stats.invocations += 1
+
+        if self.config.entrypoint_chains and not self._relevant_chains(operation.op):
+            # Fast path: no installed chain can match this operation.
+            # Safe because the base is deny-only with default allow —
+            # skipping non-matching rules cannot change the verdict.
+            self.stats.accepts += 1
+            return
+
+        if self.config.global_traversal_state:
+            # iptables-style: traversal state is global, so the walk
+            # must run with "interrupts disabled" (counted, not real).
+            self.stats.irq_disables += 1
+            self._shared_traversal.append(operation)
+
+        frame = ContextFrame()
+        proc = operation.proc
+        seq = operation.extra.get("syscall_seq")
+
+        if self.config.context_cache and seq is not None and proc is not None:
+            cache = proc.pf_context_cache
+            if cache is not None and cache[0] == seq:
+                frame.absorb_cached(cache[1])
+                self.stats.cache_hits += len(cache[1])
+
+        if not self.config.lazy_context:
+            # Eager collection of every field any installed rule uses.
+            needed = self.rules.required_fields
+            for field in ContextField:
+                if needed & field and not frame.has(field):
+                    try:
+                        collect_field(field, operation, self.kernel, frame, self.stats)
+                    except errors.EFAULT:
+                        frame.put(field, None)
+
+        try:
+            verdict, rule = self._traverse(operation, frame)
+        finally:
+            if (
+                self.config.context_cache
+                and seq is not None
+                and proc is not None
+                and frame.scoped_dirty
+            ):
+                proc.pf_context_cache = (seq, frame.syscall_scoped_values())
+            if self.config.global_traversal_state:
+                self._shared_traversal.pop()
+
+        if verdict == tg.DROP:
+            self.stats.drops += 1
+            raise errors.PFDenied("rule matched: {}".format(rule.text), rule=rule)
+        self.stats.accepts += 1
+
+    def _chains_for(self, op):
+        if op is Op.SYSCALL_BEGIN:
+            return ("syscallbegin",)
+        if op is Op.FILE_CREATE:
+            return ("create", "input")
+        return ("input",)
+
+    def _relevant_chains(self, op):
+        """Top-level chains that could match ``op`` (op-index skip).
+
+        Memoized per rule-base version: the result only changes when
+        rules are installed or removed.
+        """
+        if self._chain_memo_version != self.rules.version:
+            self._chain_memo = {}
+            self._chain_memo_version = self.rules.version
+        cached = self._chain_memo.get(op)
+        if cached is not None:
+            return cached
+        out = []
+        for table_name in ("mangle", "filter"):
+            table = self.rules.tables[table_name]
+            for chain_name in self._chains_for(op):
+                chain = table.chains.get(chain_name)
+                if chain is None or not len(chain):
+                    continue
+                ops = chain.relevant_ops
+                if ops is not None and op not in ops:
+                    if not (op is Op.LINK_READ and Op.LNK_FILE_READ in ops):
+                        continue
+                out.append(chain)
+        self._chain_memo[op] = out
+        return out
+
+    def _traverse(self, operation, frame):
+        """Walk mangle first (marking), then filter (verdicts).
+
+        The mangle table mirrors iptables' mark-then-filter idiom: its
+        rules annotate (``STATE``/``LOG``) and may ``ACCEPT`` to skip
+        further mangle rules, but cannot ``DROP`` — verdicts belong to
+        the filter table (enforced at install time).
+        """
+        proc = operation.proc
+        for table_name in ("mangle", "filter"):
+            table = self.rules.tables[table_name]
+            for chain_name in self._chains_for(operation.op):
+                chain = table.chains.get(chain_name)
+                if chain is None or not len(chain):
+                    continue
+                if (
+                    self.config.entrypoint_chains
+                    and chain.relevant_ops is not None
+                    and operation.op not in chain.relevant_ops
+                    and not (operation.op is Op.LINK_READ and Op.LNK_FILE_READ in chain.relevant_ops)
+                ):
+                    continue
+                if proc is not None:
+                    proc.pf_traversal.append(chain_name)
+                try:
+                    verdict, rule = self._walk_chain(table, chain, operation, frame, depth=0)
+                finally:
+                    if proc is not None:
+                        proc.pf_traversal.pop()
+                if verdict == tg.DROP:
+                    return verdict, rule
+                if verdict == tg.ACCEPT:
+                    if table_name == "filter":
+                        return verdict, rule
+                    break  # mangle ACCEPT: stop mangle, proceed to filter
+        return (tg.CONTINUE, None)
+
+    def _walk_chain(self, table, chain, operation, frame, depth):
+        if depth > MAX_CHAIN_DEPTH:
+            raise errors.EINVAL("chain jump depth exceeded in {!r}".format(chain.name))
+
+        if self.config.entrypoint_chains:
+            # §4.3: non-entrypoint rules first (narrowed to those whose
+            # -o could match), then only the bucket for the current
+            # entrypoint — and only when some bucket rule handles this
+            # operation at all (otherwise the stack unwind is skipped).
+            sequences = [chain.preamble_for(operation.op)]
+            if chain.by_entrypoint:
+                ept_ops = chain.ept_ops
+                wanted = (
+                    ept_ops is None
+                    or operation.op in ept_ops
+                    or (operation.op is Op.LINK_READ and Op.LNK_FILE_READ in ept_ops)
+                )
+                if wanted:
+                    entries = self.ensure(ContextField.ENTRYPOINT, operation, frame)
+                    if entries:
+                        bucket = chain.by_entrypoint.get(entries[0])
+                        if bucket:
+                            sequences.append(bucket)
+        else:
+            sequences = [chain.rules]
+
+        op = operation.op
+        for sequence in sequences:
+            for rule in sequence:
+                self.stats.rules_evaluated += 1
+                rule_op = rule.op
+                if rule_op is not None and rule_op is not op:
+                    # Inline header compare, before any method dispatch
+                    # (the LNK_FILE_READ/LINK_READ alias is normalized
+                    # at parse time; only the raw-enum alias remains).
+                    if not (op is Op.LINK_READ and rule_op is Op.LNK_FILE_READ):
+                        continue
+                if not self._rule_matches(rule, operation, frame):
+                    continue
+                rule.hits += 1
+                verdict, arg = rule.target.execute(self, operation, frame)
+                if verdict in (tg.DROP, tg.ACCEPT):
+                    return (verdict, rule)
+                if verdict == tg.RETURN:
+                    return (tg.CONTINUE, None)
+                if verdict == tg.JUMP:
+                    sub = table.chain(arg, create=True)
+                    sub_verdict, sub_rule = self._walk_chain(table, sub, operation, frame, depth + 1)
+                    if sub_verdict in (tg.DROP, tg.ACCEPT):
+                        return (sub_verdict, sub_rule)
+                # CONTINUE: fall through to the next rule.
+        return (tg.CONTINUE, None)
+
+    def _rule_matches(self, rule, operation, frame):
+        for match in rule.matches:
+            if not match.matches(self, operation, frame):
+                return False
+        return True

@@ -1,0 +1,12 @@
+"""Context modules: one per context field (paper §4.2).
+
+"Each context module retrieves one context field value."  Modules are
+registered in :data:`CONTEXT_MODULES`; the engine triggers a module only
+when a rule being evaluated needs its field (lazy retrieval) or, in the
+unoptimized FULL configuration, eagerly for every field any installed
+rule uses.
+"""
+
+from repro.firewall.modules.registry import CONTEXT_MODULES, ContextModule, collect_field
+
+__all__ = ["CONTEXT_MODULES", "ContextModule", "collect_field"]

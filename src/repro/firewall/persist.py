@@ -1,0 +1,97 @@
+"""Rule-base persistence and listing (pftables-save / -restore / -L).
+
+The paper envisions OS distributors shipping rule bases in application
+packages (§6.3.2); that requires a durable text format.  This module
+provides the iptables-save-shaped equivalent::
+
+    *filter
+    :input
+    :signal_chain
+    -A input -o FILE_OPEN -d shadow_t -j DROP
+    -A signal_chain -m SIGNAL_MATCH ... -j DROP
+    COMMIT
+    *mangle
+    COMMIT
+
+plus a human-oriented listing with per-rule hit counters
+(``pftables -L -v``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import errors
+from repro.firewall.pftables import pftables
+from repro.firewall.rule import TABLES
+
+
+def save_rules(firewall):
+    """Serialize the installed rule base to restorable text."""
+    lines = []  # type: List[str]
+    for table_name in TABLES:
+        table = firewall.rules.table(table_name)
+        lines.append("*{}".format(table_name))
+        for chain_name in sorted(table.chains):
+            lines.append(":{}".format(chain_name))
+        for chain_name in sorted(table.chains):
+            for rule in table.chains[chain_name]:
+                lines.append("-A {} {}".format(chain_name, rule.render()))
+        lines.append("COMMIT")
+    return "\n".join(lines) + "\n"
+
+
+def load_rules(firewall, text, flush=True):
+    """Restore a rule base from :func:`save_rules` output.
+
+    Returns the number of rules installed.  Unknown directives raise
+    :class:`repro.errors.EINVAL` (a corrupt file must not half-apply:
+    parsing happens in a first pass, installation in a second).
+    """
+    table = "filter"
+    planned = []  # (table, pftables line)
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#") or line == "COMMIT":
+            continue
+        if line.startswith("*"):
+            table = line[1:]
+            if table not in TABLES:
+                raise errors.EINVAL("unknown table {!r} in saved rules".format(table))
+            continue
+        if line.startswith(":"):
+            # Chain declaration; chains are auto-created on insertion.
+            continue
+        if line.startswith("-A "):
+            planned.append("pftables -t {} {}".format(table, line))
+            continue
+        raise errors.EINVAL("unparseable saved-rules line: {!r}".format(line))
+
+    if flush:
+        firewall.flush()
+    for line in planned:
+        pftables(firewall, line)
+    return len(planned)
+
+
+def list_rules(firewall, verbose=False):
+    """Render the rule base for humans (``pftables -L [-v]``)."""
+    lines = []
+    for table_name in TABLES:
+        table = firewall.rules.table(table_name)
+        populated = [name for name in sorted(table.chains) if len(table.chains[name])]
+        if not populated and table_name != "filter":
+            continue
+        lines.append("Table: {}".format(table_name))
+        for chain_name in sorted(table.chains):
+            chain = table.chains[chain_name]
+            if not len(chain) and not chain.builtin:
+                continue
+            policy = "ACCEPT" if chain.builtin else "-"
+            lines.append("Chain {} (policy {})".format(chain_name, policy))
+            for i, rule in enumerate(chain, 1):
+                prefix = "{:>4}  ".format(i)
+                if verbose:
+                    prefix += "[{:>6} hits]  ".format(rule.hits)
+                lines.append(prefix + rule.render())
+    return "\n".join(lines)

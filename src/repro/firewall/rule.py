@@ -1,0 +1,236 @@
+"""Rules, chains, and the rule base.
+
+Mirrors iptables structure (paper §5): a firewall holds *tables*
+("filter", "mangle"), each table holds built-in chains (``input``,
+``output``, ``syscallbegin``, ``create``) plus user chains; each chain
+is an ordered rule list.
+
+Chains additionally carry the **entrypoint index** of §4.3: at install
+time rules with an ``-i`` entrypoint match are grouped by
+``(program, offset)``; rules without one form the *preamble*, "matched
+before jumping to entrypoint-specific chains".  Because the rule base is
+deny-only with a default allow, this reorganization cannot change any
+decision (§4.3: "This simple traversal arrangement is possible because
+we have only deny rules followed by a default allow rule").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro import errors
+from repro.firewall.context import ContextField
+from repro.firewall.matches import EntrypointMatch, MatchModule, OpMatch
+from repro.firewall.targets import Target
+
+#: Built-in chain names.
+BUILTIN_CHAINS = ("input", "output", "syscallbegin", "create")
+
+#: Table names, as in the paper's rule language (Table 3).
+TABLES = ("filter", "mangle")
+
+
+class Rule:
+    """One firewall rule: a match list plus a target.
+
+    Attributes:
+        matches: every :class:`MatchModule` (default + custom) in cheap-
+            to-expensive evaluation order.
+        target: the :class:`Target`.
+        text: original ``pftables`` text, for round-trips and logs.
+    """
+
+    __slots__ = ("matches", "target", "text", "comment", "op", "hits")
+
+    def __init__(self, matches, target, text="", comment=""):
+        self.matches = list(matches)
+        self.target = target
+        self.text = text or self.render()
+        self.comment = comment
+        #: Cached ``-o`` filter for the engine's inline pre-check (the
+        #: equivalent of iptables' cheap header-field compare).
+        self.op = self.op_filter()
+        #: Times this rule fully matched (iptables' packet counter);
+        #: surfaced by ``pftables -L -v``-style listings and usable as
+        #: a rule-generation signal.
+        self.hits = 0
+
+    @property
+    def required_fields(self):
+        fields = ContextField(0)
+        for match in self.matches:
+            fields |= match.required_fields
+        fields |= self.target.required_fields
+        return fields
+
+    def entrypoint_key(self):
+        """``(program, offset)`` when this rule is entrypoint-specific."""
+        for match in self.matches:
+            if isinstance(match, EntrypointMatch):
+                return match.chain_key()
+        return None
+
+    def op_filter(self):
+        """The rule's ``-o`` operation, if any (for fast pre-filtering)."""
+        for match in self.matches:
+            if isinstance(match, OpMatch):
+                return match.op
+        return None
+
+    def render(self):
+        parts = [m.render() for m in self.matches] + [self.target.render()]
+        return " ".join(parts)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<Rule {}>".format(self.text)
+
+
+class Chain:
+    """An ordered rule list with an optional entrypoint index."""
+
+    def __init__(self, name, builtin=False):
+        self.name = name
+        self.builtin = builtin
+        self.rules = []  # type: List[Rule]
+        #: §4.3 index: preamble rules (no entrypoint) in order, then a
+        #: per-entrypoint bucket.  Rebuilt on every mutation.
+        self.preamble = []  # type: List[Rule]
+        self.by_entrypoint = {}  # type: Dict[Tuple[str, int], List[Rule]]
+        #: Operations any rule in this chain can match (None = all);
+        #: lets the optimized engine skip the chain outright.
+        self.relevant_ops = set()  # type: Optional[set]
+        #: Preamble rules indexed by their -o operation; key None holds
+        #: rules that match any operation.  Used by the optimized walk.
+        self.preamble_by_op = {}  # type: Dict[Optional[object], List[Rule]]
+        #: Operations the entrypoint buckets could match (None = all).
+        self.ept_ops = set()  # type: Optional[set]
+
+    def insert(self, rule, position=0):
+        self.rules.insert(position, rule)
+        self._reindex()
+
+    def append(self, rule):
+        self.rules.append(rule)
+        self._reindex()
+
+    def delete(self, rule):
+        self.rules.remove(rule)
+        self._reindex()
+
+    def flush(self):
+        self.rules = []
+        self._reindex()
+
+    def _reindex(self):
+        self.preamble = []
+        self.by_entrypoint = {}
+        self.preamble_by_op = {}
+        ops = set()
+        ept_ops = set()
+        for rule in self.rules:
+            key = rule.entrypoint_key()
+            rule_op = rule.op_filter()
+            if key is None:
+                self.preamble.append(rule)
+                self.preamble_by_op.setdefault(rule_op, []).append(rule)
+            else:
+                self.by_entrypoint.setdefault(key, []).append(rule)
+                if ept_ops is not None:
+                    if rule_op is None:
+                        ept_ops = None
+                    else:
+                        ept_ops.add(rule_op)
+            if rule_op is None:
+                ops = None  # a rule without -o matches any operation
+            elif ops is not None:
+                ops.add(rule_op)
+        self.relevant_ops = ops
+        self.ept_ops = ept_ops
+
+    def preamble_for(self, op):
+        """Preamble rules that could match ``op``, preserving order.
+
+        Order preservation matters only between a rule and the wildcard
+        rules; within the deny-only + side-effect discipline the merge
+        below keeps the original relative order.
+        """
+        specific = self.preamble_by_op.get(op, [])
+        wildcard = self.preamble_by_op.get(None, [])
+        if not wildcard:
+            return specific
+        if not specific:
+            return wildcard
+        merged = [rule for rule in self.preamble if rule in specific or rule in wildcard]
+        return merged
+
+    def __len__(self):
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+
+class Table:
+    """One firewall table holding built-in and user chains."""
+
+    def __init__(self, name):
+        self.name = name
+        self.chains = {c: Chain(c, builtin=True) for c in BUILTIN_CHAINS}
+
+    def chain(self, name, create=False):
+        name = name.lower()
+        if name not in self.chains:
+            if not create:
+                raise errors.EINVAL("no chain {!r} in table {!r}".format(name, self.name))
+            self.chains[name] = Chain(name)
+        return self.chains[name]
+
+    def all_rules(self):
+        for chain in self.chains.values():
+            for rule in chain:
+                yield rule
+
+
+class RuleBase:
+    """All tables of one firewall instance."""
+
+    def __init__(self):
+        self.tables = {name: Table(name) for name in TABLES}
+        #: Union of context fields used by any installed rule — the set
+        #: the unoptimized (non-lazy) engine collects eagerly per hook.
+        self.required_fields = ContextField(0)
+        #: Bumped on every mutation; engines key their memos off it.
+        self.version = 0
+
+    def table(self, name="filter"):
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise errors.EINVAL("no table {!r}".format(name))
+
+    def recompute_required_fields(self):
+        fields = ContextField(0)
+        for table in self.tables.values():
+            for rule in table.all_rules():
+                fields |= rule.required_fields
+        self.required_fields = fields
+        return fields
+
+    def rule_count(self):
+        return sum(len(chain) for table in self.tables.values() for chain in table.chains.values())
+
+    def install(self, table, chain, rule, position=None, create_chain=True):
+        """Insert (position given) or append a rule, then reindex."""
+        chain_obj = self.table(table).chain(chain, create=create_chain)
+        if position is None:
+            chain_obj.append(rule)
+        else:
+            chain_obj.insert(rule, position)
+        self.recompute_required_fields()
+        self.version += 1
+        return rule
+
+    def remove(self, table, chain, rule):
+        self.table(table).chain(chain).delete(rule)
+        self.recompute_required_fields()
+        self.version += 1

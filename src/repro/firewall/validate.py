@@ -1,0 +1,124 @@
+"""Static rule-base linting (distributor QA).
+
+Shipping rules in packages (§6.3.2) needs package-build-time checks:
+
+- **shadowed rules** — a rule can never fire because an earlier rule in
+  the same chain with the same match set already decides;
+- **unknown labels** — ``-s``/``-d`` operands naming types the deployed
+  policy does not define (typo'd label = silently dead rule, or worse,
+  a ``~{...}`` negation that matches everything);
+- **missing programs** — ``-p`` operands naming binaries not present in
+  the target world (stale entrypoint rules after a package rename);
+- **unreachable user chains** — defined but never jumped to.
+
+Findings are advisory (the engine runs any valid base); ``pfctl lint``
+surfaces them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import errors
+from repro.firewall import targets as tg
+from repro.firewall.matches import EntrypointMatch, ObjectMatch, ProgramMatch, SubjectMatch
+
+
+class Finding:
+    """One lint result."""
+
+    __slots__ = ("kind", "chain", "rule_text", "detail")
+
+    def __init__(self, kind, chain, rule_text, detail):
+        self.kind = kind
+        self.chain = chain
+        self.rule_text = rule_text
+        self.detail = detail
+
+    def render(self):
+        return "[{}] chain {}: {} ({})".format(self.kind, self.chain, self.detail, self.rule_text)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<Finding {}>".format(self.render())
+
+
+def _match_signature(rule):
+    return tuple(sorted(match.render() for match in rule.matches))
+
+
+def _labels_of(rule):
+    labels = set()
+    for match in rule.matches:
+        if isinstance(match, (SubjectMatch, ObjectMatch)):
+            labels.update(match.spec.labels)
+    return labels
+
+
+def _programs_of(rule):
+    programs = set()
+    for match in rule.matches:
+        if isinstance(match, EntrypointMatch):
+            programs.add(match.program)
+        elif isinstance(match, ProgramMatch):
+            programs.add(match.program)
+    return programs
+
+
+def lint_rulebase(firewall, policy=None, kernel=None):
+    """Lint an installed rule base; returns a list of Findings."""
+    findings = []  # type: List[Finding]
+    jumped_to = set()
+    known_types = set(policy.types) if policy is not None else None
+
+    for table in firewall.rules.tables.values():
+        for chain in table.chains.values():
+            decided = {}  # match signature -> first deciding rule text
+            for rule in chain:
+                signature = _match_signature(rule)
+                if signature in decided:
+                    findings.append(
+                        Finding(
+                            "shadowed",
+                            chain.name,
+                            rule.text,
+                            "never reached; decided earlier by: {}".format(decided[signature]),
+                        )
+                    )
+                elif isinstance(rule.target, (tg.DropTarget, tg.AcceptTarget)):
+                    decided[signature] = rule.text
+
+                if isinstance(rule.target, tg.JumpTarget):
+                    jumped_to.add(rule.target.chain_name)
+
+                if known_types is not None:
+                    for label in _labels_of(rule):
+                        if label not in known_types:
+                            findings.append(
+                                Finding("unknown-label", chain.name, rule.text,
+                                        "label {!r} not in policy".format(label))
+                            )
+
+                if kernel is not None:
+                    for program in _programs_of(rule):
+                        try:
+                            kernel.walker.resolve(program)
+                        except errors.KernelError:
+                            findings.append(
+                                Finding("missing-program", chain.name, rule.text,
+                                        "no such binary {!r} in the target world".format(program))
+                            )
+
+    for table in firewall.rules.tables.values():
+        for chain in table.chains.values():
+            if not chain.builtin and len(chain) and chain.name not in jumped_to:
+                findings.append(
+                    Finding("unreachable-chain", chain.name, "",
+                            "user chain has rules but nothing jumps to it")
+                )
+    return findings
+
+
+def render_findings(findings):
+    if not findings:
+        return "lint: clean"
+    return "\n".join(finding.render() for finding in findings)

@@ -1,0 +1,70 @@
+"""Rule-language value atoms.
+
+Match and target module arguments may reference runtime context by atom
+name (paper §5.2: "Match and target modules in a rule can refer to a
+context in their arguments (e.g., C_INO for inode number); this is
+replaced by the actual context value at runtime").
+"""
+
+from __future__ import annotations
+
+from repro.firewall.context import ContextField
+
+#: atom name -> (required field, extractor over the collected value)
+_ATOMS = {
+    "C_INO": (ContextField.RESOURCE_ID, lambda rid: None if rid is None else rid[1]),
+    "C_DEV_INO": (ContextField.RESOURCE_ID, lambda rid: rid),
+    # Extension: recycling-proof kernel identity (dev, ino, generation).
+    "C_OBJ": (ContextField.OBJ_IDENTITY, lambda identity: identity),
+    "C_DAC_OWNER": (ContextField.DAC_OWNER, lambda uid: uid),
+    "C_TGT_DAC_OWNER": (ContextField.TGT_DAC_OWNER, lambda uid: uid),
+    "C_LABEL": (ContextField.OBJECT_LABEL, lambda label: label),
+    "C_SUBJECT": (ContextField.SUBJECT_LABEL, lambda label: label),
+    "C_PROGRAM": (ContextField.PROGRAM, lambda path: path),
+}
+
+
+def is_atom(token):
+    return isinstance(token, str) and token in _ATOMS
+
+
+class Value:
+    """A literal or context-atom argument to a match/target module."""
+
+    __slots__ = ("literal", "atom")
+
+    def __init__(self, token):
+        if is_atom(token):
+            self.atom = token
+            self.literal = None
+        else:
+            self.atom = None
+            self.literal = _coerce(token)
+
+    @property
+    def required_field(self):
+        """The :class:`ContextField` needed to resolve this value."""
+        if self.atom is None:
+            return None
+        return _ATOMS[self.atom][0]
+
+    def resolve(self, engine, operation, frame):
+        """Produce the runtime value (collecting context on demand)."""
+        if self.atom is None:
+            return self.literal
+        field, extract = _ATOMS[self.atom]
+        return extract(engine.ensure(field, operation, frame))
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<Value {}>".format(self.atom or repr(self.literal))
+
+
+def _coerce(token):
+    """Interpret numeric-looking rule tokens as integers."""
+    if isinstance(token, str):
+        stripped = token.strip("'\"")
+        try:
+            return int(stripped, 0)
+        except ValueError:
+            return stripped
+    return token

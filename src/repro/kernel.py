@@ -1,0 +1,266 @@
+"""The simulated kernel: composition root for the whole substrate.
+
+A :class:`Kernel` owns the filesystem, the process table, the security
+modules, and (optionally) a Process Firewall.  Mediation order follows
+the paper's Figure 2 exactly:
+
+    syscall -> DAC -> LSM modules (SELinux) -> Process Firewall -> resource
+
+The firewall is attached with :meth:`Kernel.attach_firewall`; when no
+firewall is attached the kernel behaves like a stock system (the
+"Without PF" / DISABLED baselines of Tables 6-7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro import errors
+from repro.clock import LogicalClock
+from repro.proc.process import Credentials, Process
+from repro.proc.stack import BinaryImage
+from repro.security.adversary import AdversaryModel
+from repro.security.lsm import LSMDispatcher, Op, Operation
+from repro.security.selinux import SELinuxModule
+from repro.syscalls.api import SyscallAPI
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.namei import PathWalker
+
+
+class AuditRecord:
+    """One entry of the kernel audit trail."""
+
+    __slots__ = ("time", "pid", "comm", "op", "path", "decision", "detail")
+
+    def __init__(self, time, pid, comm, op, path, decision, detail=""):
+        self.time = time
+        self.pid = pid
+        self.comm = comm
+        self.op = op
+        self.path = path
+        self.decision = decision  # "allow" | "deny" | "pf_drop"
+        self.detail = detail
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<Audit t={} pid={} {} {} -> {}>".format(self.time, self.pid, self.op, self.path, self.decision)
+
+
+class KernelStats:
+    """Counters used by the benchmark harness."""
+
+    def __init__(self):
+        self.syscalls = {}  # type: Dict[str, int]
+        self.mediations = 0
+        self.pf_invocations = 0
+        self.pf_drops = 0
+
+    def count_syscall(self, name):
+        self.syscalls[name] = self.syscalls.get(name, 0) + 1
+
+    @property
+    def total_syscalls(self):
+        return sum(self.syscalls.values())
+
+
+class Kernel:
+    """The simulated operating system."""
+
+    def __init__(self, policy=None, enforcing_mac=None):
+        self.clock = LogicalClock()
+        self.fs = FileSystem(device=8, clock=self.clock)
+        self.walker = PathWalker(self.fs)
+        self.lsm = LSMDispatcher()
+        self.adversaries = AdversaryModel(policy=policy)
+        self.selinux = None  # type: Optional[SELinuxModule]
+        if policy is not None:
+            if enforcing_mac is not None:
+                policy.enforcing = enforcing_mac
+            self.selinux = SELinuxModule(policy)
+            self.lsm.register(self.selinux)
+        self.firewall = None  # attached later; kept out of LSM list so
+        # ordering (authorize first, PF second) is structural.
+        self.processes = {}  # type: Dict[int, Process]
+        self._next_pid = 1
+        self.audit = []
+        #: Audit can be disabled (benchmarks) or bounded; when the limit
+        #: is exceeded the oldest half is discarded.
+        self.audit_enabled = True
+        self.audit_limit = 200000
+        self.stats = KernelStats()
+        self.sys = SyscallAPI(self)
+        #: Monotonic per-kernel syscall sequence; each in-flight syscall
+        #: gets one, and firewall context caching keys off it.
+        self._syscall_seq = 0
+
+    # ------------------------------------------------------------------
+    # process management
+    # ------------------------------------------------------------------
+
+    def spawn(
+        self,
+        comm,
+        uid=0,
+        gid=None,
+        label="unconfined_t",
+        binary_path=None,
+        cwd="/",
+        env=None,
+        argv=None,
+        interpreter=None,
+    ):
+        """Create a process, registering its UID with the adversary model."""
+        gid = uid if gid is None else gid
+        pid = self._next_pid
+        self._next_pid += 1
+        binary = None
+        if binary_path:
+            binary = BinaryImage(binary_path, interpreter=interpreter)
+        cwd_inode = self.walker.resolve(cwd).inode if cwd else self.fs.root
+        proc = Process(
+            pid,
+            comm,
+            creds=Credentials(uid=uid, gid=gid),
+            label=label,
+            binary=binary,
+            cwd=cwd_inode,
+            env=env,
+            argv=argv,
+        )
+        self.processes[pid] = proc
+        self.adversaries.register_uid(uid)
+        return proc
+
+    def reap(self, proc):
+        """Remove an exited process from the table."""
+        self.processes.pop(proc.pid, None)
+
+    def get_process(self, pid):
+        try:
+            return self.processes[pid]
+        except KeyError:
+            raise errors.ESRCH("pid {}".format(pid))
+
+    # ------------------------------------------------------------------
+    # firewall attachment
+    # ------------------------------------------------------------------
+
+    def attach_firewall(self, firewall):
+        """Install a Process Firewall behind the authorization layer."""
+        self.firewall = firewall
+        firewall.kernel = self
+        return firewall
+
+    def detach_firewall(self):
+        self.firewall = None
+
+    # ------------------------------------------------------------------
+    # mediation (Figure 2, steps 1-5)
+    # ------------------------------------------------------------------
+
+    def begin_syscall(self, proc, name, args=()):
+        """Tick the clock, account, and run the ``syscallbegin`` chain."""
+        self.clock.tick()
+        self.stats.count_syscall(name)
+        self._syscall_seq += 1
+        seq = self._syscall_seq
+        if self.firewall is not None:
+            operation = Operation(proc, Op.SYSCALL_BEGIN, obj=None, path=None, syscall=name, args=(name,) + tuple(args))
+            operation.extra["syscall_seq"] = seq
+            self.firewall.mediate(operation)
+        return seq
+
+    def mediate(self, operation, want=None, audit_path=None):
+        """Authorize one resource access: DAC -> MAC -> Process Firewall.
+
+        Args:
+            operation: the :class:`Operation` to authorize.
+            want: optional DAC permission ("r"/"w"/"x") to check against
+                the object inode before the LSM modules run.
+            audit_path: override for the audit-trail path field.
+
+        Raises:
+            EACCES / PFDenied on denial (already recorded in the audit).
+        """
+        self.stats.mediations += 1
+        path = audit_path or operation.path
+        try:
+            if want is not None and operation.obj is not None:
+                from repro.security.dac import dac_check
+
+                dac_check(operation.proc.creds, operation.obj, want)
+            self.lsm.authorize(operation)
+        except errors.KernelError as exc:
+            self._audit(operation, path, "deny", exc.message)
+            raise
+        if self.firewall is not None:
+            try:
+                self.firewall.mediate(operation)
+            except errors.PFDenied as exc:
+                self.stats.pf_drops += 1
+                self._audit(operation, path, "pf_drop", exc.message)
+                raise
+        self._audit(operation, path, "allow")
+
+    def _audit(self, operation, path, decision, detail=""):
+        if not self.audit_enabled:
+            return
+        if len(self.audit) >= self.audit_limit:
+            del self.audit[: self.audit_limit // 2]
+        self.audit.append(
+            AuditRecord(
+                self.clock.now(),
+                operation.proc.pid if operation.proc else 0,
+                operation.proc.comm if operation.proc else "?",
+                operation.op.value,
+                path,
+                decision,
+                detail,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # convenience setup helpers (used everywhere in tests/benchmarks)
+    # ------------------------------------------------------------------
+
+    def mkdirs(self, path, uid=0, gid=None, mode=0o755, label=None):
+        """Create a directory path (like ``mkdir -p``), returning the leaf."""
+        gid = uid if gid is None else gid
+        from repro.vfs.namei import split_path
+
+        current = self.fs.root
+        for name in split_path(path):
+            if self.fs.exists(current, name):
+                current = self.fs.lookup(current, name)
+                if not current.is_dir:
+                    raise errors.ENOTDIR(path)
+            else:
+                from repro.vfs.inode import FileType
+
+                current = self.fs.create(current, name, FileType.DIR, uid=uid, gid=gid, mode=mode, label=label)
+        return current
+
+    def add_file(self, path, data=b"", uid=0, gid=None, mode=0o644, label=None):
+        """Create (or overwrite) a regular file at ``path``."""
+        gid = uid if gid is None else gid
+        from repro.vfs.inode import FileType
+
+        resolved = self.walker.resolve(path, want_parent=True)
+        if resolved.inode is not None:
+            inode = resolved.inode
+        else:
+            inode = self.fs.create(resolved.parent, resolved.name, FileType.REG, uid=uid, gid=gid, mode=mode, label=label)
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        inode.data = data
+        if label is not None:
+            inode.label = label
+        return inode
+
+    def add_symlink(self, path, target, uid=0, gid=None, label=None):
+        gid = uid if gid is None else gid
+        resolved = self.walker.resolve(path, want_parent=True)
+        return self.fs.symlink(resolved.parent, resolved.name, target, uid=uid, gid=gid, label=label)
+
+    def lookup(self, path, follow=True):
+        """Resolve a path to an inode without mediation (test helper)."""
+        return self.walker.resolve(path, follow_final=follow).inode

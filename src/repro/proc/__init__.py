@@ -1,0 +1,48 @@
+"""Process substrate: tasks, credentials, user stacks, and signals.
+
+The pieces of ``struct task_struct`` that the Process Firewall consumes
+live here: credentials (for setuid semantics and adversary computation),
+the user call stack (for entrypoint context), the binary mapping with an
+ASLR load base (entrypoints are stored base-relative, paper §5.2), the
+per-task firewall state dictionary (the ``STATE`` match/target backing
+store, §5.1), and signal-handling state (for signal-race rules R9-R12).
+"""
+
+from repro.proc.stack import BinaryImage, Frame, UserStack
+from repro.proc.process import Credentials, Process
+from repro.proc.signals import (
+    SIGALRM,
+    SIGCHLD,
+    SIGHUP,
+    SIGINT,
+    SIGKILL,
+    SIGSEGV,
+    SIGSTOP,
+    SIGTERM,
+    SIGUSR1,
+    SIGUSR2,
+    SignalDisposition,
+    SignalState,
+    UNBLOCKABLE_SIGNALS,
+)
+
+__all__ = [
+    "BinaryImage",
+    "Frame",
+    "UserStack",
+    "Credentials",
+    "Process",
+    "SignalDisposition",
+    "SignalState",
+    "UNBLOCKABLE_SIGNALS",
+    "SIGHUP",
+    "SIGINT",
+    "SIGKILL",
+    "SIGSEGV",
+    "SIGALRM",
+    "SIGTERM",
+    "SIGCHLD",
+    "SIGUSR1",
+    "SIGUSR2",
+    "SIGSTOP",
+]

@@ -1,0 +1,110 @@
+"""Signal numbers, dispositions, and per-process signal state.
+
+Models exactly what the paper's signal-race rules (R9-R12) need:
+
+- per-signal handlers (a handler is an entrypoint in the program);
+- a blocked mask;
+- whether the process is *currently executing* a handler (entered on
+  delivery, left on ``sigreturn``) — the race window the paper closes is
+  delivering a second handled signal while a non-reentrant handler runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+SIGHUP = 1
+SIGINT = 2
+SIGKILL = 9
+SIGSEGV = 11
+SIGALRM = 14
+SIGTERM = 15
+SIGCHLD = 17
+SIGSTOP = 19
+SIGUSR1 = 10
+SIGUSR2 = 12
+
+#: Signals that can be neither caught nor blocked.
+UNBLOCKABLE_SIGNALS = frozenset({SIGKILL, SIGSTOP})
+
+SIGNAL_NAMES = {
+    SIGHUP: "SIGHUP",
+    SIGINT: "SIGINT",
+    SIGKILL: "SIGKILL",
+    SIGUSR1: "SIGUSR1",
+    SIGSEGV: "SIGSEGV",
+    SIGUSR2: "SIGUSR2",
+    SIGALRM: "SIGALRM",
+    SIGTERM: "SIGTERM",
+    SIGCHLD: "SIGCHLD",
+    SIGSTOP: "SIGSTOP",
+}
+
+
+class SignalDisposition:
+    """What a process asked to happen for one signal.
+
+    Attributes:
+        handler_pc: absolute PC of the handler function (``None`` means
+            default disposition).
+        handler: optional Python callable run by the simulation when the
+            handler executes (lets scenario code model handler bodies).
+        sa_mask: signals additionally blocked while the handler runs.
+    """
+
+    __slots__ = ("handler_pc", "handler", "sa_mask")
+
+    def __init__(self, handler_pc=None, handler=None, sa_mask=frozenset()):
+        self.handler_pc = handler_pc
+        self.handler = handler
+        self.sa_mask = frozenset(sa_mask)
+
+    @property
+    def is_handled(self):
+        return self.handler_pc is not None or self.handler is not None
+
+
+class SignalState:
+    """Per-process signal bookkeeping."""
+
+    def __init__(self):
+        self.dispositions = {}  # type: Dict[int, SignalDisposition]
+        self.blocked = set()  # type: Set[int]
+        #: Depth of nested handler execution (>0 means "in a handler").
+        self.handler_depth = 0
+        #: Signal currently being handled (innermost), for audit.
+        self.current_signal = None  # type: Optional[int]
+        #: Signals delivered while blocked, waiting for unblock.
+        self.pending = []
+
+    def disposition(self, signum):
+        return self.dispositions.get(signum, SignalDisposition())
+
+    def set_handler(self, signum, handler_pc=None, handler=None, sa_mask=frozenset()):
+        self.dispositions[signum] = SignalDisposition(handler_pc, handler, sa_mask)
+
+    def is_blocked(self, signum):
+        if signum in UNBLOCKABLE_SIGNALS:
+            return False
+        return signum in self.blocked
+
+    def block(self, signums):
+        self.blocked.update(s for s in signums if s not in UNBLOCKABLE_SIGNALS)
+
+    def unblock(self, signums):
+        self.blocked.difference_update(signums)
+
+    def enter_handler(self, signum):
+        self.handler_depth += 1
+        self.current_signal = signum
+        self.block(self.disposition(signum).sa_mask)
+
+    def leave_handler(self):
+        if self.handler_depth > 0:
+            self.handler_depth -= 1
+        if self.handler_depth == 0:
+            self.current_signal = None
+
+    @property
+    def in_handler(self):
+        return self.handler_depth > 0

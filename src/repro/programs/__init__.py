@@ -1,0 +1,47 @@
+"""Simulated userspace programs.
+
+Each program issues syscalls through the kernel with a realistic call
+stack: entering a function pushes a frame whose program counter lies at
+a fixed, documented offset inside the program's (or library's) binary
+image.  Those offsets are the paper's **entrypoints** — the rule
+operands of Table 5 (e.g. ``/lib/ld-2.15.so`` + ``0x596b`` is the
+dynamic linker's library-``open`` call site targeted by rule R1).
+
+Programs deliberately reproduce the *vulnerable* logic of their real
+counterparts; the firewall, not the program, is what blocks the attack.
+"""
+
+from repro.programs.base import Program
+from repro.programs.ld_so import DynamicLinker
+from repro.programs.libc import (
+    open_nofollow,
+    open_nolink,
+    open_race,
+    plain_open,
+    safe_open,
+)
+from repro.programs.apache import ApacheServer
+from repro.programs.php import PhpInterpreter
+from repro.programs.python_interp import PythonInterpreter
+from repro.programs.dbus import DbusDaemon, LibDbusClient
+from repro.programs.sshd import Sshd
+from repro.programs.java import JavaRuntime
+from repro.programs.shell import ShellScript
+
+__all__ = [
+    "Program",
+    "DynamicLinker",
+    "plain_open",
+    "open_nofollow",
+    "open_nolink",
+    "open_race",
+    "safe_open",
+    "ApacheServer",
+    "PhpInterpreter",
+    "PythonInterpreter",
+    "DbusDaemon",
+    "LibDbusClient",
+    "Sshd",
+    "JavaRuntime",
+    "ShellScript",
+]

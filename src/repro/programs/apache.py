@@ -1,0 +1,149 @@
+"""An Apache-like web server.
+
+Models the two behaviours the paper builds its narrative on:
+
+- **two distinct resource contexts in one process** — the call site
+  serving user content must never reach the password file, while the
+  authentication call site must (Introduction's motivating example);
+- **SymLinksIfOwnerMatch** — the per-component program check whose cost
+  and racy-ness Figure 5 measures, versus the equivalent firewall rule
+  R8 at entrypoint ``0x2d637``.
+
+Deliberately vulnerable: URL-to-path mapping does not canonicalize
+``..`` unless input filtering is enabled (Directory Traversal,
+CWE-22).
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.programs.base import Program
+
+#: Entrypoint of the content-serving open (rule R8's -i operand).
+EPT_SERVE_OPEN = 0x2D637
+#: Entrypoint of the password-file open used for authentication.
+EPT_AUTH_OPEN = 0x31AF0
+
+APACHE_BINARY = "/usr/bin/apache2"
+
+
+class HttpResponse:
+    """Minimal response record returned by :meth:`ApacheServer.serve`."""
+
+    __slots__ = ("status", "body", "path")
+
+    def __init__(self, status, body=b"", path=None):
+        self.status = status
+        self.body = body
+        self.path = path
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<HttpResponse {} {}>".format(self.status, self.path)
+
+
+class ApacheServer(Program):
+    """The web server program."""
+
+    BINARY = APACHE_BINARY
+
+    def __init__(self, kernel, proc, document_root="/var/www/html",
+                 symlinks_if_owner_match=False, filter_traversal=False,
+                 allow_htaccess=False):
+        super().__init__(kernel, proc)
+        self.document_root = document_root.rstrip("/")
+        #: When True, the *program* performs the per-component owner
+        #: checks (Figure 5's "Program" series).  When False the server
+        #: relies on firewall rule R8 (or nothing).
+        self.symlinks_if_owner_match = symlinks_if_owner_match
+        #: When True, reject URLs containing "..".
+        self.filter_traversal = filter_traversal
+        #: AllowOverride: consult user-writable ``.htaccess`` files
+        #: during serving.  This is the configuration dimension §6.3.1
+        #: uses to show that test-suite traces over-generalize: with it
+        #: on, the serving entrypoint legitimately reads low-integrity
+        #: files, so no tight rule can be generated for it.
+        self.allow_htaccess = allow_htaccess
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    def url_to_path(self, url):
+        """Naive concatenation — the traversal attack surface."""
+        if not url.startswith("/"):
+            url = "/" + url
+        return self.document_root + url
+
+    def serve(self, url):
+        """Serve a static file; returns an :class:`HttpResponse`."""
+        if self.filter_traversal and ".." in url:
+            return HttpResponse(400, b"Bad Request", path=url)
+        path = self.url_to_path(url)
+        try:
+            if self.allow_htaccess:
+                self._read_htaccess(path)
+            if self.symlinks_if_owner_match:
+                self._check_symlinks_owner_match(path)
+            with self.frame(EPT_SERVE_OPEN, "default_handler"):
+                fd = self.sys.open(self.proc, path)
+            body = self.sys.read(self.proc, fd)
+            self.sys.close(self.proc, fd)
+            return HttpResponse(200, body, path=path)
+        except errors.ENOENT:
+            return HttpResponse(404, b"Not Found", path=path)
+        except errors.EISDIR:
+            return HttpResponse(403, b"Forbidden", path=path)
+        except errors.EACCES:
+            return HttpResponse(403, b"Forbidden", path=path)
+
+    def _check_symlinks_owner_match(self, path):
+        """The program-side SymLinksIfOwnerMatch walk.
+
+        One ``lstat`` per component, plus a following ``stat`` when the
+        component is a link — and, as the Apache documentation warns,
+        the result "can be circumvented through races": nothing pins the
+        namespace between these checks and the later ``open``.
+        """
+        parts = [p for p in path.split("/") if p]
+        prefix = ""
+        for part in parts:
+            prefix += "/" + part
+            with self.frame(EPT_SERVE_OPEN, "symlink_owner_check"):
+                lbuf = self.sys.lstat(self.proc, prefix)
+                if lbuf.is_symlink():
+                    tbuf = self.sys.stat(self.proc, prefix)
+                    if lbuf.st_uid != tbuf.st_uid:
+                        raise errors.EACCES("SymLinksIfOwnerMatch: owner mismatch at {}".format(prefix))
+
+    def _read_htaccess(self, path):
+        """AllowOverride processing: read the directory's .htaccess.
+
+        Runs from the same serving entrypoint as content opens — which
+        is exactly what poisons entrypoint classification when enabled.
+        """
+        directory = path.rsplit("/", 1)[0] or "/"
+        candidate = directory + "/.htaccess"
+        with self.frame(EPT_SERVE_OPEN, "read_htaccess"):
+            try:
+                fd = self.sys.open(self.proc, candidate)
+            except errors.KernelError:
+                return None
+        overrides = self.sys.read(self.proc, fd)
+        self.sys.close(self.proc, fd)
+        return overrides
+
+    # ------------------------------------------------------------------
+    # authentication (the other resource context)
+    # ------------------------------------------------------------------
+
+    def authenticate(self, user, password, shadow_path="/etc/shadow"):
+        """Check credentials against the system password file.
+
+        This call site is *expected* to read high-secrecy data; the same
+        read from :meth:`serve`'s entrypoint would be an attack.
+        """
+        with self.frame(EPT_AUTH_OPEN, "check_password"):
+            fd = self.sys.open(self.proc, shadow_path)
+        data = self.sys.read(self.proc, fd)
+        self.sys.close(self.proc, fd)
+        return user.encode() in data or password.encode() in data

@@ -1,0 +1,62 @@
+"""Program framework: call-stack discipline for simulated userspace."""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.proc.interp import InterpreterStack
+from repro.proc.stack import BinaryImage
+
+
+class Program:
+    """A simulated program bound to one kernel and one process.
+
+    Subclasses declare entrypoint offsets as class constants and wrap
+    resource-requesting code in :meth:`frame` so the process's user
+    stack shows the correct call site when the firewall unwinds it.
+    """
+
+    #: Path of the program binary; subclasses override.
+    BINARY = "/bin/true"
+
+    def __init__(self, kernel, proc):
+        self.kernel = kernel
+        self.proc = proc
+        self.sys = kernel.sys
+        if proc.binary is None or proc.binary.path != self.BINARY:
+            proc.binary = BinaryImage(self.BINARY)
+            proc.images = [proc.binary]
+
+    @contextlib.contextmanager
+    def frame(self, offset, function="", image=None):
+        """Push a call frame at ``image``+``offset`` for the duration."""
+        image = image or self.proc.binary
+        self.proc.call(image, offset, function=function)
+        try:
+            yield
+        finally:
+            self.proc.ret()
+
+    @contextlib.contextmanager
+    def script_frame(self, path, line, function="", language=""):
+        """Push an interpreter-level frame (for interpreted programs).
+
+        Creates the process's script stack on first use; the firewall's
+        ``SCRIPT_ENTRYPOINT`` context module unwinds it.
+        """
+        if self.proc.script_stack is None:
+            self.proc.script_stack = InterpreterStack(language=language)
+        self.proc.script_stack.push(path, line, function=function)
+        try:
+            yield
+        finally:
+            self.proc.script_stack.pop()
+
+    def load_library_image(self, path, size=0x1000000):
+        """Map a shared object and return its image (deterministic base)."""
+        for existing in self.proc.images:
+            if existing is not None and existing.path == path:
+                return existing
+        image = BinaryImage(path, size=size)
+        self.proc.map_image(image)
+        return image

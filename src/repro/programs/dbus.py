@@ -1,0 +1,79 @@
+"""D-Bus: the daemon's bind/chmod TOCTTOU (E6) and libdbus's
+environment-trusting client (E3).
+
+- **Daemon (E6, rules R5/R6)**: ``dbus-daemon`` binds its system socket
+  and then ``chmod``\\ s it in a *separate* syscall.  An adversary who
+  can swap the pathname between the two gets the mode change applied to
+  a file of their choosing.  Rule R5 records the bound inode in the
+  process's ``STATE``; rule R6 drops the ``chmod`` when the inode
+  changed.
+- **Client (E3, rule R3)**: ``libdbus`` reads the bus address from
+  ``DBUS_SYSTEM_BUS_ADDRESS`` without considering that it may run inside
+  a setuid binary whose caller controls the environment.  Rule R3 pins
+  the library's connect entrypoint to the trusted socket label.
+"""
+
+from __future__ import annotations
+
+from repro.programs.base import Program
+
+#: dbus-daemon's bind call site (rule R5).
+EPT_BIND = 0x3C750
+#: dbus-daemon's chmod-the-socket call site (rule R6).
+EPT_CHMOD = 0x3C786
+#: libdbus's connect call site (rule R3).
+EPT_CONNECT = 0x39231
+
+DBUS_DAEMON_BINARY = "/bin/dbus-daemon"
+LIBDBUS_PATH = "/lib/libdbus-1.so.3"
+SYSTEM_SOCKET = "/var/run/dbus/system_bus_socket"
+
+
+class DbusDaemon(Program):
+    """The system bus daemon (runs as ``system_dbusd_t``)."""
+
+    BINARY = DBUS_DAEMON_BINARY
+
+    def __init__(self, kernel, proc, socket_path=SYSTEM_SOCKET):
+        super().__init__(kernel, proc)
+        self.socket_path = socket_path
+
+    def bind_socket(self, label="system_dbusd_var_run_t"):
+        """Phase 1: create and bind the listening socket."""
+        with self.frame(EPT_BIND, "socket_bind"):
+            return self.sys.bind(self.proc, self.socket_path, mode=0o700, label=label)
+
+    def chmod_socket(self, mode=0o666):
+        """Phase 2: open the socket up to clients — the racy half."""
+        with self.frame(EPT_CHMOD, "socket_chmod"):
+            return self.sys.chmod(self.proc, self.socket_path, mode)
+
+    def setup(self):
+        """Both phases back-to-back (no adversary window in-between)."""
+        inode = self.bind_socket()
+        self.chmod_socket()
+        return inode
+
+
+class LibDbusClient(Program):
+    """A program using ``libdbus`` to reach the system bus.
+
+    ``self.proc`` may be a setuid process; the library does not care —
+    which is the bug.
+    """
+
+    BINARY = "/bin/sh"  # the hosting program; libdbus is a mapped image
+
+    def __init__(self, kernel, proc):
+        super().__init__(kernel, proc)
+        self.lib_image = self.load_library_image(LIBDBUS_PATH)
+
+    def bus_address(self):
+        """E3: the environment wins, with no setuid scrubbing."""
+        return self.proc.env.get("DBUS_SYSTEM_BUS_ADDRESS", SYSTEM_SOCKET)
+
+    def connect(self):
+        """Connect to the (claimed) system bus; returns the listener pid."""
+        address = self.bus_address()
+        with self.frame(EPT_CONNECT, "_dbus_connect", image=self.lib_image):
+            return self.sys.connect(self.proc, address)

@@ -1,0 +1,51 @@
+"""The Java runtime's untrusted configuration search path (E7, rule R7).
+
+The paper reports an unpatched (known ≥2 years) vulnerability: ``java``
+consults configuration files found relative to the working directory
+before the trusted system location, so a process launched in an
+adversary-writable directory loads adversary configuration.  Rule R7
+drops opens from the config entrypoint on any non-``SYSHIGH`` object.
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.programs.base import Program
+
+#: The configuration-open call site (rule R7's -i operand).
+EPT_LOAD_CONFIG = 0x5D7E
+
+JAVA_BINARY = "/usr/bin/java"
+
+#: Trusted configuration directory searched last — the bug's shape.
+SYSTEM_CONFIG_DIR = "/etc/java"
+
+
+class JavaRuntime(Program):
+    """The ``java`` launcher."""
+
+    BINARY = JAVA_BINARY
+
+    def __init__(self, kernel, proc, cwd_path="/"):
+        super().__init__(kernel, proc)
+        self.cwd_path = cwd_path.rstrip("/") or "/"
+
+    def load_config(self, name="jvm.cfg"):
+        """Search cwd first, then the system directory.
+
+        Returns ``(path, contents)``.
+        """
+        candidates = [
+            "{}/{}".format(self.cwd_path.rstrip("/") or "", name),
+            "{}/{}".format(SYSTEM_CONFIG_DIR, name),
+        ]
+        for candidate in candidates:
+            with self.frame(EPT_LOAD_CONFIG, "readConfig"):
+                try:
+                    fd = self.sys.open(self.proc, candidate)
+                except (errors.ENOENT, errors.ENOTDIR):
+                    continue
+            data = self.sys.read(self.proc, fd)
+            self.sys.close(self.proc, fd)
+            return candidate, data
+        raise errors.ENOENT("no {} found".format(name))

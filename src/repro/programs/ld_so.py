@@ -1,0 +1,93 @@
+"""The dynamic linker (``ld.so``), Figure 1(b) of the paper.
+
+Reproduces the real loader's behaviour — including the parts that make
+untrusted-search-path attacks possible:
+
+- ``LD_LIBRARY_PATH``/``LD_PRELOAD`` are honoured for ordinary binaries
+  and **unset only for setuid binaries** (Figure 1b lines 1-5), so any
+  other channel (RUNPATH baked into the binary, loader bugs, insecure
+  environment set by a launcher like Icecat's) still reaches the search
+  path;
+- the binary's ``RUNPATH`` is trusted verbatim (CVE-2006-1564: a Debian
+  installer bug shipped Apache modules with ``RUNPATH=/tmp/...``);
+- the first matching library wins.
+
+The library-``open`` call site is entrypoint ``0x596b`` in
+``/lib/ld-2.15.so`` — the operand of rule R1.
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.programs.base import Program
+
+#: The paper's entrypoint for ld.so's library open (rule R1).
+EPT_OPEN_LIBRARY = 0x596B
+
+#: Default trusted search directories (from /etc/ld.so.conf).
+DEFAULT_LIBRARY_PATH = ("/lib", "/usr/lib")
+
+LD_SO_PATH = "/lib/ld-2.15.so"
+
+
+class DynamicLinker(Program):
+    """``ld.so`` running inside a victim process."""
+
+    BINARY = LD_SO_PATH
+
+    def __init__(self, kernel, proc, runpath=()):
+        # ld.so is an *image mapped into* the victim, not its main
+        # binary: keep proc.binary untouched and map ld.so alongside.
+        self.kernel = kernel
+        self.proc = proc
+        self.sys = kernel.sys
+        self.image = self.load_library_image(LD_SO_PATH)
+        #: RUNPATH entries baked into the program binary at link time.
+        self.runpath = tuple(runpath)
+
+    def build_search_path(self):
+        """Figure 1b line 6: assemble the library search path."""
+        env = self.proc.env
+        path = []
+        if self.proc.creds.is_setuid:
+            # Lines 1-5: a setuid process scrubs the dangerous vars.
+            env.pop("LD_LIBRARY_PATH", None)
+            env.pop("LD_PRELOAD", None)
+        ld_path = env.get("LD_LIBRARY_PATH", "")
+        path.extend(p for p in ld_path.split(":") if p)
+        # RUNPATH is applied after LD_LIBRARY_PATH, before defaults —
+        # and is *not* scrubbed: the binary is trusted to know its own
+        # paths, which is exactly the E1 attack channel.
+        path.extend(self.runpath)
+        path.extend(DEFAULT_LIBRARY_PATH)
+        return path
+
+    def load_library(self, name):
+        """Figure 1b lines 7-11: walk the path; first hit is mapped.
+
+        Returns ``(library_path, image)``.
+
+        Raises:
+            ENOENT: no candidate directory contained the library.
+            PFDenied/EACCES: a candidate open was denied (propagated —
+                the loader fails closed rather than trying the next
+                directory with a *different* library, matching ld.so's
+                behaviour of aborting on a load error).
+        """
+        preload = self.proc.env.get("LD_PRELOAD")
+        candidates = []
+        if preload and not self.proc.creds.is_setuid:
+            candidates.append(preload)
+        candidates.extend("{}/{}".format(d, name) for d in self.build_search_path())
+        for candidate in candidates:
+            with self.frame(EPT_OPEN_LIBRARY, "open_library", image=self.image):
+                try:
+                    fd = self.sys.open(self.proc, candidate)
+                except errors.ENOENT:
+                    continue
+                except errors.ENOTDIR:
+                    continue
+                image = self.sys.mmap(self.proc, fd, as_image=True)
+                self.sys.close(self.proc, fd)
+                return candidate, image
+        raise errors.ENOENT("library {!r} not found on search path".format(name))

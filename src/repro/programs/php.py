@@ -1,0 +1,60 @@
+"""A PHP-like interpreter with local file inclusion (E4, rule R4).
+
+The interpreter's ``include`` opcode opens whatever pathname the script
+computed.  Joomla!-style components concatenate unfiltered request
+parameters into that pathname (82 CVEs in 2010 for Joomla! components
+alone), so an adversary can make the interpreter load attacker-written
+"code".  Rule R4 pins the interpreter's include entrypoint
+(``/usr/bin/php5`` + ``0x27ad2c``) to properly-labeled script files.
+"""
+
+from __future__ import annotations
+
+from repro.programs.base import Program
+
+#: The include opcode's file-open call site (rule R4's -i operand).
+EPT_INCLUDE = 0x27AD2C
+
+PHP_BINARY = "/usr/bin/php5"
+
+
+class PhpInterpreter(Program):
+    """The interpreter, running inside an ``httpd_t`` worker process."""
+
+    BINARY = PHP_BINARY
+
+    def __init__(self, kernel, proc):
+        super().__init__(kernel, proc)
+        self.included = []  # paths successfully included, in order
+
+    def include(self, path):
+        """The ``include``/``require`` opcode: open, read, "execute"."""
+        with self.frame(EPT_INCLUDE, "zend_include_or_eval"):
+            fd = self.sys.open(self.proc, path)
+        source = self.sys.read(self.proc, fd)
+        self.sys.close(self.proc, fd)
+        self.included.append(path)
+        return source
+
+    def run_component(self, component_dir, module, user_input, controller=None, controller_line=17):
+        """A vulnerable Joomla!-style component (the gCalendar shape).
+
+        The component builds ``<component_dir>/<module><user_input>.php``
+        without filtering ``user_input`` — path traversal plus a null-
+        byte-style trailing-extension dodge are both reproduced by
+        letting the input terminate the string.
+
+        ``controller`` names the component script whose include line
+        issues the request; it is pushed on the interpreter backtrace so
+        script-level (``-m SCRIPT``) rules can pin the caller.
+        """
+        if "\x00" in user_input:
+            # PHP's historical null-byte truncation: everything after
+            # the byte (including the appended ".php") is dropped.
+            raw = component_dir + "/" + module + user_input
+            path = raw.split("\x00", 1)[0]
+        else:
+            path = component_dir + "/" + module + user_input + ".php"
+        controller = controller or component_dir + "/controller.php"
+        with self.script_frame(controller, controller_line, function="render", language="php"):
+            return self.include(path)

@@ -1,0 +1,51 @@
+"""A Python-like interpreter with an untrusted module search path (E2).
+
+``dstat`` (CVE-2009-4081) imported plugins with a ``sys.path`` that
+included the working directory, so an adversary who controls the cwd
+plants a Trojan module.  The interpreter itself has shipped the same
+bug (CVE-2008-5983).  Rule R2 pins the interpreter's import entrypoint
+(``/usr/bin/python2.7`` + ``0x34f05``) to trusted module labels.
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.programs.base import Program
+
+#: The import machinery's file-open call site (rule R2's -i operand).
+EPT_IMPORT = 0x34F05
+
+PYTHON_BINARY = "/usr/bin/python2.7"
+
+#: Trusted default module directories.
+DEFAULT_SYS_PATH = ("/usr/lib", "/usr/share")
+
+
+class PythonInterpreter(Program):
+    """The interpreter process."""
+
+    BINARY = PYTHON_BINARY
+
+    def __init__(self, kernel, proc, cwd_path="/", sys_path=None):
+        super().__init__(kernel, proc)
+        self.cwd_path = cwd_path.rstrip("/") or "/"
+        #: ``""`` denotes the working directory — the vulnerable entry.
+        self.sys_path = list(sys_path) if sys_path is not None else ["", *DEFAULT_SYS_PATH]
+
+    def import_module(self, name):
+        """Walk ``sys_path``; first hit wins (the Trojan-module channel).
+
+        Returns ``(module_path, source)``.
+        """
+        for entry in self.sys_path:
+            base = self.cwd_path if entry == "" else entry
+            candidate = "{}/{}.py".format(base.rstrip("/") or "", name)
+            with self.frame(EPT_IMPORT, "import_module"):
+                try:
+                    fd = self.sys.open(self.proc, candidate)
+                except (errors.ENOENT, errors.ENOTDIR):
+                    continue
+            source = self.sys.read(self.proc, fd)
+            self.sys.close(self.proc, fd)
+            return candidate, source
+        raise errors.ENOENT("module {!r} not found".format(name))

@@ -1,0 +1,100 @@
+"""A bash-like script runner: the init-script tmpfile bug (E9).
+
+The paper's authors found an Ubuntu init script creating a file in
+``/tmp`` unsafely (``>`` redirection: ``open(O_CREAT|O_WRONLY)`` with
+neither ``O_EXCL`` nor ``O_NOFOLLOW``), which follows a planted symlink
+and clobbers — or leaks into — any file the script's (root) identity
+can write.  The system-wide ``safe_open`` firewall rules catch it.
+
+Interpreted-program support: the script pushes frames inside the bash
+binary image, so the firewall's entrypoint context sees the
+interpreter's redirection call site (paper §4.4 adapts interpreter
+backtraces with 11-59 lines of code per language).
+"""
+
+from __future__ import annotations
+
+from repro.programs.base import Program
+from repro.vfs.file import OpenFlags
+
+#: bash's redirection-open call site.
+EPT_REDIRECT = 0x21D0
+#: bash's command-execution call site (after PATH search).
+EPT_PATH_EXEC = 0x2460
+
+BASH_BINARY = "/bin/bash"
+
+
+class ShellScript(Program):
+    """An init-style shell script run by the bash interpreter."""
+
+    BINARY = BASH_BINARY
+
+    def redirect_to(self, path, data=b"started\n"):
+        """``echo ... > path`` — the unsafe create (E9's bug)."""
+        with self.frame(EPT_REDIRECT, "redir_open"):
+            fd = self.sys.open(
+                self.proc, path, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY | OpenFlags.O_TRUNC
+            )
+        self.sys.write(self.proc, fd, data)
+        self.sys.close(self.proc, fd)
+        return fd
+
+    def run_command(self, name):
+        """Execute ``name`` by searching ``$PATH`` (CWE-426's origin).
+
+        Classic sysadmin footgun reproduced: whatever directories the
+        environment lists are searched in order, including relative
+        entries like ``.``; the first executable match is exec'ed in a
+        child.  Returns ``(resolved_path, child_process)``.
+        """
+        from repro import errors
+
+        search = self.proc.env.get("PATH", "/usr/bin:/bin")
+        for entry in search.split(":"):
+            base = entry if entry not in ("", ".") else self._cwd_path()
+            candidate = "{}/{}".format(base.rstrip("/"), name)
+            with self.frame(EPT_PATH_EXEC, "shell_execute"):
+                try:
+                    self.sys.stat(self.proc, candidate)
+                except (errors.ENOENT, errors.ENOTDIR):
+                    continue
+                child = self.sys.fork(self.proc)
+                try:
+                    self.sys.execve(child, candidate)
+                except errors.KernelError:
+                    self.sys.exit(child, 127)
+                    raise
+            return candidate, child
+        raise errors.ENOENT("{}: command not found".format(name))
+
+    def _cwd_path(self):
+        """Best-effort textual cwd (relative PATH entries resolve here)."""
+        return getattr(self, "cwd_path", "/")
+
+    def source_file(self, path, calling_script="/etc/init.d/rc", calling_line=12):
+        """``source path`` — bash reads and "executes" another script.
+
+        The interpreter backtrace records the *calling script's* line
+        (the paper ports 59 lines of bash backtrace code into the
+        kernel), so ``-m SCRIPT`` rules can pin which script's source
+        statement may load what.
+        """
+        with self.script_frame(calling_script, calling_line, function="source", language="bash"):
+            with self.frame(EPT_REDIRECT, "source_open"):
+                fd = self.sys.open(self.proc, path)
+            body = self.sys.read(self.proc, fd)
+            self.sys.close(self.proc, fd)
+            return body
+
+    def redirect_to_safely(self, path, data=b"started\n"):
+        """The patched form: ``O_EXCL`` refuses a pre-planted entry."""
+        with self.frame(EPT_REDIRECT, "redir_open_safe"):
+            fd = self.sys.open(
+                self.proc,
+                path,
+                flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY | OpenFlags.O_EXCL | OpenFlags.O_NOFOLLOW,
+            )
+        self.sys.write(self.proc, fd, data)
+        self.sys.close(self.proc, fd)
+        return fd

@@ -1,0 +1,55 @@
+"""OpenSSH's non-reentrant signal handler race (E5, CVE-2006-5051).
+
+``sshd``'s ``grace_alarm_handler`` called cleanup functions that are not
+async-signal-safe.  If a second handled signal arrives while the first
+handler is still running, the non-reentrant state is corrupted (in the
+real CVE: a double ``free`` reachable pre-auth).  Rules R9-R12 close the
+window system-wide: delivery of a *handled, blockable* signal is dropped
+while the process's ``STATE`` says a handler is already running.
+"""
+
+from __future__ import annotations
+
+from repro.proc import signals as sig
+from repro.programs.base import Program
+
+#: The grace-alarm handler's address in the sshd binary.
+EPT_ALARM_HANDLER = 0x8810
+#: A second handled signal (connection teardown path).
+EPT_TERM_HANDLER = 0x8960
+
+SSHD_BINARY = "/usr/sbin/sshd"
+
+
+class Sshd(Program):
+    """The ssh daemon with its historical handler layout."""
+
+    BINARY = SSHD_BINARY
+
+    def __init__(self, kernel, proc):
+        super().__init__(kernel, proc)
+        #: Set when a handler observed the non-reentrant state already
+        #: claimed — the "exploited" marker for tests.
+        self.corrupted = False
+        self.handler_entries = 0
+
+    def install_handlers(self):
+        """Install SIGALRM/SIGTERM handlers *without* auto-return.
+
+        The handler body is executed by scenario code between the
+        delivery and an explicit ``sigreturn`` — which is what opens
+        the race window.
+        """
+        self.sys.sigaction(self.proc, sig.SIGALRM, handler_pc=EPT_ALARM_HANDLER)
+        self.sys.sigaction(self.proc, sig.SIGTERM, handler_pc=EPT_TERM_HANDLER)
+
+    def note_handler_entry(self):
+        """Called by scenarios when a handler starts running."""
+        self.handler_entries += 1
+        if self.proc.signals.handler_depth > 1:
+            # A second handler is running inside the first: the
+            # non-reentrant cleanup state is now corrupted.
+            self.corrupted = True
+
+    def finish_handler(self):
+        self.sys.sigreturn(self.proc)

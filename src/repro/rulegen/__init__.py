@@ -1,0 +1,41 @@
+"""Rule generation (paper §6.3).
+
+Three sources of rules, in increasing automation:
+
+1. **Known vulnerabilities** (:mod:`repro.rulegen.suggest`): a logged
+   attack gives the entrypoint + unsafe resource; templates T1/T2 turn
+   it into a rule with no false-positive risk.
+2. **Runtime traces** (:mod:`repro.rulegen.classify`): entrypoints that
+   only ever touch high-integrity (or only low-integrity) resources get
+   T1 rules; Table 8 quantifies the threshold-vs-false-positive
+   frontier, reproduced against a synthetic two-week trace
+   (:mod:`repro.rulegen.synth`).
+3. **OS distributors** (:mod:`repro.rulegen.distro`): rules shipped in
+   packages are valid wherever programs run in the packaged
+   environment; §6.3.2's launch-consistency analysis.
+"""
+
+from repro.rulegen.trace import TraceRecord, records_from_engine
+from repro.rulegen.classify import ClassifiedEntrypoint, classify, table8_row, threshold_sweep
+from repro.rulegen.refine import Refinement, apply_refinements, refine_rules
+from repro.rulegen.suggest import rule_from_vulnerability, suggest_rules_from_log, suggest_script_rules
+from repro.rulegen.synth import synthesize_trace
+from repro.rulegen.distro import LaunchRecord, consistent_programs
+
+__all__ = [
+    "TraceRecord",
+    "records_from_engine",
+    "ClassifiedEntrypoint",
+    "classify",
+    "table8_row",
+    "threshold_sweep",
+    "suggest_rules_from_log",
+    "suggest_script_rules",
+    "rule_from_vulnerability",
+    "synthesize_trace",
+    "LaunchRecord",
+    "consistent_programs",
+    "Refinement",
+    "refine_rules",
+    "apply_refinements",
+]

@@ -1,0 +1,109 @@
+"""Rule refinement from benign denials (§6.3.1's open problem).
+
+The paper generates rules from runtime traces and accepts that a
+too-short trace yields rules that later deny legitimate accesses; it
+leaves handling those false positives to future work.  This module
+implements the obvious remediation loop:
+
+1. run the deployment with the candidate rules;
+2. an operator confirms a batch of denials as *benign* (the same human
+   judgement §6.3.2 expects of distributors);
+3. :func:`refine_rules` widens exactly the rules that fired — adding
+   the denied object labels to a T1 rule's allowed set — and returns
+   the new rule text alongside the old.
+
+Widening is deliberately minimal and auditable: only label-set (``-d``)
+rules are touched, only with labels actually observed, and the rewrite
+is returned (not silently applied) so it can ship through the same
+package pipeline as the original rule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.firewall.matches import LabelSpec, ObjectMatch
+from repro.firewall.pftables import parse_rule
+
+
+class Refinement:
+    """One proposed rule rewrite."""
+
+    __slots__ = ("old_text", "new_text", "added_labels")
+
+    def __init__(self, old_text, new_text, added_labels):
+        self.old_text = old_text
+        self.new_text = new_text
+        self.added_labels = frozenset(added_labels)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<Refinement +{} {}>".format(sorted(self.added_labels), self.new_text)
+
+
+def _benign_denials_by_rule(kernel):
+    """rule text -> set of object labels denied during benign operation."""
+    from repro.analysis.denials import collect_denials
+
+    out = {}
+    for report in collect_denials(kernel):
+        if report.rule_text is None:
+            continue
+        labels = set()
+        for path in report.paths:
+            try:
+                labels.add(kernel.walker.resolve(path).inode.label)
+            except Exception:
+                continue
+        if labels:
+            out.setdefault(report.rule_text, set()).update(labels)
+    return out
+
+
+def _widen(rule_text, labels):
+    """Add ``labels`` to the rule's negated ``-d`` set, if it has one."""
+    parsed = parse_rule(rule_text)
+    for match in parsed.rule.matches:
+        if not isinstance(match, ObjectMatch):
+            continue
+        spec = match.spec
+        if not spec.negated:
+            return None  # allow-set rules don't deny by exclusion
+        widened = LabelSpec(spec.labels | set(labels), negated=True, syshigh=spec.syshigh)
+        old_operand = "-d " + spec.render()
+        new_operand = "-d " + widened.render()
+        if old_operand not in rule_text:
+            # Whitespace-normalized fallback via re-render.
+            rebuilt = rule_text.replace(spec.render(), widened.render(), 1)
+            return rebuilt if rebuilt != rule_text else None
+        return rule_text.replace(old_operand, new_operand, 1)
+    return None
+
+
+def refine_rules(kernel):
+    """Propose widenings for every rule that denied benign accesses.
+
+    The caller vouches that the kernel's recorded denials were benign
+    (run this over a trusted workload only!).  Returns a list of
+    :class:`Refinement`.
+    """
+    proposals = []  # type: List[Refinement]
+    for rule_text, labels in sorted(_benign_denials_by_rule(kernel).items()):
+        new_text = _widen(rule_text, labels)
+        if new_text is not None and new_text != rule_text:
+            proposals.append(Refinement(rule_text, new_text, labels))
+    return proposals
+
+
+def apply_refinements(firewall, refinements):
+    """Swap refined rules into a live firewall; returns how many."""
+    applied = 0
+    for refinement in refinements:
+        table = firewall.rules.table("filter")
+        for chain in list(table.chains.values()):
+            for rule in list(chain):
+                if rule.text == refinement.old_text:
+                    firewall.rules.remove("filter", chain.name, rule)
+                    parsed = parse_rule(refinement.new_text)
+                    firewall.rules.install("filter", chain.name, parsed.rule)
+                    applied += 1
+    return applied

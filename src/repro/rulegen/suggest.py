@@ -1,0 +1,102 @@
+"""Rule suggestion from LOG output and from known vulnerabilities.
+
+Two of §6.3's generation paths:
+
+- ``suggest_rules_from_log`` — the runtime-analysis path used to
+  produce R1-R4: collect per-entrypoint label sets from a firewall's
+  ``LOG`` records and emit T1 rules for pure entrypoints above a
+  threshold;
+- ``rule_from_vulnerability`` — the known-vulnerability path used for
+  R5-R7: a testing tool (the authors' STING) logs the entrypoint and
+  unsafe resource of a confirmed attack; the attack type selects the
+  template, "so no false positives are possible".
+"""
+
+from __future__ import annotations
+
+from repro.rulegen.classify import rules_for_threshold
+from repro.rulegen.trace import records_from_engine
+from repro.rulesets.default import restrict_entrypoint_rule, toctou_rules
+
+
+def suggest_rules_from_log(firewall, threshold=100):
+    """T1 rules from a firewall's accumulated ``LOG`` records."""
+    records = records_from_engine(firewall)
+    return rules_for_threshold(records, threshold)
+
+
+def suggest_script_rules(firewall, threshold=20):
+    """Script-level (``-m SCRIPT``) rules from ``LOG`` records.
+
+    For interpreted programs, per-binary-entrypoint classification
+    lumps every script together; this variant classifies per *script
+    call site* instead, emitting a rule for each pure script entry with
+    at least ``threshold`` invocations.
+    """
+    per_script = {}
+    for rec in firewall.log_records:
+        script = rec.get("script")
+        if not script:
+            continue
+        key = (tuple(script), rec.get("op"))
+        bucket = per_script.setdefault(key, {"count": 0, "low": False, "labels": set()})
+        bucket["count"] += 1
+        bucket["low"] = bucket["low"] or bool(rec.get("adv_writable"))
+        if rec.get("object_label"):
+            bucket["labels"].add(rec["object_label"])
+    out = []
+    for (script, op), bucket in sorted(per_script.items()):
+        if bucket["count"] < threshold or bucket["low"]:
+            continue
+        path, line = script
+        out.append(
+            "pftables -A input -o {op} -m SCRIPT --file {file} --line {line} "
+            "-d ~SYSHIGH -j DROP".format(op=op, file=path, line=line)
+        )
+    return out
+
+
+class VulnerabilityReport:
+    """What the testing tool logs about one confirmed attack.
+
+    Attributes:
+        attack_type: one of the taxonomy keys (e.g.
+            ``"untrusted_search_path"``, ``"toctou_race"``).
+        program: binary/image containing the vulnerable entrypoint(s).
+        entrypoint: offset of the vulnerable resource access.
+        op: the mediated operation of the unsafe access.
+        unsafe_label: label of the resource the attack used.
+        check_entrypoint / check_op: for TOCTTOU reports, the "check"
+            half of the pair.
+    """
+
+    def __init__(self, attack_type, program, entrypoint, op="FILE_OPEN",
+                 unsafe_label=None, check_entrypoint=None, check_op="FILE_GETATTR"):
+        self.attack_type = attack_type
+        self.program = program
+        self.entrypoint = entrypoint
+        self.op = op
+        self.unsafe_label = unsafe_label
+        self.check_entrypoint = check_entrypoint
+        self.check_op = check_op
+
+
+def rule_from_vulnerability(report):
+    """Generate the blocking rule(s) for a confirmed vulnerability.
+
+    Generalizes per §6.3.1: the rule denies access to *all* unsafe
+    resources for the entrypoint based on the attack type (search-path
+    attacks deny everything outside SYSHIGH; TOCTTOU gets the stateful
+    T2 pair).
+    """
+    if report.attack_type == "toctou_race":
+        if report.check_entrypoint is None:
+            raise ValueError("TOCTTOU report needs the check entrypoint")
+        return toctou_rules(
+            report.program, report.check_entrypoint, report.check_op, report.entrypoint, report.op
+        )
+    # Search-path / library / inclusion / squat family: the safe set is
+    # the adversary-inaccessible one — deny everything outside SYSHIGH.
+    return [
+        restrict_entrypoint_rule(report.program, report.entrypoint, "SYSHIGH", op=report.op)
+    ]

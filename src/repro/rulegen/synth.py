@@ -1,0 +1,145 @@
+"""Synthetic two-week runtime trace (the substrate for Table 8).
+
+The paper's trace is a real two-week Ubuntu desktop recording (5234
+entrypoints, ~410k log entries) that we cannot obtain.  The Table 8
+analysis, however, is fully determined by three per-entrypoint
+marginals, all of which the paper reports or implies:
+
+- the invocation-count distribution (via the "Rules Produced" column);
+- the split of first-invocation classes (4570 high / 664 low);
+- for the 525 entrypoints that eventually access **both** integrity
+  levels, the distribution of the *reveal index* — the invocation at
+  which the second class first appears (via the "Both" column; maximum
+  1149).
+
+:func:`synthesize_trace` reconstructs a trace with exactly those
+marginals, so running our classifier over it reproduces Table 8 row by
+row.  Randomness only affects the irrelevant degrees of freedom (label
+choices, interleaving), never the marginals.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.rulegen.trace import TraceRecord
+
+#: Pure entrypoints by invocation tier: (min_inv, max_inv, count).
+#: Derived from Table 8's Rules Produced column minus the surviving
+#: "both" impostors at each threshold (see module docstring).
+PURE_TIERS = [
+    (1, 4, 2615),
+    (5, 9, 715),
+    (10, 49, 917),
+    (50, 99, 185),
+    (100, 499, 217),
+    (500, 999, 27),
+    (1000, 1148, 3),
+    (1149, 4999, 19),
+    (5000, 12000, 11),
+]
+
+#: First-invocation class split over pure entrypoints.
+PURE_HIGH = 4229
+PURE_LOW = 480
+
+#: "Both" entrypoints: (reveal_min, reveal_max, count, first_high_count).
+#: Bucket sizes come from the Both column's deltas; the first-class
+#: split within each bucket from the High Only column's deltas.
+BOTH_BUCKETS = [
+    (2, 5, 290, 134),
+    (6, 10, 78, 52),
+    (11, 50, 129, 127),
+    (51, 100, 10, 10),
+    (101, 500, 14, 14),
+    (501, 1000, 3, 3),
+    (1149, 1149, 1, 1),
+]
+
+#: Object-label pools for the two integrity classes.
+HIGH_LABELS = ["lib_t", "etc_t", "usr_t", "bin_t", "var_t", "httpd_config_t"]
+LOW_LABELS = ["tmp_t", "user_home_t", "user_tmp_t", "httpd_user_content_t"]
+
+_PROGRAMS = [
+    "/lib/ld-2.15.so",
+    "/lib/libc.so.6",
+    "/usr/bin/python2.7",
+    "/usr/bin/php5",
+    "/usr/bin/apache2",
+    "/bin/bash",
+    "/usr/bin/nautilus",
+    "/usr/bin/evince",
+    "/usr/bin/gedit",
+    "/usr/sbin/cupsd",
+]
+
+_OPS = ["FILE_OPEN", "FILE_GETATTR", "FILE_READ", "DIR_SEARCH", "LNK_FILE_READ"]
+
+
+def _scaled(count, scale):
+    return max(1, int(round(count * scale))) if count else 0
+
+
+def synthesize_trace(seed=0, scale=1.0):
+    """Build the synthetic trace; returns a list of TraceRecords.
+
+    ``scale`` shrinks entrypoint counts proportionally (for fast unit
+    tests); ``scale=1.0`` reproduces the paper's marginals exactly.
+    """
+    rng = random.Random(seed)
+    records = []  # type: List[TraceRecord]
+    next_offset = [0x10000]
+
+    def new_entrypoint():
+        program = rng.choice(_PROGRAMS)
+        next_offset[0] += rng.randrange(4, 64, 4)
+        return (program, next_offset[0])
+
+    def emit(entrypoint, low, index):
+        label = rng.choice(LOW_LABELS if low else HIGH_LABELS)
+        records.append(
+            TraceRecord(
+                entrypoint,
+                rng.choice(_OPS),
+                label,
+                adv_writable=low,
+                adv_readable=low,
+                path=None,
+                time=index,
+            )
+        )
+
+    # ---- pure entrypoints -------------------------------------------
+    pure_total = sum(count for _lo, _hi, count in PURE_TIERS)
+    high_budget = _scaled(PURE_HIGH, scale)
+    specs = []
+    for lo, hi, count in PURE_TIERS:
+        for _ in range(_scaled(count, scale)):
+            specs.append(rng.randint(lo, hi))
+    rng.shuffle(specs)
+    for i, inv_count in enumerate(specs):
+        entrypoint = new_entrypoint()
+        low = i >= high_budget  # first `high_budget` are high-class
+        for j in range(inv_count):
+            emit(entrypoint, low, j)
+
+    # ---- "both" entrypoints -----------------------------------------
+    for reveal_lo, reveal_hi, count, first_high in BOTH_BUCKETS:
+        scaled_count = _scaled(count, scale)
+        scaled_first_high = min(scaled_count, _scaled(first_high, scale))
+        for i in range(scaled_count):
+            entrypoint = new_entrypoint()
+            first_is_high = i < scaled_first_high
+            reveal = rng.randint(reveal_lo, reveal_hi)
+            total = reveal + rng.randint(1, 10)
+            for j in range(total):
+                if j < reveal - 1:
+                    low = not first_is_high
+                elif j == reveal - 1:
+                    low = first_is_high  # the flip
+                else:
+                    low = rng.random() < 0.5
+                emit(entrypoint, low, j)
+
+    return records

@@ -1,0 +1,88 @@
+"""Runtime-trace records.
+
+A :class:`TraceRecord` is one resource access observed by the ``LOG``
+target (or synthesized).  The only fields rule generation consumes are
+the entrypoint, the operation, the object label, and the adversary
+accessibility of the resource ("low integrity" = an adversary can write
+it, per Table 2's unsafe-resource column for the search-path family).
+"""
+
+from __future__ import annotations
+
+
+class TraceRecord:
+    """One logged resource access."""
+
+    __slots__ = ("entrypoint", "op", "object_label", "adv_writable", "adv_readable", "path", "time", "comm")
+
+    def __init__(self, entrypoint, op, object_label, adv_writable, adv_readable=False, path=None, time=0, comm=""):
+        self.entrypoint = tuple(entrypoint) if entrypoint else None  # (program, offset)
+        self.op = op
+        self.object_label = object_label
+        self.adv_writable = bool(adv_writable)
+        self.adv_readable = bool(adv_readable)
+        self.path = path
+        self.time = time
+        self.comm = comm
+
+    @property
+    def low_integrity(self):
+        """The record touched an adversary-modifiable resource."""
+        return self.adv_writable
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<TraceRecord {} {} {} low={}>".format(self.entrypoint, self.op, self.object_label, self.adv_writable)
+
+
+def records_from_json(text):
+    """Parse trace records from a JSON dump of ``LOG`` output.
+
+    Accepts the exact record shape the ``LOG`` target emits (a JSON
+    array of objects), so traces can be moved between machines — the
+    distributor workflow of §6.3.2.
+    """
+    import json
+
+    out = []
+    for rec in json.loads(text):
+        entrypoint = rec.get("entrypoint")
+        out.append(
+            TraceRecord(
+                tuple(entrypoint) if entrypoint else None,
+                rec.get("op"),
+                rec.get("object_label"),
+                rec.get("adv_writable", False),
+                rec.get("adv_readable", False),
+                path=rec.get("path"),
+                time=rec.get("time", 0),
+                comm=rec.get("comm", ""),
+            )
+        )
+    return out
+
+
+def dump_log_json(firewall):
+    """Serialize a firewall's ``LOG`` records to JSON text."""
+    import json
+
+    return json.dumps(firewall.log_records)
+
+
+def records_from_engine(firewall):
+    """Convert a firewall's ``LOG`` output into trace records."""
+    out = []
+    for rec in firewall.log_records:
+        entrypoint = rec.get("entrypoint")
+        out.append(
+            TraceRecord(
+                tuple(entrypoint) if entrypoint else None,
+                rec.get("op"),
+                rec.get("object_label"),
+                rec.get("adv_writable", False),
+                rec.get("adv_readable", False),
+                path=rec.get("path"),
+                time=rec.get("time", 0),
+                comm=rec.get("comm", ""),
+            )
+        )
+    return out

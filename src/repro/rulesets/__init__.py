@@ -1,0 +1,32 @@
+"""Shipped rule sets.
+
+- :mod:`repro.rulesets.default` — the paper's Table 5: rules R1-R12
+  verbatim, the T1/T2 templates as functions, and the ``safe_open``
+  firewall equivalent.
+- :mod:`repro.rulesets.generated` — the ~1218-rule "PF Full" base used
+  by the performance evaluation (Tables 6-7), produced the way §6.3
+  describes: entrypoint-restriction rules suggested from runtime
+  traces at a low invocation threshold.
+"""
+
+from repro.rulesets.default import (
+    PAPER_TABLE5_TEXTS,
+    RULES_R1_R12,
+    install_default_rules,
+    install_signal_rules,
+    restrict_entrypoint_rule,
+    safe_open_pf_rules,
+    toctou_rules,
+)
+from repro.rulesets.generated import generate_full_rulebase
+
+__all__ = [
+    "PAPER_TABLE5_TEXTS",
+    "RULES_R1_R12",
+    "install_default_rules",
+    "install_signal_rules",
+    "restrict_entrypoint_rule",
+    "safe_open_pf_rules",
+    "toctou_rules",
+    "generate_full_rulebase",
+]

@@ -1,0 +1,134 @@
+"""Table 5: the paper's printed rules and templates.
+
+``PAPER_TABLE5_TEXTS`` holds the rule lines exactly as printed (for the
+parser round-trip test).  ``RULES_R1_R12`` holds the *installable*
+ordering: the paper prints R10/R11 with ``-I`` (insert-at-top) for
+exposition, but check-before-set requires R10 to precede R11 in the
+chain, so the shipped set appends (``-A``) in evaluation order.
+"""
+
+from __future__ import annotations
+
+#: Rule lines exactly as printed in the paper's Table 5.
+PAPER_TABLE5_TEXTS = [
+    # R1 — only trusted library files loaded by the dynamic linker.
+    "pftables -p /lib/ld-2.15.so -i 0x596b -s SYSHIGH -d ~{lib_t|textrel_shlib_t|httpd_modules_t} -o FILE_OPEN -j DROP",
+    # R2 — only trusted python modules.
+    "pftables -p /usr/bin/python2.7 -i 0x34f05 -s SYSHIGH -d ~{lib_t|usr_t} -o FILE_OPEN -j DROP",
+    # R3 — libdbus connects only to the trusted server socket.
+    "pftables -p /lib/libdbus-1.so.3 -i 0x39231 -s SYSHIGH -d ~{system_dbusd_var_run_t} -o UNIX_STREAM_SOCKET_CONNECT -j DROP",
+    # R4 — only properly labeled PHP files (blocks local file inclusion).
+    "pftables -p /usr/bin/php5 -i 0x27ad2c -s SYSHIGH -d ~{httpd_user_script_exec_t} -o FILE_OPEN -j DROP",
+    # R5 — on bind, record the created inode number.
+    "pftables -i 0x3c750 -p /bin/dbus-daemon -o SOCKET_BIND -j STATE --set --key 0xbeef --value C_INO",
+    # R6 — on chmod, block if a different inode is being changed.
+    "pftables -i 0x3c786 -p /bin/dbus-daemon -o SOCKET_SETATTR -m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
+    # R7 — java must not load untrusted configuration files.
+    "pftables -i 0x5d7e -p /usr/bin/java -d ~{SYSHIGH} -o FILE_OPEN -j DROP",
+    # R8 — SymLinksIfOwnerMatch as a firewall rule.
+    "pftables -i 0x2d637 -p /usr/bin/apache2 -o LINK_READ -m COMPARE --v1 C_DAC_OWNER --v2 C_TGT_DAC_OWNER --nequal -j DROP",
+    # R9 — route signal deliveries to the signal chain.
+    "pftables -I input -o PROCESS_SIGNAL_DELIVERY -j SIGNAL_CHAIN",
+    # R10 — already in a handler: drop a second handled signal.
+    "pftables -I signal_chain -m SIGNAL_MATCH -m STATE --key 'sig' --cmp 1 -j DROP",
+    # R11 — record handler entry.
+    "pftables -I signal_chain -m SIGNAL_MATCH -j STATE --set --key 'sig' --value 1",
+    # R12 — sigreturn clears the in-handler state.
+    "pftables -I syscallbegin -m SYSCALL_ARGS --arg 0 --equal NR_sigreturn -j STATE --set --key 'sig' --value 0",
+]
+
+#: R1-R8 install in any order (deny-only, independent entrypoints).
+RULES_R1_R8 = PAPER_TABLE5_TEXTS[:8]
+
+#: Signal rules in *evaluation* order (R9; R10 before R11; R12).
+SIGNAL_RULE_TEXTS = [
+    "pftables -A input -o PROCESS_SIGNAL_DELIVERY -j SIGNAL_CHAIN",
+    "pftables -A signal_chain -m SIGNAL_MATCH -m STATE --key 'sig' --cmp 1 -j DROP",
+    "pftables -A signal_chain -m SIGNAL_MATCH -j STATE --set --key 'sig' --value 1",
+    "pftables -A syscallbegin -m SYSCALL_ARGS --arg 0 --equal NR_sigreturn -j STATE --set --key 'sig' --value 0",
+]
+
+#: The full installable Table 5 set.
+RULES_R1_R12 = RULES_R1_R8 + SIGNAL_RULE_TEXTS
+
+
+def install_default_rules(firewall):
+    """Install R1-R12; returns the installed rules."""
+    return firewall.install_all(RULES_R1_R12)
+
+
+def install_signal_rules(firewall):
+    """Install only the signal-race rules R9-R12."""
+    return firewall.install_all(SIGNAL_RULE_TEXTS)
+
+
+# ----------------------------------------------------------------------
+# templates (Table 5 bottom)
+# ----------------------------------------------------------------------
+
+
+def restrict_entrypoint_rule(program, entrypoint, resource_labels, op="FILE_OPEN", subject=None):
+    """Template T1: pin an entrypoint to a set of resource labels.
+
+    Args:
+        program: binary/image path containing the entrypoint.
+        entrypoint: base-relative call-site offset.
+        resource_labels: iterable of *allowed* object labels (or the
+            string ``"SYSHIGH"``).
+        op: the mediated operation.
+        subject: optional ``-s`` operand (e.g. ``"SYSHIGH"``).
+    """
+    if isinstance(resource_labels, str):
+        body = resource_labels
+    else:
+        body = "{" + "|".join(sorted(resource_labels)) + "}"
+    subject_part = "-s {} ".format(subject) if subject else ""
+    return (
+        "pftables -A input -i {ept:#x} -p {prog} {subj}-d ~{body} -o {op} -j DROP".format(
+            ept=entrypoint, prog=program, subj=subject_part, body=body, op=op
+        )
+    )
+
+
+def toctou_rules(program, check_entrypoint, check_op, use_entrypoint, use_op, identity="C_INO"):
+    """Template T2: pin a "use" call to the resource its "check" saw.
+
+    The state key is the use entrypoint offset, as in the paper.
+
+    ``identity`` selects the recorded identity atom: the paper's
+    ``C_INO`` (inode number — defeated by inode recycling) or the
+    extension ``C_OBJ`` (kernel identity including the generation,
+    sound under the cryogenic-sleep attack).
+    """
+    key = "{:#x}".format(use_entrypoint)
+    # The paper writes "-I create/input" for the record rule; we route
+    # it through the input chain, which sees every mediated operation
+    # (the create chain only sees FILE_CREATE).
+    record = (
+        "pftables -A input -i {ept:#x} -p {prog} -o {op} "
+        "-j STATE --set --key {key} --value {ident}".format(
+            ept=check_entrypoint, prog=program, op=check_op, key=key, ident=identity
+        )
+    )
+    enforce = (
+        "pftables -A input -i {ept:#x} -b {prog} -o {op} "
+        "-m STATE --key {key} --cmp {ident} --nequal -j DROP".format(
+            ept=use_entrypoint, prog=program, op=use_op, key=key, ident=identity
+        )
+    )
+    return [record, enforce]
+
+
+def safe_open_pf_rules():
+    """System-wide ``safe_open`` as firewall rules (Figure 4's
+    ``safe_open_PF`` and the E9 catch).
+
+    Drops traversal through any adversary-controlled symlink whose
+    owner differs from its target's owner — Chari et al.'s invariant,
+    but enforced atomically at each mediated walk step, so there is no
+    check/use window at all.
+    """
+    return [
+        "pftables -A input -o LNK_FILE_READ -m ADVERSARY --writable "
+        "-m COMPARE --v1 C_DAC_OWNER --v2 C_TGT_DAC_OWNER --nequal -j DROP",
+    ]

@@ -1,0 +1,83 @@
+"""Per-package rule sets — the OS-distributor delivery vehicle (§6.3.2).
+
+The paper envisions distributors shipping Process Firewall rules inside
+application packages: install ``apache2`` and its rules come with it.
+This module is that registry for the simulated distribution, mapping
+package names to the rule lines their maintainers would ship, with
+provenance notes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro import errors
+from repro.programs.apache import EPT_SERVE_OPEN
+from repro.rulesets.default import (
+    RULES_R1_R12,
+    SIGNAL_RULE_TEXTS,
+    restrict_entrypoint_rule,
+    safe_open_pf_rules,
+)
+
+#: package name -> pftables lines shipped with it.
+PACKAGE_RULES = {
+    # The C library / loader package protects every dynamically linked
+    # program on the system (rules R1).
+    "libc6": [RULES_R1_R12[0]],
+    # Base system: the system-wide safe-open link rules plus the signal
+    # race rules (they protect every process).
+    "base-files": list(safe_open_pf_rules()) + list(SIGNAL_RULE_TEXTS),
+    "apache2": [
+        RULES_R1_R12[7],  # R8: SymLinksIfOwnerMatch
+        restrict_entrypoint_rule(
+            "/usr/bin/apache2",
+            EPT_SERVE_OPEN,
+            ("httpd_sys_content_t", "httpd_user_content_t"),
+            op="FILE_OPEN",
+        ),
+    ],
+    "php5": [RULES_R1_R12[3]],  # R4
+    "python2.7": [RULES_R1_R12[1]],  # R2
+    "libdbus-1": [RULES_R1_R12[2]],  # R3
+    "dbus-daemon": [
+        RULES_R1_R12[4],  # R5: record the bound inode
+        RULES_R1_R12[5],  # R6: drop mismatched SOCKET_SETATTR
+        # Companion to R6: a chmod raced through a swapped path reaches
+        # a *file* object, which the LSM classes as FILE_SETATTR.
+        "pftables -A input -i 0x3c786 -p /bin/dbus-daemon -o FILE_SETATTR "
+        "-m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
+    ],
+    "openjdk": [RULES_R1_R12[6]],  # R7
+    "openssh-server": list(SIGNAL_RULE_TEXTS),
+}  # type: Dict[str, List[str]]
+
+
+def rules_for_packages(names):
+    """Collect the rule lines for a set of installed packages.
+
+    Duplicate lines across packages (e.g. two packages both shipping
+    the signal rules) install once, preserving first-seen order.
+    """
+    out = []
+    seen = set()
+    for name in names:
+        try:
+            lines = PACKAGE_RULES[name]
+        except KeyError:
+            raise errors.EINVAL("no shipped rules for package {!r}".format(name))
+        for line in lines:
+            if line not in seen:
+                seen.add(line)
+                out.append(line)
+    return out
+
+
+def install_packages(firewall, names):
+    """Install the rules shipped by ``names``; returns the rule count."""
+    firewall.install_all(rules_for_packages(names))
+    return firewall.rules.rule_count()
+
+
+def all_packages():
+    return sorted(PACKAGE_RULES)

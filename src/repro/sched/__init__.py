@@ -1,0 +1,15 @@
+"""Deterministic cooperative scheduling.
+
+TOCTTOU and signal races are *interleaving* properties.  To make them
+first-class and reproducible, programs can run as generator *threadlets*
+that yield between syscalls; the :class:`repro.sched.scheduler.Scheduler`
+interleaves them under a chosen policy (round-robin, scripted, or
+seeded-random), so a test can express "the adversary runs exactly
+between the victim's lstat and open" — or search interleavings with
+hypothesis.
+"""
+
+from repro.sched.explore import Execution, explore_interleavings, outcome_set
+from repro.sched.scheduler import Scheduler, Threadlet
+
+__all__ = ["Scheduler", "Threadlet", "Execution", "explore_interleavings", "outcome_set"]

@@ -1,0 +1,125 @@
+"""Generator-threadlet scheduler.
+
+A threadlet body is a Python generator that performs simulated syscalls
+and ``yield``\\ s at every preemption point (typically between
+syscalls).  The scheduler repeatedly picks a runnable threadlet and
+advances it one step.  Policies:
+
+- ``"round-robin"`` — fair alternation (default);
+- ``"scripted"`` — an explicit list of threadlet names giving the exact
+  interleaving, e.g. ``["victim", "adversary", "victim"]`` to fire an
+  attack inside a race window;
+- ``"random"`` — seeded pseudo-random choice, for interleaving search.
+
+A threadlet that raises stops with ``error`` set; other threadlets keep
+running (like independent processes).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro import errors
+
+
+class Threadlet:
+    """One schedulable activity.
+
+    Attributes:
+        name: identifier used by scripted schedules.
+        gen: the generator being driven.
+        done: the threadlet ran to completion.
+        error: exception that terminated it, if any.
+        result: ``StopIteration`` value when finished normally.
+        steps: preemption points executed so far.
+    """
+
+    def __init__(self, name, gen):
+        self.name = name
+        self.gen = gen
+        self.done = False
+        self.error = None  # type: Optional[BaseException]
+        self.result = None
+        self.steps = 0
+
+    @property
+    def runnable(self):
+        return not self.done
+
+    def step(self):
+        """Advance to the next yield; record completion or failure."""
+        if self.done:
+            raise errors.EINVAL("stepping finished threadlet {!r}".format(self.name))
+        self.steps += 1
+        try:
+            next(self.gen)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+        except errors.KernelError as exc:
+            self.done = True
+            self.error = exc
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        state = "done" if self.done else "runnable"
+        return "<Threadlet {} {} steps={}>".format(self.name, state, self.steps)
+
+
+class Scheduler:
+    """Interleaves threadlets deterministically."""
+
+    def __init__(self, policy="round-robin", script=None, seed=0):
+        self.policy = policy
+        self.script = list(script or [])
+        self._rng = random.Random(seed)
+        self.threadlets = []  # type: List[Threadlet]
+        self.trace = []  # names in execution order, for assertions
+
+    def add(self, name, gen_or_fn, *args, **kwargs):
+        """Register a threadlet from a generator or generator function."""
+        gen = gen_or_fn(*args, **kwargs) if callable(gen_or_fn) else gen_or_fn
+        threadlet = Threadlet(name, gen)
+        self.threadlets.append(threadlet)
+        return threadlet
+
+    def get(self, name):
+        for threadlet in self.threadlets:
+            if threadlet.name == name:
+                return threadlet
+        raise errors.EINVAL("no threadlet {!r}".format(name))
+
+    def _pick(self, runnable):
+        if self.policy == "scripted":
+            while self.script:
+                name = self.script.pop(0)
+                for threadlet in runnable:
+                    if threadlet.name == name:
+                        return threadlet
+                # Scripted entry refers to a finished threadlet: skip it.
+            # Script exhausted: drain remaining work round-robin.
+            return runnable[0]
+        if self.policy == "random":
+            return self._rng.choice(runnable)
+        # round-robin: least-stepped first, stable by insertion order.
+        return min(runnable, key=lambda t: t.steps)
+
+    def run(self, max_steps=100000):
+        """Drive all threadlets to completion; returns the trace."""
+        steps = 0
+        while True:
+            runnable = [t for t in self.threadlets if t.runnable]
+            if not runnable:
+                return self.trace
+            if steps >= max_steps:
+                raise errors.EINVAL("scheduler exceeded {} steps".format(max_steps))
+            threadlet = self._pick(runnable)
+            self.trace.append(threadlet.name)
+            threadlet.step()
+            steps += 1
+
+    def errors(self):
+        return {t.name: t.error for t in self.threadlets if t.error is not None}
+
+    def results(self):
+        return {t.name: t.result for t in self.threadlets if t.done and t.error is None}

@@ -1,0 +1,27 @@
+"""Access control substrate: DAC, SELinux-style MAC, LSM hooks.
+
+The Process Firewall sits *behind* authorization (paper Figure 2): a
+request must first pass DAC and the MAC policy enforced over LSM hooks;
+only then is the firewall consulted.  This package provides those layers
+plus the **adversary accessibility** computation (paper footnote 2) that
+the firewall's resource-context module uses: a resource is adversary-
+accessible when the access-control policy grants some adversary of the
+current process permissions on it.
+"""
+
+from repro.security.dac import dac_check, readers, writers
+from repro.security.lsm import LSMDispatcher, Op, Operation
+from repro.security.selinux import SELinuxModule, SELinuxPolicy
+from repro.security.adversary import AdversaryModel
+
+__all__ = [
+    "dac_check",
+    "readers",
+    "writers",
+    "LSMDispatcher",
+    "Op",
+    "Operation",
+    "SELinuxModule",
+    "SELinuxPolicy",
+    "AdversaryModel",
+]

@@ -1,0 +1,64 @@
+"""UNIX discretionary access control.
+
+Standard owner/group/other permission bits with a root (euid 0) bypass.
+Also exposes :func:`writers`/:func:`readers`, which enumerate the UIDs a
+policy grants access to — the primitive behind DAC adversary
+accessibility.
+"""
+
+from __future__ import annotations
+
+from repro import errors
+
+#: Bit shifts for the three permission triads.
+_OWNER_SHIFT = 6
+_GROUP_SHIFT = 3
+_OTHER_SHIFT = 0
+
+_WANT_BITS = {"r": 4, "w": 2, "x": 1}
+
+
+def _triad(mode, shift):
+    return (mode >> shift) & 0o7
+
+
+def permits(inode, euid, egid, want):
+    """Return True when DAC grants ``want`` ("r"/"w"/"x") to the identity.
+
+    Root bypasses file permission checks entirely (we do not model
+    capabilities separately); execute is *not* special-cased for root
+    because nothing in the reproduction depends on it.
+    """
+    if euid == 0:
+        return True
+    bit = _WANT_BITS[want]
+    if inode.uid == euid:
+        return bool(_triad(inode.mode, _OWNER_SHIFT) & bit)
+    if inode.gid == egid:
+        return bool(_triad(inode.mode, _GROUP_SHIFT) & bit)
+    return bool(_triad(inode.mode, _OTHER_SHIFT) & bit)
+
+
+def dac_check(creds, inode, want):
+    """Raise :class:`repro.errors.EACCES` unless DAC permits the access."""
+    if not permits(inode, creds.euid, creds.egid, want):
+        raise errors.EACCES(
+            "dac: uid {} denied {!r} on inode {} (mode {:o} uid {})".format(
+                creds.euid, want, inode.ino, inode.mode, inode.uid
+            )
+        )
+
+
+def writers(inode, known_uids):
+    """UIDs among ``known_uids`` that DAC allows to write ``inode``.
+
+    Root always writes, so it is included whenever present in
+    ``known_uids``; adversary computations exclude it separately (root is
+    never an adversary, footnote 2).
+    """
+    return {uid for uid in known_uids if permits(inode, uid, uid, "w")}
+
+
+def readers(inode, known_uids):
+    """UIDs among ``known_uids`` that DAC allows to read ``inode``."""
+    return {uid for uid in known_uids if permits(inode, uid, uid, "r")}

@@ -1,0 +1,158 @@
+"""LSM-style hook dispatch.
+
+Every syscall that touches a resource builds an :class:`Operation` (the
+firewall's "packet") and passes it through the :class:`LSMDispatcher`.
+Registered security modules (the SELinux model, and the Process Firewall
+itself as the *last* module, per Figure 2's ordering) may veto the
+operation by raising.  The paper builds on LSM rather than syscall
+interposition because LSM has no TOCTTOU between check and use; we get
+the same property because the Operation carries the already-resolved
+inode, never a re-resolvable path.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+
+class Op(enum.Enum):
+    """LSM operations mediated by the simulation.
+
+    Names follow the paper's rule language (``-o`` operand): e.g.
+    ``FILE_OPEN``, ``LNK_FILE_READ``, ``UNIX_STREAM_SOCKET_CONNECT``.
+    """
+
+    FILE_OPEN = "FILE_OPEN"
+    FILE_CREATE = "FILE_CREATE"
+    FILE_READ = "FILE_READ"
+    FILE_WRITE = "FILE_WRITE"
+    FILE_GETATTR = "FILE_GETATTR"
+    FILE_SETATTR = "FILE_SETATTR"
+    FILE_UNLINK = "FILE_UNLINK"
+    FILE_EXEC = "FILE_EXEC"
+    FILE_MMAP = "FILE_MMAP"
+    DIR_SEARCH = "DIR_SEARCH"
+    DIR_WRITE = "DIR_WRITE"
+    LNK_FILE_READ = "LNK_FILE_READ"
+    LINK_READ = "LINK_READ"  # alias used by rule R8 in the paper
+    SOCKET_BIND = "SOCKET_BIND"
+    SOCKET_SETATTR = "SOCKET_SETATTR"
+    UNIX_STREAM_SOCKET_CONNECT = "UNIX_STREAM_SOCKET_CONNECT"
+    PROCESS_SIGNAL_DELIVERY = "PROCESS_SIGNAL_DELIVERY"
+    SYSCALL_BEGIN = "SYSCALL_BEGIN"
+
+    @classmethod
+    def from_name(cls, name):
+        """Resolve a rule-language operation name, honouring aliases."""
+        name = name.upper()
+        if name == "LINK_READ":
+            return cls.LNK_FILE_READ
+        if name == "SOCKET_CONNECT":
+            return cls.UNIX_STREAM_SOCKET_CONNECT
+        return cls[name]
+
+
+#: SELinux object class implied by each operation, for policy lookup.
+OP_CLASS = {
+    Op.FILE_OPEN: "file",
+    Op.FILE_CREATE: "file",
+    Op.FILE_READ: "file",
+    Op.FILE_WRITE: "file",
+    Op.FILE_GETATTR: "file",
+    Op.FILE_SETATTR: "file",
+    Op.FILE_UNLINK: "file",
+    Op.FILE_EXEC: "file",
+    Op.FILE_MMAP: "file",
+    Op.DIR_SEARCH: "dir",
+    Op.DIR_WRITE: "dir",
+    Op.LNK_FILE_READ: "lnk_file",
+    Op.LINK_READ: "lnk_file",
+    Op.SOCKET_BIND: "sock_file",
+    Op.SOCKET_SETATTR: "sock_file",
+    Op.UNIX_STREAM_SOCKET_CONNECT: "unix_stream_socket",
+    Op.PROCESS_SIGNAL_DELIVERY: "process",
+    Op.SYSCALL_BEGIN: "process",
+}
+
+#: SELinux permission implied by each operation.
+OP_PERM = {
+    Op.FILE_OPEN: "open",
+    Op.FILE_CREATE: "create",
+    Op.FILE_READ: "read",
+    Op.FILE_WRITE: "write",
+    Op.FILE_GETATTR: "getattr",
+    Op.FILE_SETATTR: "setattr",
+    Op.FILE_UNLINK: "unlink",
+    Op.FILE_EXEC: "execute",
+    Op.FILE_MMAP: "map",
+    Op.DIR_SEARCH: "search",
+    Op.DIR_WRITE: "write",
+    Op.LNK_FILE_READ: "read",
+    Op.LINK_READ: "read",
+    Op.SOCKET_BIND: "bind",
+    Op.SOCKET_SETATTR: "setattr",
+    Op.UNIX_STREAM_SOCKET_CONNECT: "connectto",
+    Op.PROCESS_SIGNAL_DELIVERY: "signal",
+    Op.SYSCALL_BEGIN: "syscall",
+}
+
+
+class Operation:
+    """One mediated resource access — the firewall's "packet".
+
+    Attributes:
+        proc: the requesting :class:`repro.proc.Process`.
+        op: the :class:`Op`.
+        obj: the resolved object — an inode, a signal number for signal
+            delivery, or ``None`` (``SYSCALL_BEGIN``).
+        path: best-effort pathname for audit.
+        syscall: name of the invoking syscall.
+        args: raw syscall arguments (for the ``SYSCALL_ARGS`` match).
+        extra: op-specific context, e.g. ``link_target`` — the inode a
+            traversed symlink resolves to (consumed by rule R8's
+            ``COMPARE`` of link owner vs target owner).
+    """
+
+    __slots__ = ("proc", "op", "obj", "path", "syscall", "args", "extra")
+
+    def __init__(self, proc, op, obj=None, path=None, syscall="", args=(), extra=None):
+        self.proc = proc
+        self.op = op
+        self.obj = obj
+        self.path = path
+        self.syscall = syscall
+        self.args = tuple(args)
+        self.extra = extra or {}
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<Operation {} {} by pid {}>".format(
+            self.op.value, self.path or self.obj, self.proc.pid if self.proc else "?"
+        )
+
+
+class LSMDispatcher:
+    """Orders and runs the registered security modules.
+
+    A module is any object with ``authorize(operation)`` that raises to
+    deny.  Modules run in registration order; the Process Firewall must be
+    registered last so that it only sees already-authorized requests.
+    """
+
+    def __init__(self):
+        self._modules = []  # type: List[object]
+        #: Count of hook invocations, used by the benchmarks' cost model.
+        self.invocations = 0
+
+    def register(self, module):
+        self._modules.append(module)
+        return module
+
+    def unregister(self, module):
+        self._modules.remove(module)
+
+    def authorize(self, operation):
+        """Run every module; the first raise denies the operation."""
+        self.invocations += 1
+        for module in self._modules:
+            module.authorize(operation)

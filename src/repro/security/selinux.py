@@ -1,0 +1,220 @@
+"""SELinux-style mandatory access control (type enforcement subset).
+
+We model the part of SELinux the paper actually consumes:
+
+- **types** on subjects (process labels like ``httpd_t``) and objects
+  (file labels like ``shadow_t``);
+- **allow rules** ``allow(subject_type, object_type, class, perms)``;
+- a **TCB set** of trusted types — the paper's ``SYSHIGH`` keyword
+  (derived from the Integrity Walls work [40, 24]) naming all trusted
+  computing base subjects/objects;
+- enforcement over LSM hooks.
+
+Policies are built programmatically; :func:`reference_policy` constructs
+a small Ubuntu-flavoured targeted policy with the labels the paper's
+rules mention (``lib_t``, ``tmp_t``, ``httpd_user_script_exec_t``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro import errors
+from repro.security.lsm import OP_CLASS, OP_PERM
+
+
+class SELinuxPolicy:
+    """A type-enforcement policy."""
+
+    def __init__(self, enforcing=True):
+        self.enforcing = enforcing
+        self.types = set()  # type: Set[str]
+        #: (subject, object, class) -> set of permissions
+        self._allow = {}  # type: Dict[Tuple[str, str, str], Set[str]]
+        #: Trusted computing base types (the SYSHIGH set).
+        self.tcb_subjects = set()  # type: Set[str]
+        self.tcb_objects = set()  # type: Set[str]
+        #: Reverse-lookup memo for :meth:`subjects_allowed`; invalidated
+        #: on every :meth:`allow` (adversary computation is hot).
+        self._subjects_memo = {}
+
+    def declare_type(self, *names):
+        self.types.update(names)
+
+    def allow(self, subject, object_, klass, perms):
+        """Grant ``perms`` (iterable of strings, or "*") on a class."""
+        self.declare_type(subject, object_)
+        key = (subject, object_, klass)
+        bucket = self._allow.setdefault(key, set())
+        if perms == "*":
+            bucket.add("*")
+        else:
+            bucket.update(perms)
+        self._subjects_memo = {}
+
+    def allows(self, subject, object_, klass, perm):
+        bucket = self._allow.get((subject, object_, klass))
+        if bucket is None:
+            return False
+        return "*" in bucket or perm in bucket
+
+    def mark_tcb(self, *types, **kwargs):
+        """Add types to the SYSHIGH TCB set.
+
+        By default a type is trusted both as subject and object; pass
+        ``subject=False`` / ``object=False`` to restrict.
+        """
+        as_subject = kwargs.pop("subject", True)
+        as_object = kwargs.pop("object", True)
+        if kwargs:
+            raise TypeError("unexpected kwargs: {}".format(sorted(kwargs)))
+        self.declare_type(*types)
+        if as_subject:
+            self.tcb_subjects.update(types)
+        if as_object:
+            self.tcb_objects.update(types)
+
+    def is_tcb_subject(self, label):
+        return label in self.tcb_subjects
+
+    def is_tcb_object(self, label):
+        return label in self.tcb_objects
+
+    def subjects_allowed(self, object_, klass, perm):
+        """All subject types the policy grants ``perm`` on the object type."""
+        key = (object_, klass, perm)
+        cached = self._subjects_memo.get(key)
+        if cached is not None:
+            return cached
+        out = set()
+        for (subj, obj, kls), perms in self._allow.items():
+            if obj == object_ and kls == klass and ("*" in perms or perm in perms):
+                out.add(subj)
+        self._subjects_memo[key] = out
+        return out
+
+
+class SELinuxModule:
+    """LSM module enforcing an :class:`SELinuxPolicy`."""
+
+    def __init__(self, policy):
+        self.policy = policy
+        self.denials = []  # AVC-style denial records
+
+    def authorize(self, operation):
+        if not self.policy.enforcing:
+            return
+        obj_label = getattr(operation.obj, "label", None)
+        if obj_label is None:
+            return  # non-labeled object (signals etc.)
+        klass = OP_CLASS[operation.op]
+        perm = OP_PERM[operation.op]
+        subject = operation.proc.label
+        if not self.policy.allows(subject, obj_label, klass, perm):
+            self.denials.append((subject, obj_label, klass, perm, operation.path))
+            raise errors.EACCES(
+                "selinux: denied {{ {} }} for {} on {} ({})".format(perm, subject, obj_label, operation.path)
+            )
+
+
+#: Object labels the paper's rules reference, with the paths they label.
+REFERENCE_LABELS = {
+    "/bin": "bin_t",
+    "/usr/bin": "bin_t",
+    "/lib": "lib_t",
+    "/usr/lib": "lib_t",
+    "/usr/share": "usr_t",
+    "/usr": "usr_t",
+    "/etc": "etc_t",
+    "/etc/passwd": "etc_t",
+    "/etc/shadow": "shadow_t",
+    "/tmp": "tmp_t",
+    "/var": "var_t",
+    "/var/www": "httpd_sys_content_t",
+    "/var/run/dbus": "system_dbusd_var_run_t",
+    "/home": "user_home_dir_t",
+}
+
+#: Subject labels considered part of the TCB in the reference policy.
+REFERENCE_TCB_SUBJECTS = frozenset(
+    {
+        "init_t",
+        "sshd_t",
+        "httpd_t",
+        "system_dbusd_t",
+        "unconfined_t",
+        "ld_so_t",
+    }
+)
+
+#: Object labels considered high-integrity (SYSHIGH objects).
+REFERENCE_TCB_OBJECTS = frozenset(
+    {
+        "bin_t",
+        "lib_t",
+        "usr_t",
+        "etc_t",
+        "shadow_t",
+        "root_t",
+        "var_t",
+        "textrel_shlib_t",
+        "httpd_modules_t",
+        "httpd_config_t",
+        "httpd_sys_content_t",
+        "system_dbusd_var_run_t",
+        "httpd_user_script_exec_t",
+        "java_conf_t",
+    }
+)
+
+
+def reference_policy(enforcing=True):
+    """Build the small targeted policy used across tests and benchmarks.
+
+    Trusted subjects get broad access (the paper's point is exactly that
+    MAC permits too much per-syscall); the untrusted ``user_t`` subject
+    gets write access to shared and user-owned locations, which is what
+    makes those locations adversary-accessible.
+    """
+    policy = SELinuxPolicy(enforcing=enforcing)
+    policy.mark_tcb(*REFERENCE_TCB_SUBJECTS, object=False)
+    policy.mark_tcb(*REFERENCE_TCB_OBJECTS, subject=False)
+
+    all_objects = set(REFERENCE_LABELS.values()) | {
+        "unlabeled_t",
+        "root_t",
+        "tmp_t",
+        "user_home_t",
+        "user_tmp_t",
+        "textrel_shlib_t",
+        "httpd_modules_t",
+        "httpd_config_t",
+        "httpd_user_script_exec_t",
+        "httpd_user_content_t",
+        "java_conf_t",
+        "shadow_t",
+    }
+    classes = ("file", "dir", "lnk_file", "sock_file", "unix_stream_socket", "process")
+
+    for subject in REFERENCE_TCB_SUBJECTS:
+        for obj in all_objects:
+            for klass in classes:
+                policy.allow(subject, obj, klass, "*")
+
+    # The untrusted user: full control of its own and shared locations.
+    user_writable = {
+        "tmp_t",
+        "user_home_t",
+        "user_tmp_t",
+        "user_home_dir_t",
+        "httpd_user_content_t",
+        "httpd_user_script_exec_t",
+    }
+    for obj in user_writable:
+        for klass in classes:
+            policy.allow("user_t", obj, klass, "*")
+    # ... and read/execute access to most of the system (not shadow_t).
+    for obj in all_objects - {"shadow_t"}:
+        for klass in ("file", "dir", "lnk_file"):
+            policy.allow("user_t", obj, klass, ("read", "getattr", "search", "open", "execute"))
+    return policy

@@ -1,0 +1,17 @@
+"""The system-call API of the simulated kernel.
+
+:class:`repro.syscalls.api.SyscallAPI` exposes the calls the paper's
+programs and attacks use.  Every call:
+
+1. ticks the logical clock and emits a ``SYSCALL_BEGIN`` operation (the
+   firewall's ``syscallbegin`` chain — rule R12 hooks ``sigreturn``
+   here);
+2. resolves pathnames component-by-component, emitting one mediated
+   operation per directory search and per symlink traversal;
+3. passes the final resource access through DAC, the LSM/MAC modules,
+   and finally the Process Firewall.
+"""
+
+from repro.syscalls.api import SyscallAPI
+
+__all__ = ["SyscallAPI"]

@@ -1,0 +1,31 @@
+"""Virtual filesystem substrate.
+
+Implements the namespace semantics that resource access attacks depend on:
+
+- an inode table with **inode-number recycling** (needed to express the
+  "cryogenic sleep" TOCTTOU variant, where a freed inode number is reused
+  by the adversary to defeat dev/ino comparison checks);
+- a directory tree with hard links, symbolic links, sockets and FIFOs;
+- a **component-wise path walker** (:mod:`repro.vfs.namei`) that emits one
+  resource-access event per component, so per-component protections such as
+  ``safe_open`` and the paper's symlink rules can mediate every step.
+"""
+
+from repro.vfs.inode import FileType, Inode, InodeTable
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.file import OpenFile, OpenFlags
+from repro.vfs.stat import StatResult
+from repro.vfs.namei import PathWalker, WalkEvent, WalkStep
+
+__all__ = [
+    "FileType",
+    "Inode",
+    "InodeTable",
+    "FileSystem",
+    "OpenFile",
+    "OpenFlags",
+    "StatResult",
+    "PathWalker",
+    "WalkEvent",
+    "WalkStep",
+]

@@ -1,0 +1,95 @@
+"""Open file descriptions and open flags."""
+
+from __future__ import annotations
+
+import enum
+
+from repro import errors
+from repro.vfs.inode import FileType
+
+
+class OpenFlags(enum.IntFlag):
+    """Subset of ``open(2)`` flags the simulation honours."""
+
+    O_RDONLY = 0x0
+    O_WRONLY = 0x1
+    O_RDWR = 0x2
+    O_CREAT = 0x40
+    O_EXCL = 0x80
+    O_TRUNC = 0x200
+    O_APPEND = 0x400
+    O_NOFOLLOW = 0x20000
+    O_DIRECTORY = 0x10000
+
+    @property
+    def wants_write(self):
+        return bool(self & (OpenFlags.O_WRONLY | OpenFlags.O_RDWR))
+
+    @property
+    def wants_read(self):
+        return not bool(self & OpenFlags.O_WRONLY)
+
+
+class OpenFile:
+    """An open file description, shared by dup'ed descriptors.
+
+    Holding an :class:`OpenFile` pins the inode's number (the inode table
+    will not recycle it until the last open closes), matching real-kernel
+    semantics that the ``open_race`` defence relies on.
+    """
+
+    def __init__(self, inode, flags, path, inode_table):
+        self.inode = inode
+        self.flags = OpenFlags(flags)
+        self.path = path
+        self.offset = 0
+        self.closed = False
+        #: Descriptor references sharing this description (fork/dup).
+        self.refs = 1
+        self._table = inode_table
+        inode_table.opened(inode)
+
+    def dup(self):
+        """Add a descriptor reference (fork inheritance, dup)."""
+        self.refs += 1
+        return self
+
+    def read(self, size=None):
+        if self.closed:
+            raise errors.EBADF("read on closed file")
+        if not self.flags.wants_read:
+            raise errors.EBADF("file not open for reading")
+        if self.inode.itype is FileType.DIR:
+            raise errors.EISDIR("read on a directory")
+        data = self.inode.data[self.offset:]
+        if size is not None:
+            data = data[:size]
+        self.offset += len(data)
+        return data
+
+    def write(self, data):
+        if self.closed:
+            raise errors.EBADF("write on closed file")
+        if not self.flags.wants_write:
+            raise errors.EBADF("file not open for writing")
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        if self.flags & OpenFlags.O_APPEND:
+            self.offset = len(self.inode.data)
+        before = self.inode.data[: self.offset]
+        pad = b"\x00" * (self.offset - len(before))
+        self.inode.data = before + pad + data + self.inode.data[self.offset + len(data):]
+        self.offset += len(data)
+        return len(data)
+
+    def close(self):
+        if self.closed:
+            return
+        self.refs -= 1
+        if self.refs <= 0:
+            self.closed = True
+            self._table.closed(self.inode)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return "<OpenFile {} ino={} {}>".format(self.path, self.inode.ino, state)

@@ -1,0 +1,213 @@
+"""Component-wise pathname resolution (the kernel's ``namei``).
+
+The walker resolves one component at a time, physically following
+symbolic links with a loop limit, and reports **every step** to an
+observer callback.  The kernel wires that observer to LSM + Process
+Firewall mediation, which is how per-component defences (the paper's
+``safe_open_PF`` and rule R8) see each link traversal rather than only
+the final object.
+
+Semantics reproduced from Linux:
+
+- ``..`` in the root directory stays at the root;
+- ``..`` is resolved *physically* against the directory reached so far
+  (after symlink expansion), not lexically against the input string —
+  this is what makes ``../../etc/passwd`` directory-traversal inputs
+  effective when programs concatenate strings instead of walking;
+- a symlink in a non-final component is always followed; the final
+  component is followed unless the caller passes ``follow_final=False``
+  (``O_NOFOLLOW`` / ``lstat``);
+- at most ``max_symlinks`` expansions per resolution, then ``ELOOP``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from repro import errors
+
+
+class WalkEvent(enum.Enum):
+    """What happened at one step of a path walk."""
+
+    LOOKUP = "lookup"  # searched a directory for a component
+    SYMLINK_FOLLOW = "symlink_follow"  # read a symlink body and followed it
+    FINAL = "final"  # reached the terminal object
+
+
+class WalkStep:
+    """One mediated step of a resolution.
+
+    Attributes:
+        event: the :class:`WalkEvent` kind.
+        inode: the inode involved (directory searched, link read, or the
+            final object).
+        name: the component name being resolved at this step.
+        prefix: the canonical path of ``inode`` (best effort, for audit).
+        depth: 0-based count of components consumed so far.
+    """
+
+    __slots__ = ("event", "inode", "name", "prefix", "depth")
+
+    def __init__(self, event, inode, name, prefix, depth):
+        self.event = event
+        self.inode = inode
+        self.name = name
+        self.prefix = prefix
+        self.depth = depth
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<WalkStep {} {!r} at {!r} ino={}>".format(
+            self.event.value, self.name, self.prefix, self.inode.ino
+        )
+
+
+class ResolvedPath:
+    """Result of a resolution.
+
+    Attributes:
+        inode: the final inode, or ``None`` when resolving for create and
+            the final entry does not exist.
+        parent: the directory holding the final entry.
+        name: the final component name ("" when the path was "/").
+        path: canonical path of the final object.
+        steps: every :class:`WalkStep` taken, in order.
+        symlinks_followed: number of link expansions performed.
+    """
+
+    __slots__ = ("inode", "parent", "name", "path", "steps", "symlinks_followed")
+
+    def __init__(self, inode, parent, name, path, steps, symlinks_followed):
+        self.inode = inode
+        self.parent = parent
+        self.name = name
+        self.path = path
+        self.steps = steps
+        self.symlinks_followed = symlinks_followed
+
+
+def split_path(path):
+    """Split a path string into components, dropping empty and ``.``."""
+    if not isinstance(path, str) or not path:
+        raise errors.EINVAL("empty pathname")
+    if len(path) > 4096:
+        raise errors.ENAMETOOLONG(path[:32] + "...")
+    return [c for c in path.split("/") if c not in ("", ".")]
+
+
+class PathWalker:
+    """Resolves paths against a :class:`repro.vfs.FileSystem`."""
+
+    def __init__(self, fs, max_symlinks=40):
+        self.fs = fs
+        self.max_symlinks = max_symlinks
+
+    def resolve(
+        self,
+        path,
+        cwd=None,
+        follow_final=True,
+        want_parent=False,
+        observer=None,  # type: Optional[Callable[[WalkStep], None]]
+    ):
+        """Resolve ``path`` to a :class:`ResolvedPath`.
+
+        Args:
+            path: the pathname; absolute, or relative to ``cwd``.
+            cwd: the starting directory inode for relative paths.
+            follow_final: follow a symlink in the terminal position.
+            want_parent: stop at the parent directory; the final entry
+                need not exist (used by create/unlink/rename/bind).
+            observer: callback invoked with each :class:`WalkStep`; may
+                raise (e.g. :class:`repro.errors.PFDenied`) to abort the
+                walk — this is the mediation hook.
+
+        Raises:
+            ENOENT / ENOTDIR / ELOOP per POSIX semantics.
+        """
+        components = split_path(path)
+        absolute = path.startswith("/")
+        if absolute:
+            current = self.fs.root
+            ancestry = []  # parents of `current`, for ".."
+            prefix_parts = []  # type: List[str]
+        else:
+            if cwd is None:
+                raise errors.EINVAL("relative path with no cwd")
+            current = cwd
+            ancestry = []
+            prefix_parts = ["<cwd>"]
+
+        steps = []  # type: List[WalkStep]
+        followed = 0
+        depth = 0
+
+        def emit(event, inode, name):
+            step = WalkStep(event, inode, name, "/" + "/".join(prefix_parts), depth)
+            steps.append(step)
+            if observer is not None:
+                observer(step)
+
+        # Work queue of remaining components; symlink targets are spliced
+        # in at the front.  `final_marks[i]` is True when remaining[i] is a
+        # terminal component of the *original* path (not of a link body
+        # expansion in non-final position).
+        remaining = list(components)
+
+        while remaining:
+            name = remaining.pop(0)
+            is_final = not remaining
+
+            if name == "..":
+                if ancestry:
+                    current = ancestry.pop()
+                    prefix_parts.pop()
+                # ".." at the root stays at the root
+                continue
+
+            if not current.is_dir:
+                raise errors.ENOTDIR("/" + "/".join(prefix_parts))
+
+            if want_parent and is_final:
+                emit(WalkEvent.LOOKUP, current, name)
+                child = None
+                if self.fs.exists(current, name):
+                    child = self.fs.lookup(current, name)
+                full = "/" + "/".join(prefix_parts + [name])
+                return ResolvedPath(child, current, name, full, steps, followed)
+
+            emit(WalkEvent.LOOKUP, current, name)
+            child = self.fs.lookup(current, name)
+            depth += 1
+
+            if child.is_symlink and (not is_final or follow_final):
+                followed += 1
+                if followed > self.max_symlinks:
+                    raise errors.ELOOP("/" + "/".join(prefix_parts + [name]))
+                emit(WalkEvent.SYMLINK_FOLLOW, child, name)
+                target = child.symlink_target or ""
+                target_components = split_path(target) if target else []
+                if target.startswith("/"):
+                    current = self.fs.root
+                    ancestry = []
+                    prefix_parts = []
+                remaining = target_components + remaining
+                continue
+
+            if child.is_symlink and is_final and not follow_final:
+                # Terminal symlink with nofollow: hand it back as-is.
+                prefix_parts.append(name)
+                emit(WalkEvent.FINAL, child, name)
+                return ResolvedPath(child, current, name, "/" + "/".join(prefix_parts), steps, followed)
+
+            ancestry.append(current)
+            prefix_parts.append(name)
+            current = child
+
+        # Path fully consumed (e.g. "/", "a/..", or a trailing symlink
+        # that expanded to nothing).
+        emit(WalkEvent.FINAL, current, prefix_parts[-1] if prefix_parts else "/")
+        parent = ancestry[-1] if ancestry else self.fs.root
+        name = prefix_parts[-1] if prefix_parts else ""
+        return ResolvedPath(current, parent, name, "/" + "/".join(prefix_parts), steps, followed)

@@ -1,0 +1,60 @@
+"""Stat results returned by ``stat``/``lstat``/``fstat``.
+
+A :class:`StatResult` is a point-in-time snapshot: it records the inode's
+identity and attributes at the moment of the call and does **not** track
+later changes.  Programs that compare two snapshots (the classic
+``lstat``/``open``/``fstat`` dance of Figure 1a) therefore race exactly
+the way real programs do.
+"""
+
+from __future__ import annotations
+
+from repro.vfs.inode import FileType, S_ISUID
+
+
+class StatResult:
+    """Immutable snapshot of an inode's metadata."""
+
+    __slots__ = ("st_dev", "st_ino", "st_mode", "st_uid", "st_gid", "st_nlink", "st_size", "st_type", "st_label", "st_generation")
+
+    def __init__(self, inode):
+        self.st_dev = inode.device
+        self.st_ino = inode.ino
+        self.st_mode = inode.mode
+        self.st_uid = inode.uid
+        self.st_gid = inode.gid
+        self.st_nlink = inode.nlink
+        self.st_size = len(inode.data) if inode.data else 0
+        self.st_type = inode.itype
+        self.st_label = inode.label
+        self.st_generation = inode.generation
+
+    def is_symlink(self):
+        """``S_ISLNK`` equivalent."""
+        return self.st_type is FileType.LNK
+
+    def is_dir(self):
+        return self.st_type is FileType.DIR
+
+    def is_regular(self):
+        return self.st_type is FileType.REG
+
+    def is_setuid(self):
+        return bool(self.st_mode & S_ISUID)
+
+    def identity(self):
+        """The ``(dev, ino)`` pair used in check/use comparisons."""
+        return (self.st_dev, self.st_ino)
+
+    def same_file(self, other):
+        """Compare identities the way Figure 1a's lines 8-9 do.
+
+        Intentionally compares only ``(dev, ino)`` — not generation — so
+        that inode recycling can defeat it, as in the paper.
+        """
+        return self.st_dev == other.st_dev and self.st_ino == other.st_ino
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<StatResult dev={} ino={} type={} uid={}>".format(
+            self.st_dev, self.st_ino, self.st_type.value, self.st_uid
+        )

@@ -1,0 +1,25 @@
+"""Workloads driving the performance evaluation (Tables 6-7, Figures 4-5).
+
+Timing is real wall-clock over the *simulated* syscall path, so
+absolute numbers are Python-speed, not kernel-speed; the reproduction
+targets are the relative shapes — which configuration costs more, and
+how each engine optimization recovers it.
+"""
+
+from repro.workloads.lmbench import LMBENCH_OPS, LmbenchSuite, TABLE6_COLUMNS
+from repro.workloads.macro import MacrobenchSuite, TABLE7_CONFIGS
+from repro.workloads.openbench import run_figure4, syscall_counts, time_variant
+from repro.workloads.webbench import apache_requests_per_second, figure5_sweep
+
+__all__ = [
+    "LMBENCH_OPS",
+    "LmbenchSuite",
+    "TABLE6_COLUMNS",
+    "MacrobenchSuite",
+    "TABLE7_CONFIGS",
+    "apache_requests_per_second",
+    "figure5_sweep",
+    "run_figure4",
+    "syscall_counts",
+    "time_variant",
+]

@@ -1,0 +1,136 @@
+"""lmbench-style syscall microbenchmarks (Table 6).
+
+Each operation is one lmbench row: ``null`` (getpid), ``stat``,
+``read``, ``write``, ``fstat``, ``open+close``, ``fork+exit``,
+``fork+execve`` and ``fork+sh -c``.  A :class:`LmbenchSuite` prepares a
+world under one Table 6 column configuration and exposes the operations
+as zero-argument callables for the timing harness.
+"""
+
+from __future__ import annotations
+
+import time
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.rulesets.generated import install_full_rulebase
+from repro.world import build_world
+
+#: Table 6 column -> (attach firewall?, EngineConfig factory, full rules?)
+TABLE6_COLUMNS = {
+    "DISABLED": ("disabled", False),
+    "BASE": ("optimized", False),
+    "FULL": ("unoptimized", True),
+    "CONCACHE": ("concache", True),
+    "LAZYCON": ("lazycon", True),
+    "EPTSPC": ("optimized", True),
+}
+
+#: The paper's measurement file (average path length on their system
+#: was 2.3 components; /etc/passwd has 2).
+TARGET_FILE = "/etc/passwd"
+
+
+class LmbenchSuite:
+    """One configured world plus the nine operations."""
+
+    def __init__(self, column="DISABLED", rule_count=None):
+        config_name, full_rules = TABLE6_COLUMNS[column]
+        self.column = column
+        self.kernel = build_world()
+        firewall = ProcessFirewall(getattr(EngineConfig, config_name)())
+        self.kernel.attach_firewall(firewall)
+        self.firewall = firewall
+        if full_rules:
+            if rule_count is None:
+                install_full_rulebase(firewall)
+            else:
+                install_full_rulebase(firewall, size=rule_count)
+        self.proc = self.kernel.spawn("lmbench", uid=0, label="unconfined_t", binary_path="/bin/sh")
+        # Realistic call depth: entrypoint collection cost scales with
+        # stack depth on real systems, and a syscall is never issued
+        # from main() in practice.
+        for i in range(25):
+            self.proc.call(self.proc.binary, 0x900000 + i * 0x40, function="f{}".format(i))
+        # Pre-open a descriptor for read/write/fstat rows.
+        self.fd = self.kernel.sys.open(self.proc, TARGET_FILE)
+        self._scratch = self.kernel.add_file("/tmp/lmbench-scratch", b"x" * 64, uid=0, mode=0o600)
+        self.wfd = self.kernel.sys.open(self.proc, "/tmp/lmbench-scratch", flags=0x1)  # O_WRONLY
+
+    # ---- the nine operations ----------------------------------------
+
+    def op_null(self):
+        self.kernel.sys.getpid(self.proc)
+
+    def op_stat(self):
+        self.kernel.sys.stat(self.proc, TARGET_FILE)
+
+    def op_read(self):
+        self.kernel.sys.read(self.proc, self.fd, 16)
+
+    def op_write(self):
+        self.kernel.sys.write(self.proc, self.wfd, b"y")
+
+    def op_fstat(self):
+        self.kernel.sys.fstat(self.proc, self.fd)
+
+    def op_open_close(self):
+        fd = self.kernel.sys.open(self.proc, TARGET_FILE)
+        self.kernel.sys.close(self.proc, fd)
+
+    def op_fork_exit(self):
+        child = self.kernel.sys.fork(self.proc)
+        self.kernel.sys.exit(child, 0)
+
+    def op_fork_execve(self):
+        child = self.kernel.sys.fork(self.proc)
+        self.kernel.sys.execve(child, "/bin/sh")
+        self.kernel.sys.exit(child, 0)
+
+    def op_fork_sh(self):
+        """fork + exec /bin/sh -c 'true': exec plus a little shell work."""
+        child = self.kernel.sys.fork(self.proc)
+        self.kernel.sys.execve(child, "/bin/sh", argv=["/bin/sh", "-c", "true"])
+        self.kernel.sys.stat(child, "/bin/sh")
+        self.kernel.sys.getpid(child)
+        self.kernel.sys.exit(child, 0)
+
+    def operations(self):
+        """The Table 6 rows, in print order."""
+        return [
+            ("null", self.op_null),
+            ("stat", self.op_stat),
+            ("read", self.op_read),
+            ("write", self.op_write),
+            ("fstat", self.op_fstat),
+            ("open+close", self.op_open_close),
+            ("fork+exit", self.op_fork_exit),
+            ("fork+execve", self.op_fork_execve),
+            ("fork+sh -c", self.op_fork_sh),
+        ]
+
+
+LMBENCH_OPS = [name for name, _fn in LmbenchSuite("DISABLED").operations()]
+
+
+def time_operation(fn, iterations=2000, warmup=50):
+    """Average microseconds per call (simple steady-state timing)."""
+    for _ in range(warmup):
+        fn()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    elapsed = time.perf_counter() - start
+    return elapsed / iterations * 1e6
+
+
+def run_table6(iterations=2000, columns=None, rule_count=None):
+    """Measure every (operation, column) cell.
+
+    Returns ``{op_name: {column: microseconds}}``.
+    """
+    columns = list(columns or TABLE6_COLUMNS)
+    results = {name: {} for name in LMBENCH_OPS}
+    for column in columns:
+        suite = LmbenchSuite(column, rule_count=rule_count)
+        for name, fn in suite.operations():
+            results[name][column] = time_operation(fn, iterations=iterations)
+    return results

@@ -1,0 +1,81 @@
+"""Figure 4: the ``open`` variants as a function of path length.
+
+Measures microseconds per call for each program-side defence of
+:mod:`repro.programs.libc` at path lengths n ∈ {1, 4, 7}, plus
+``safe_open_PF`` (a plain open under the firewall's system-wide
+safe-open rules).  The expected shape: ``safe_open`` grows steeply with
+n (≥4 extra syscalls per component) while ``safe_open_PF`` stays within
+a few percent of the bare ``open``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.programs.libc import OPEN_VARIANTS
+from repro.rulesets.default import safe_open_pf_rules
+from repro.world import build_world
+
+#: The paper's path lengths.
+FIGURE4_PATH_LENGTHS = (1, 4, 7)
+
+
+def _build(depth, with_firewall):
+    kernel = build_world()
+    kernel.audit_enabled = False
+    if with_firewall:
+        firewall = ProcessFirewall(EngineConfig.optimized())
+        kernel.attach_firewall(firewall)
+        firewall.install_all(safe_open_pf_rules())
+    parts = ["bench"] + ["d{}".format(i) for i in range(depth - 2)] if depth > 1 else []
+    path = ""
+    for part in parts:
+        path += "/" + part
+        kernel.mkdirs(path, label="var_t")
+    path = (path or "") + "/target-file"
+    kernel.add_file(path, b"payload", label="var_t")
+    proc = kernel.spawn("bench", uid=0, label="unconfined_t", binary_path="/bin/sh")
+    assert len([p for p in path.split("/") if p]) == depth
+    return kernel, proc, path
+
+
+def time_variant(variant, depth, iterations=400):
+    """Average µs/call for one variant at one path length."""
+    fn = OPEN_VARIANTS[variant]
+    kernel, proc, path = _build(depth, with_firewall=(variant == "safe_open_PF"))
+    sys = kernel.sys
+
+    def once():
+        fd = fn(kernel, proc, path)
+        sys.close(proc, fd)
+
+    for _ in range(20):
+        once()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        once()
+    elapsed = time.perf_counter() - start
+    return elapsed / iterations * 1e6
+
+
+def run_figure4(path_lengths=FIGURE4_PATH_LENGTHS, iterations=400):
+    """The full Figure 4 grid: ``{variant: {n: microseconds}}``."""
+    results = {name: {} for name in OPEN_VARIANTS}
+    for depth in path_lengths:
+        for variant in OPEN_VARIANTS:
+            results[variant][depth] = time_variant(variant, depth, iterations=iterations)
+    return results
+
+
+def syscall_counts(path_lengths=FIGURE4_PATH_LENGTHS):
+    """Syscalls per call for each variant (the *why* behind Figure 4)."""
+    out = {name: {} for name in OPEN_VARIANTS}
+    for depth in path_lengths:
+        for variant, fn in OPEN_VARIANTS.items():
+            kernel, proc, path = _build(depth, with_firewall=(variant == "safe_open_PF"))
+            before = kernel.stats.total_syscalls
+            fd = fn(kernel, proc, path)
+            kernel.sys.close(proc, fd)
+            out[variant][depth] = kernel.stats.total_syscalls - before - 1  # exclude the close
+    return out

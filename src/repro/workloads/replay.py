@@ -1,0 +1,190 @@
+"""Syscall trace recording and replay.
+
+Capture a workload's syscall stream once, then re-execute it against
+differently configured kernels — the methodology behind Table 7's
+apples-to-apples comparisons, exposed as a tool:
+
+    with record_syscalls(kernel) as trace:
+        ...  # run the workload
+    trace.save("workload.trace.json")
+
+    other = build_world(); other.attach_firewall(...)
+    replay(other, Trace.load("workload.trace.json"),
+           {1: spawn_root_shell(other)})
+
+Recording wraps ``kernel.sys``; every call is logged as
+``(pid, method, args, kwargs)`` with processes referenced by pid.
+Replay translates pids through a live mapping (extending it at
+``fork``) and can either propagate or tally per-call failures — a
+replay against a *stricter* kernel is expected to see denials.
+"""
+
+from __future__ import annotations
+
+import base64
+import contextlib
+import json
+from typing import Dict, List
+
+from repro import errors
+from repro.proc.process import Process
+
+#: Methods whose non-proc positional arguments include a pid needing
+#: translation at replay time: method -> index into recorded args.
+_PID_ARGS = {"kill": 0}
+
+
+def _encode_value(value):
+    if isinstance(value, bytes):
+        return {"__bytes__": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, (frozenset, set)):
+        return {"__set__": sorted(value)}
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, dict) and "__bytes__" in value:
+        return base64.b64decode(value["__bytes__"])
+    if isinstance(value, dict) and "__set__" in value:
+        return set(value["__set__"])
+    return value
+
+
+class Trace:
+    """A recorded syscall stream."""
+
+    def __init__(self, entries=None):
+        #: Entries: (pid, method, args, kwargs, child_pid_or_None)
+        self.entries = list(entries or [])
+
+    def append(self, pid, method, args, kwargs, child_pid=None):
+        self.entries.append((pid, method, list(args), dict(kwargs), child_pid))
+
+    def __len__(self):
+        return len(self.entries)
+
+    # ---- persistence --------------------------------------------------
+
+    def to_json(self):
+        payload = [
+            {
+                "pid": pid,
+                "method": method,
+                "args": [_encode_value(a) for a in args],
+                "kwargs": {k: _encode_value(v) for k, v in kwargs.items()},
+                "child": child,
+            }
+            for pid, method, args, kwargs, child in self.entries
+        ]
+        return json.dumps(payload, indent=None, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text):
+        trace = cls()
+        for item in json.loads(text):
+            trace.append(
+                item["pid"],
+                item["method"],
+                [_decode_value(a) for a in item["args"]],
+                {k: _decode_value(v) for k, v in item["kwargs"].items()},
+                child_pid=item.get("child"),
+            )
+        return trace
+
+    def save(self, path):
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+
+class _RecordingSyscalls:
+    """Proxy for :class:`repro.syscalls.SyscallAPI` that logs calls."""
+
+    def __init__(self, inner, trace):
+        self._inner = inner
+        self._trace = trace
+
+    def __getattr__(self, name):
+        method = getattr(self._inner, name)
+        if not callable(method) or name.startswith("_"):
+            return method
+
+        def wrapper(proc, *args, **kwargs):
+            if not isinstance(proc, Process):
+                return method(proc, *args, **kwargs)
+            result = method(proc, *args, **kwargs)
+            child_pid = result.pid if name == "fork" and isinstance(result, Process) else None
+            self._trace.append(proc.pid, name, args, kwargs, child_pid=child_pid)
+            return result
+
+        return wrapper
+
+
+@contextlib.contextmanager
+def record_syscalls(kernel):
+    """Context manager: record every ``kernel.sys`` call made inside.
+
+    Only *successful* calls are recorded (a failed call changed
+    nothing, so replaying it adds noise, not state).
+    """
+    trace = Trace()
+    original = kernel.sys
+    kernel.sys = _RecordingSyscalls(original, trace)
+    try:
+        yield trace
+    finally:
+        kernel.sys = original
+
+
+class ReplayResult:
+    """Outcome of a replay run."""
+
+    def __init__(self):
+        self.executed = 0
+        self.failures = []  # (index, method, errno_name)
+
+    @property
+    def failed(self):
+        return len(self.failures)
+
+
+def replay(kernel, trace, proc_map, tolerate_failures=True):
+    """Re-execute a trace against ``kernel``.
+
+    Args:
+        kernel: the target world (configure its firewall first).
+        trace: a :class:`Trace`.
+        proc_map: recorded pid -> live :class:`Process` in ``kernel``;
+            extended automatically at ``fork`` entries.
+        tolerate_failures: collect denials instead of raising — the
+            expected mode when replaying against stricter rules.
+
+    Returns a :class:`ReplayResult`.
+    """
+    result = ReplayResult()
+    proc_map = dict(proc_map)
+    for index, (pid, method, args, kwargs, child_pid) in enumerate(trace.entries):
+        proc = proc_map.get(pid)
+        if proc is None or not proc.alive:
+            continue
+        call_args = list(args)
+        pid_index = _PID_ARGS.get(method)
+        if pid_index is not None and pid_index < len(call_args):
+            target = proc_map.get(call_args[pid_index])
+            if target is None:
+                continue
+            call_args[pid_index] = target.pid
+        try:
+            value = getattr(kernel.sys, method)(proc, *call_args, **kwargs)
+            result.executed += 1
+            if method == "fork" and child_pid is not None:
+                proc_map[child_pid] = value
+        except errors.KernelError as exc:
+            if not tolerate_failures:
+                raise
+            result.failures.append((index, method, exc.errno_name))
+    return result

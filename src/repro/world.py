@@ -1,0 +1,89 @@
+"""Standard world construction: an Ubuntu-10.04-flavoured filesystem.
+
+Tests, examples, and benchmarks all start from the same small "distro"
+image: system directories with reference-policy labels, a root user, an
+untrusted local user (uid 1000, label ``user_t``) who owns ``/home/user``
+and can write the sticky ``/tmp`` — which is exactly what makes those
+locations adversary-accessible.
+"""
+
+from __future__ import annotations
+
+from repro.kernel import Kernel
+from repro.security.selinux import reference_policy
+
+#: The unprivileged local adversary used across scenarios.
+ADVERSARY_UID = 1000
+
+
+def build_world(enforcing_mac=True):
+    """Create a kernel with the standard filesystem and policy.
+
+    Returns the :class:`repro.kernel.Kernel`; callers spawn their own
+    processes.
+    """
+    kernel = Kernel(policy=reference_policy(enforcing=enforcing_mac))
+    fs_layout(kernel)
+    kernel.adversaries.register_uid(ADVERSARY_UID)
+    return kernel
+
+
+def fs_layout(kernel):
+    """Populate the standard directory tree and system files."""
+    k = kernel
+    k.mkdirs("/bin", label="bin_t")
+    k.mkdirs("/usr/bin", label="bin_t")
+    k.mkdirs("/usr/sbin", label="bin_t")
+    k.mkdirs("/lib", label="lib_t")
+    k.mkdirs("/usr/lib", label="lib_t")
+    k.mkdirs("/usr/share", label="usr_t")
+    k.mkdirs("/etc", label="etc_t")
+    k.mkdirs("/var", label="var_t")
+    k.mkdirs("/var/www", label="httpd_sys_content_t")
+    k.mkdirs("/var/www/html", label="httpd_sys_content_t")
+    k.mkdirs("/var/run", label="var_t")
+    k.mkdirs("/var/run/dbus", label="system_dbusd_var_run_t")
+    k.mkdirs("/tmp", mode=0o1777, label="tmp_t")
+    k.mkdirs("/home", label="user_home_dir_t")
+    k.mkdirs("/home/user", uid=ADVERSARY_UID, mode=0o755, label="user_home_t")
+
+    # System binaries and libraries referenced by the paper's rules.
+    for path in (
+        "/bin/sh",
+        "/bin/bash",
+        "/bin/dbus-daemon",
+        "/usr/bin/apache2",
+        "/usr/bin/php5",
+        "/usr/bin/python2.7",
+        "/usr/bin/java",
+        "/usr/bin/icecat",
+        "/usr/bin/dstat",
+        "/usr/sbin/sshd",
+    ):
+        k.add_file(path, b"\x7fELF", mode=0o755, label="bin_t")
+    for path in (
+        "/lib/ld-2.15.so",
+        "/lib/libc.so.6",
+        "/lib/libdbus-1.so.3",
+        "/lib/libssl.so",
+        "/usr/lib/libphp5.so",
+    ):
+        k.add_file(path, b"\x7fELF", mode=0o755, label="lib_t")
+
+    # Sensitive system files.
+    k.add_file("/etc/passwd", b"root:x:0:0:/root:/bin/sh\nuser:x:1000:1000:/home/user:/bin/sh\n", label="etc_t")
+    k.add_file("/etc/shadow", b"root:$6$secret\n", mode=0o600, label="shadow_t")
+    k.add_file("/etc/ld.so.conf", b"/lib\n/usr/lib\n", label="etc_t")
+
+    # Web content.
+    k.add_file("/var/www/html/index.html", b"<html>hello</html>", label="httpd_sys_content_t")
+    return kernel
+
+
+def spawn_root_shell(kernel, comm="sh"):
+    return kernel.spawn(comm, uid=0, label="unconfined_t", binary_path="/bin/sh")
+
+
+def spawn_adversary(kernel, comm="attacker"):
+    """The untrusted local user's process."""
+    return kernel.spawn(comm, uid=ADVERSARY_UID, label="user_t", binary_path="/bin/sh", cwd="/home/user")

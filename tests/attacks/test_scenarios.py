@@ -1,0 +1,73 @@
+"""The non-Table-4 scenarios: traversal, squats, TOCTTOU variants,
+signal invariants — each attacked and benign."""
+
+import pytest
+
+from repro.attacks.search_path import ShellPathHijack
+from repro.attacks.squat import FileSquatReport, SocketSquat
+from repro.attacks.symlink import HardlinkClobber, SetuidTempfileLinkFollow
+from repro.attacks.sigrace import SigreturnResetsState
+from repro.attacks.toctou import AccessOpenRace, CryogenicSleepRace, LstatOpenSymlinkSwap
+from repro.attacks.traversal import ApacheDirectoryTraversal, ApacheTraversalFilteredStillLeaks
+
+ALL_SCENARIOS = [
+    ApacheDirectoryTraversal,
+    ApacheTraversalFilteredStillLeaks,
+    FileSquatReport,
+    SocketSquat,
+    SetuidTempfileLinkFollow,
+    HardlinkClobber,
+    ShellPathHijack,
+    AccessOpenRace,
+    LstatOpenSymlinkSwap,
+    CryogenicSleepRace,
+]
+
+
+@pytest.mark.parametrize("scenario_cls", ALL_SCENARIOS, ids=lambda c: c.__name__)
+class TestScenarioMatrix:
+    def test_succeeds_without_firewall(self, scenario_cls):
+        result = scenario_cls().run(with_firewall=False)
+        assert result.succeeded, result.detail
+
+    def test_blocked_with_firewall(self, scenario_cls):
+        result = scenario_cls().run(with_firewall=True)
+        assert not result.succeeded
+        assert result.blocked, result.detail
+
+    def test_benign_preserved(self, scenario_cls):
+        assert scenario_cls().run_benign(with_firewall=True)
+
+
+class TestSignalInvariants:
+    def test_sigkill_never_blocked(self):
+        scenario = SigreturnResetsState()
+        result = scenario.run(with_firewall=True)
+        assert not result.succeeded  # victim died despite the rules
+
+    def test_delivery_works_after_sigreturn(self):
+        assert SigreturnResetsState().run_benign(with_firewall=True)
+
+
+class TestTwoContextStory:
+    """The introduction's web-server example: the serving entrypoint is
+    confined while authentication keeps privileged access — in one
+    process, something access control alone cannot express."""
+
+    def test_serve_blocked_auth_allowed(self):
+        scenario = ApacheDirectoryTraversal()
+        scenario.build(with_firewall=True)
+        response = scenario.server.serve("/../../../../etc/shadow")
+        assert response.status == 403
+        assert scenario.server.authenticate("root", "secret")
+
+
+class TestCryogenicSubtleties:
+    def test_program_check_passes_but_object_differs(self):
+        """The unprotected run must show the (dev,ino) check *passing*
+        while the object is the adversary's — the attack's essence."""
+        scenario = CryogenicSleepRace()
+        result = scenario.run(with_firewall=False)
+        assert result.succeeded
+        assert scenario.check_passed
+        assert scenario.opened_generation != scenario.checked_generation

@@ -1,0 +1,68 @@
+"""The attack taxonomy (Tables 1-2) and scenario coverage."""
+
+import pytest
+
+from repro.attacks.taxonomy import ATTACK_CLASSES, CVE_SHARE, table1_rows
+
+
+class TestTable1Data:
+    def test_eight_classes(self):
+        assert len(ATTACK_CLASSES) == 8
+        assert len(table1_rows()) == 8
+
+    def test_print_order(self):
+        names = [c.name for c in table1_rows()]
+        assert names[0] == "Untrusted Search Path"
+        assert names[-1] == "Signal Races"
+
+    def test_cve_counts_match_paper(self):
+        traversal = ATTACK_CLASSES["directory_traversal"]
+        assert (traversal.cve_pre2007, traversal.cve_2007_2012) == (1057, 1514)
+        races = ATTACK_CLASSES["toctou_race"]
+        assert (races.cve_pre2007, races.cve_2007_2012) == (17, 14)
+
+    def test_share_footer(self):
+        assert CVE_SHARE["<2007"] == pytest.approx(0.1240)
+        assert CVE_SHARE["2007-12"] == pytest.approx(0.0941)
+
+    def test_cwe_ids(self):
+        assert ATTACK_CLASSES["php_file_inclusion"].cwe == "CWE-98"
+        assert ATTACK_CLASSES["link_following"].cwe == "CWE-59"
+
+
+class TestTable2Semantics:
+    def test_search_path_family_unsafe_is_adversary_accessible(self):
+        cls = ATTACK_CLASSES["untrusted_search_path"]
+        assert "accessible" in cls.unsafe_resource
+        assert "inaccessible" in cls.safe_resource
+
+    def test_traversal_family_is_inverted(self):
+        """Rows 2: for traversal/link-following the *unsafe* resource is
+        the adversary-inaccessible (high-value) one."""
+        cls = ATTACK_CLASSES["directory_traversal"]
+        assert "inaccessible" in cls.unsafe_resource
+
+    def test_temporal_classes_need_trace_context(self):
+        assert "syscall_trace" in ATTACK_CLASSES["toctou_race"].process_context
+        assert "in_signal_handler" in ATTACK_CLASSES["signal_race"].process_context
+
+    def test_spatial_classes_need_entrypoint_only(self):
+        assert ATTACK_CLASSES["php_file_inclusion"].process_context == ("entrypoint",)
+
+
+class TestScenarioCoverage:
+    def test_every_class_has_a_runnable_scenario(self):
+        """No taxonomy row is paper-ware: each has at least one scenario
+        exercising it end to end."""
+        from repro.attacks.exploits import EXPLOITS
+        from tests.attacks.test_scenarios import ALL_SCENARIOS
+
+        covered = {cls().attack_class if callable(cls) else cls.attack_class for cls in ALL_SCENARIOS}
+        covered |= {scenario_cls.attack_class for scenario_cls in EXPLOITS.values()}
+        assert set(ATTACK_CLASSES) <= covered
+
+    def test_scenarios_reference_valid_classes(self):
+        from repro.attacks.exploits import EXPLOITS
+
+        for scenario_cls in EXPLOITS.values():
+            assert scenario_cls.attack_class in ATTACK_CLASSES

@@ -1,0 +1,40 @@
+"""Shared fixtures: worlds, processes, firewalls."""
+
+import pytest
+
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.kernel import Kernel
+from repro.security.selinux import reference_policy
+from repro.world import build_world, spawn_adversary, spawn_root_shell
+
+
+@pytest.fixture
+def kernel():
+    """A bare kernel with the reference MAC policy, empty filesystem."""
+    return Kernel(policy=reference_policy())
+
+
+@pytest.fixture
+def world():
+    """The standard Ubuntu-flavoured world."""
+    return build_world()
+
+
+@pytest.fixture
+def root(world):
+    """A root shell process in the standard world."""
+    return spawn_root_shell(world)
+
+
+@pytest.fixture
+def adversary(world):
+    """The uid-1000 untrusted local user."""
+    return spawn_adversary(world)
+
+
+@pytest.fixture
+def firewall(world):
+    """An optimized-engine firewall attached to the standard world."""
+    pf = ProcessFirewall(EngineConfig.optimized())
+    world.attach_firewall(pf)
+    return pf

@@ -1,0 +1,131 @@
+"""Context fields, frames, and context modules."""
+
+import pytest
+
+from repro.firewall.context import ContextField, ContextFrame, SYSCALL_SCOPED, field_scope
+from repro.firewall.modules.registry import CONTEXT_MODULES, collect_field
+from repro.proc.stack import BinaryImage
+from repro.security.lsm import Op, Operation
+from repro.world import build_world
+
+
+@pytest.fixture
+def world():
+    return build_world()
+
+
+@pytest.fixture
+def proc(world):
+    return world.spawn("prog", uid=0, label="httpd_t", binary_path="/usr/bin/apache2")
+
+
+def file_operation(world, proc, path="/etc/passwd", op=Op.FILE_OPEN):
+    return Operation(proc, op, obj=world.lookup(path), path=path)
+
+
+class TestFrame:
+    def test_bitmask_tracks_collection(self):
+        frame = ContextFrame()
+        assert not frame.has(ContextField.ENTRYPOINT)
+        frame.put(ContextField.ENTRYPOINT, ())
+        assert frame.has(ContextField.ENTRYPOINT)
+        assert frame.get(ContextField.ENTRYPOINT) == ()
+
+    def test_scopes(self):
+        assert field_scope(ContextField.ENTRYPOINT) == "syscall"
+        assert field_scope(ContextField.OBJECT_LABEL) == "operation"
+        assert field_scope(ContextField.RESOURCE_ID) == "operation"
+
+    def test_syscall_scoped_extraction(self):
+        frame = ContextFrame()
+        frame.put(ContextField.ENTRYPOINT, (("/x", 1),))
+        frame.put(ContextField.OBJECT_LABEL, "tmp_t")
+        cached = frame.syscall_scoped_values()
+        assert ContextField.ENTRYPOINT in cached
+        assert ContextField.OBJECT_LABEL not in cached
+
+    def test_absorb_cached(self):
+        frame = ContextFrame()
+        frame.absorb_cached({ContextField.PROGRAM: "/bin/sh"})
+        assert frame.get(ContextField.PROGRAM) == "/bin/sh"
+
+
+class TestModules:
+    def test_every_field_has_module(self):
+        for field in ContextField:
+            assert field in CONTEXT_MODULES
+
+    def test_subject_label(self, world, proc):
+        op = file_operation(world, proc)
+        assert CONTEXT_MODULES[ContextField.SUBJECT_LABEL].collect(op, world) == "httpd_t"
+
+    def test_object_label(self, world, proc):
+        op = file_operation(world, proc)
+        assert CONTEXT_MODULES[ContextField.OBJECT_LABEL].collect(op, world) == "etc_t"
+
+    def test_resource_id(self, world, proc):
+        op = file_operation(world, proc)
+        dev, ino = CONTEXT_MODULES[ContextField.RESOURCE_ID].collect(op, world)
+        assert (dev, ino) == world.lookup("/etc/passwd").identity()
+
+    def test_resource_id_for_signal(self, world, proc):
+        op = Operation(proc, Op.PROCESS_SIGNAL_DELIVERY)
+        op.extra["signum"] = 14
+        assert CONTEXT_MODULES[ContextField.RESOURCE_ID].collect(op, world) == ("signal", 14)
+
+    def test_program(self, world, proc):
+        op = file_operation(world, proc)
+        assert CONTEXT_MODULES[ContextField.PROGRAM].collect(op, world) == "/usr/bin/apache2"
+
+    def test_entrypoint_innermost_first(self, world, proc):
+        proc.call(proc.binary, 0x100, "outer")
+        proc.call(proc.binary, 0x200, "inner")
+        op = file_operation(world, proc)
+        entries = CONTEXT_MODULES[ContextField.ENTRYPOINT].collect(op, world)
+        assert entries[0] == ("/usr/bin/apache2", 0x200)
+        assert entries[1] == ("/usr/bin/apache2", 0x100)
+
+    def test_entrypoint_skips_forged_frames(self, world, proc):
+        proc.stack.push(0xDEAD)  # no image
+        op = file_operation(world, proc)
+        assert CONTEXT_MODULES[ContextField.ENTRYPOINT].collect(op, world) == ()
+
+    def test_entrypoint_corrupt_stack_graceful(self, world, proc):
+        """§4.4: a corrupted stack yields empty context, not a crash."""
+        proc.call(proc.binary, 0x100)
+        proc.stack.corrupt_below = 0
+        op = file_operation(world, proc)
+        assert CONTEXT_MODULES[ContextField.ENTRYPOINT].collect(op, world) == ()
+
+    def test_entrypoint_infinite_stack_bounded(self, world, proc):
+        proc.call(proc.binary, 0x100)
+        proc.stack.infinite = True
+        op = file_operation(world, proc)
+        entries = CONTEXT_MODULES[ContextField.ENTRYPOINT].collect(op, world)
+        assert len(entries) <= proc.stack.MAX_UNWIND_FRAMES
+
+    def test_adversary_writable(self, world, proc):
+        world.add_file("/tmp/loose", mode=0o666)
+        op = file_operation(world, proc, "/tmp/loose")
+        assert CONTEXT_MODULES[ContextField.ADV_WRITABLE].collect(op, world) is True
+        op2 = file_operation(world, proc, "/etc/passwd")
+        assert CONTEXT_MODULES[ContextField.ADV_WRITABLE].collect(op2, world) is False
+
+    def test_tgt_dac_owner_uses_resolver(self, world, proc):
+        op = file_operation(world, proc)
+        op.extra["link_target_resolver"] = lambda: world.lookup("/etc/passwd")
+        assert CONTEXT_MODULES[ContextField.TGT_DAC_OWNER].collect(op, world) == 0
+
+    def test_tgt_dac_owner_without_resolver(self, world, proc):
+        op = file_operation(world, proc)
+        assert CONTEXT_MODULES[ContextField.TGT_DAC_OWNER].collect(op, world) is None
+
+    def test_collect_field_records_stats(self, world, proc):
+        from repro.firewall.engine import EngineStats
+
+        stats = EngineStats()
+        frame = ContextFrame()
+        collect_field(ContextField.ENTRYPOINT, file_operation(world, proc), world, frame, stats)
+        assert frame.has(ContextField.ENTRYPOINT)
+        assert stats.context_collections["ENTRYPOINT"] == 1
+        assert stats.context_cost >= CONTEXT_MODULES[ContextField.ENTRYPOINT].cost

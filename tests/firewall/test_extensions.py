@@ -1,0 +1,259 @@
+"""Extension features: script entrypoints, C_OBJ identity,
+persistence/listing, hit counters, denial analysis."""
+
+import pytest
+
+from repro import errors
+from repro.analysis.denials import collect_denials, render_denials, suspected_vulnerabilities
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.firewall.persist import list_rules, load_rules, save_rules
+from repro.programs.php import PhpInterpreter
+from repro.proc.interp import InterpreterStack
+from repro.rulesets.default import RULES_R1_R12, toctou_rules
+from repro.world import build_world, spawn_adversary, spawn_root_shell
+
+
+@pytest.fixture
+def world():
+    return build_world()
+
+
+@pytest.fixture
+def firewall(world):
+    pf = ProcessFirewall(EngineConfig.optimized())
+    world.attach_firewall(pf)
+    return pf
+
+
+class TestScriptEntrypoints:
+    """-m SCRIPT distinguishes scripts sharing one interpreter opcode."""
+
+    APP = "/var/www/html/app"
+
+    @pytest.fixture
+    def php(self, world):
+        world.mkdirs(self.APP, label="httpd_user_script_exec_t")
+        world.add_file(self.APP + "/controller.php", b"<?php include(...); ?>")
+        world.add_file(self.APP + "/vulnerable.php", b"<?php include($_GET['x']); ?>")
+        world.add_file(self.APP + "/page.php", b"<?php ok(); ?>")
+        proc = world.spawn("php5", uid=0, label="httpd_t", binary_path="/usr/bin/php5")
+        return PhpInterpreter(world, proc)
+
+    def test_script_match_pins_the_vulnerable_script(self, world, firewall, php):
+        firewall.install(
+            "pftables -A input -o FILE_OPEN -m SCRIPT --file {}/vulnerable.php -d ~{{SYSHIGH}} -j DROP".format(self.APP)
+        )
+        world.add_file("/tmp/evil", b"<?php evil(); ?>", uid=1000, mode=0o666)
+        # Include issued from the vulnerable script: dropped.
+        with pytest.raises(errors.PFDenied):
+            php.run_component(self.APP, "", "../../../../../tmp/evil\x00",
+                              controller=self.APP + "/vulnerable.php")
+        # The *same* include from a different (trusted) script: allowed.
+        source = php.run_component(self.APP, "", "../../../../../tmp/evil\x00",
+                                   controller=self.APP + "/controller.php")
+        assert source == b"<?php evil(); ?>"
+
+    def test_script_line_match(self, world, firewall, php):
+        firewall.install(
+            "pftables -A input -o FILE_OPEN -m SCRIPT --file {}/controller.php --line 17 "
+            "-d ~{{SYSHIGH}} -j DROP".format(self.APP)
+        )
+        world.add_file("/tmp/evil", b"x", uid=1000, mode=0o666)
+        with pytest.raises(errors.PFDenied):
+            php.run_component(self.APP, "", "../../../../../tmp/evil\x00",
+                              controller=self.APP + "/controller.php", controller_line=17)
+        # Same script, different line: not this rule's concern.
+        php.run_component(self.APP, "", "../../../../../tmp/evil\x00",
+                          controller=self.APP + "/controller.php", controller_line=30)
+
+    def test_native_program_never_matches_script_rule(self, world, firewall):
+        firewall.install("pftables -A input -o FILE_OPEN -m SCRIPT --file /x.php -j DROP")
+        root = spawn_root_shell(world)
+        world.sys.open(root, "/etc/passwd")  # no script stack: allowed
+
+    def test_corrupted_script_stack_degrades(self, world, firewall, php):
+        firewall.install(
+            "pftables -A input -o FILE_OPEN -m SCRIPT --file {}/vulnerable.php -j DROP".format(self.APP)
+        )
+        php.proc.script_stack = InterpreterStack("php")
+        php.proc.script_stack.push(self.APP + "/vulnerable.php", 1)
+        php.proc.script_stack.corrupt_below = 0
+        # Unwind aborts -> no context -> no match -> allowed (only the
+        # corrupting process loses protection, §4.4).
+        php.include(self.APP + "/page.php")
+
+    def test_script_match_renders_and_reparses(self):
+        from repro.firewall.pftables import parse_rule
+
+        text = "pftables -A input -o FILE_OPEN -m SCRIPT --file /a.php --line 9 -j DROP"
+        rendered = parse_rule(text).rule.render()
+        assert "--file /a.php" in rendered and "--line 9" in rendered
+        assert parse_rule("pftables -A input " + rendered)
+
+
+class TestObjIdentityAtom:
+    """C_OBJ (dev, ino, generation) is sound under inode recycling."""
+
+    def _run_cryo(self, identity):
+        from repro.attacks.toctou import EPT_SPOOL_CHECK, EPT_SPOOL_OPEN, CryogenicSleepRace
+
+        scenario = CryogenicSleepRace()
+
+        def rules(_self=scenario):
+            return toctou_rules(
+                "/usr/sbin/spoold", EPT_SPOOL_CHECK, "FILE_GETATTR",
+                EPT_SPOOL_OPEN, "FILE_OPEN", identity=identity,
+            )
+
+        scenario.rules = rules
+        return scenario.run(with_firewall=True)
+
+    def test_c_ino_is_defeated_by_recycling(self):
+        result = self._run_cryo("C_INO")
+        assert result.succeeded  # the paper's printed atom is blind here
+
+    def test_c_obj_blocks_recycling(self):
+        result = self._run_cryo("C_OBJ")
+        assert not result.succeeded
+        assert result.blocked
+
+    def test_c_obj_no_false_positive(self, world, firewall):
+        from repro.attacks.toctou import EPT_SPOOL_CHECK, EPT_SPOOL_OPEN, CryogenicSleepRace
+
+        scenario = CryogenicSleepRace()
+        scenario.rules = lambda: toctou_rules(
+            "/usr/sbin/spoold", EPT_SPOOL_CHECK, "FILE_GETATTR",
+            EPT_SPOOL_OPEN, "FILE_OPEN", identity="C_OBJ",
+        )
+        assert scenario.run_benign(with_firewall=True)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, firewall):
+        firewall.install_all(RULES_R1_R12)
+        saved = save_rules(firewall)
+        clone = ProcessFirewall()
+        count = load_rules(clone, saved)
+        assert count == 12
+        assert save_rules(clone) == saved
+
+    def test_roundtrip_preserves_decisions(self, world, firewall):
+        firewall.install("pftables -A input -o FILE_OPEN -d shadow_t -j DROP")
+        saved = save_rules(firewall)
+        firewall.flush()
+        load_rules(firewall, saved)
+        root = spawn_root_shell(world)
+        with pytest.raises(errors.PFDenied):
+            world.sys.open(root, "/etc/shadow")
+
+    def test_load_flushes_by_default(self, firewall):
+        firewall.install("pftables -A input -o FILE_OPEN -d shadow_t -j DROP")
+        load_rules(firewall, save_rules(firewall))
+        assert firewall.rules.rule_count() == 1
+
+    def test_load_append_mode(self, firewall):
+        firewall.install("pftables -A input -o FILE_OPEN -d shadow_t -j DROP")
+        load_rules(firewall, "*filter\n-A input -o FILE_READ -d shadow_t -j DROP\nCOMMIT\n", flush=False)
+        assert firewall.rules.rule_count() == 2
+
+    def test_corrupt_file_rejected_before_applying(self, firewall):
+        firewall.install("pftables -A input -o FILE_OPEN -d shadow_t -j DROP")
+        with pytest.raises(errors.EINVAL):
+            load_rules(firewall, "*filter\nGARBAGE LINE\nCOMMIT\n")
+        # The pre-existing base must be intact (parse-then-apply).
+        assert firewall.rules.rule_count() == 1
+
+    def test_comments_and_blank_lines_ignored(self, firewall):
+        load_rules(firewall, "# saved by pftables\n\n*filter\n:input\nCOMMIT\n")
+        assert firewall.rules.rule_count() == 0
+
+
+class TestHitCountersAndListing:
+    def test_hits_increment_on_match_only(self, world, firewall):
+        rule = firewall.install("pftables -A input -o FILE_OPEN -d shadow_t -j DROP")
+        root = spawn_root_shell(world)
+        world.sys.open(root, "/etc/passwd")  # different label: no hit
+        assert rule.hits == 0
+        with pytest.raises(errors.PFDenied):
+            world.sys.open(root, "/etc/shadow")
+        assert rule.hits == 1
+
+    def test_listing_contains_rules_and_hits(self, world, firewall):
+        firewall.install("pftables -A input -o FILE_OPEN -d shadow_t -j DROP")
+        root = spawn_root_shell(world)
+        with pytest.raises(errors.PFDenied):
+            world.sys.open(root, "/etc/shadow")
+        text = list_rules(firewall, verbose=True)
+        assert "Chain input" in text
+        assert "-o FILE_OPEN" in text
+        assert "1 hits" in text
+
+    def test_log_and_state_rules_count_hits(self, world, firewall):
+        rule = firewall.install("pftables -A input -o FILE_OPEN -j LOG")
+        root = spawn_root_shell(world)
+        world.sys.open(root, "/etc/passwd")
+        assert rule.hits == 1
+
+
+class TestDenialAnalysis:
+    def test_denials_grouped_and_rendered(self, world, firewall):
+        firewall.install("pftables -A input -o FILE_OPEN -d shadow_t -j DROP")
+        root = spawn_root_shell(world)
+        for _ in range(3):
+            with pytest.raises(errors.PFDenied):
+                world.sys.open(root, "/etc/shadow")
+        reports = collect_denials(world)
+        assert len(reports) == 1
+        report = reports[0]
+        assert report.count == 3
+        assert report.comm == "sh"
+        assert "/etc/shadow" in report.paths
+        assert "shadow_t" in report.rule_text
+        assert "3 x sh FILE_OPEN" in render_denials(reports)
+
+    def test_no_denials_message(self, world):
+        assert render_denials(collect_denials(world)) == "no firewall denials recorded"
+
+    def test_e8_discovery_workflow(self):
+        """The Icecat story: run the 'benign' browser under R1, then
+        find the silently-blocked library load in the denial logs."""
+        from repro.attacks.search_path import IcecatEnvironmentLibrary
+
+        scenario = IcecatEnvironmentLibrary()
+        result = scenario.run(with_firewall=True)
+        assert result.blocked
+        reports = suspected_vulnerabilities(scenario.kernel, benign_programs=("icecat",))
+        assert reports
+        assert reports[0].comm == "icecat"
+        assert any("/tmp" in p for p in reports[0].paths)
+
+
+class TestBashScriptEntrypoints:
+    """The second interpreter language: bash `source` backtraces."""
+
+    def test_script_rule_pins_sourcing_script(self, world, firewall):
+        from repro.programs.shell import ShellScript
+
+        firewall.install(
+            "pftables -A input -o FILE_OPEN -m SCRIPT --file /etc/init.d/vulnerable "
+            "-d ~{SYSHIGH} -j DROP"
+        )
+        world.add_file("/tmp/payload.sh", b"evil", uid=1000, mode=0o666)
+        world.add_file("/etc/functions.sh", b"helpers", label="etc_t")
+        proc = world.spawn("bash", uid=0, label="init_t", binary_path="/bin/bash")
+        script = ShellScript(world, proc)
+        # The vulnerable script sourcing a /tmp file: dropped.
+        with pytest.raises(errors.PFDenied):
+            script.source_file("/tmp/payload.sh", calling_script="/etc/init.d/vulnerable")
+        # Same source from a different script: outside the rule.
+        assert script.source_file("/tmp/payload.sh", calling_script="/etc/init.d/other") == b"evil"
+        # The vulnerable script sourcing trusted helpers: allowed.
+        assert script.source_file("/etc/functions.sh", calling_script="/etc/init.d/vulnerable") == b"helpers"
+
+    def test_bash_language_recorded(self, world):
+        from repro.programs.shell import ShellScript
+
+        world.add_file("/etc/functions.sh", b"x", label="etc_t")
+        proc = world.spawn("bash", uid=0, label="init_t", binary_path="/bin/bash")
+        ShellScript(world, proc).source_file("/etc/functions.sh")
+        assert proc.script_stack.language == "bash"

@@ -1,0 +1,116 @@
+"""Rule, chain, and rule-base structure."""
+
+import pytest
+
+from repro import errors
+from repro.firewall import matches as mm
+from repro.firewall import targets as tg
+from repro.firewall.context import ContextField
+from repro.firewall.pftables import parse_rule
+from repro.firewall.rule import Chain, Rule, RuleBase, Table
+from repro.security.lsm import Op
+
+
+def rule(text):
+    return parse_rule(text).rule
+
+
+class TestRule:
+    def test_required_fields_union(self):
+        r = rule("pftables -s SYSHIGH -d tmp_t -i 0x10 -p /bin/x -o FILE_OPEN -j DROP")
+        fields = r.required_fields
+        assert fields & ContextField.SUBJECT_LABEL
+        assert fields & ContextField.OBJECT_LABEL
+        assert fields & ContextField.ENTRYPOINT
+
+    def test_entrypoint_key(self):
+        r = rule("pftables -i 0x10 -p /bin/x -o FILE_OPEN -j DROP")
+        assert r.entrypoint_key() == ("/bin/x", 0x10)
+        assert rule("pftables -o FILE_OPEN -j DROP").entrypoint_key() is None
+
+    def test_op_filter(self):
+        assert rule("pftables -o FILE_OPEN -j DROP").op_filter() is Op.FILE_OPEN
+        assert rule("pftables -d tmp_t -j DROP").op_filter() is None
+
+    def test_render_contains_all_parts(self):
+        r = rule("pftables -o FILE_OPEN -d tmp_t -j DROP")
+        rendered = r.render()
+        assert "-o FILE_OPEN" in rendered and "-d tmp_t" in rendered and "-j DROP" in rendered
+
+
+class TestChain:
+    def test_reindex_preamble_vs_buckets(self):
+        chain = Chain("input")
+        plain = rule("pftables -o FILE_OPEN -j DROP")
+        pinned = rule("pftables -i 0x10 -p /bin/x -o FILE_OPEN -j DROP")
+        chain.append(plain)
+        chain.append(pinned)
+        assert chain.preamble == [plain]
+        assert chain.by_entrypoint[("/bin/x", 0x10)] == [pinned]
+
+    def test_relevant_ops_collected(self):
+        chain = Chain("input")
+        chain.append(rule("pftables -o FILE_OPEN -j DROP"))
+        chain.append(rule("pftables -o FILE_READ -j DROP"))
+        assert chain.relevant_ops == {Op.FILE_OPEN, Op.FILE_READ}
+
+    def test_rule_without_op_wildcards_relevance(self):
+        chain = Chain("input")
+        chain.append(rule("pftables -d tmp_t -j DROP"))
+        assert chain.relevant_ops is None
+
+    def test_insert_positions(self):
+        chain = Chain("input")
+        first = rule("pftables -o FILE_OPEN -j DROP")
+        second = rule("pftables -o FILE_READ -j DROP")
+        chain.append(first)
+        chain.insert(second, 0)
+        assert chain.rules == [second, first]
+
+    def test_delete_reindexes(self):
+        chain = Chain("input")
+        r = rule("pftables -i 0x10 -p /bin/x -o FILE_OPEN -j DROP")
+        chain.append(r)
+        chain.delete(r)
+        assert chain.by_entrypoint == {}
+
+    def test_flush(self):
+        chain = Chain("input")
+        chain.append(rule("pftables -o FILE_OPEN -j DROP"))
+        chain.flush()
+        assert len(chain) == 0
+
+
+class TestTableAndBase:
+    def test_builtin_chains_exist(self):
+        table = Table("filter")
+        for name in ("input", "output", "syscallbegin", "create"):
+            assert table.chain(name).builtin
+
+    def test_unknown_chain_raises_without_create(self):
+        with pytest.raises(errors.EINVAL):
+            Table("filter").chain("ghost")
+
+    def test_create_user_chain(self):
+        table = Table("filter")
+        chain = table.chain("mine", create=True)
+        assert not chain.builtin
+
+    def test_rulebase_required_fields_recomputed(self):
+        base = RuleBase()
+        base.install("filter", "input", rule("pftables -s SYSHIGH -o FILE_OPEN -j DROP"))
+        assert base.required_fields & ContextField.SUBJECT_LABEL
+        base.install("filter", "input", rule("pftables -d tmp_t -o FILE_OPEN -j DROP"))
+        assert base.required_fields & ContextField.OBJECT_LABEL
+
+    def test_rulebase_remove(self):
+        base = RuleBase()
+        r = rule("pftables -s SYSHIGH -o FILE_OPEN -j DROP")
+        base.install("filter", "input", r)
+        base.remove("filter", "input", r)
+        assert base.rule_count() == 0
+        assert base.required_fields == ContextField(0)
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(errors.EINVAL):
+            RuleBase().table("ghost")

@@ -1,0 +1,106 @@
+"""Rule-base linting."""
+
+import pytest
+
+from repro.firewall.engine import ProcessFirewall
+from repro.firewall.validate import lint_rulebase, render_findings
+from repro.rulesets.default import RULES_R1_R12
+from repro.world import build_world
+
+
+@pytest.fixture
+def firewall():
+    return ProcessFirewall()
+
+
+@pytest.fixture
+def world():
+    return build_world()
+
+
+def kinds(findings):
+    return [f.kind for f in findings]
+
+
+class TestShadowing:
+    def test_identical_rule_after_drop_is_shadowed(self, firewall):
+        firewall.install("pftables -A input -o FILE_OPEN -d shadow_t -j DROP")
+        firewall.install("pftables -A input -o FILE_OPEN -d shadow_t -j DROP")
+        assert kinds(lint_rulebase(firewall)) == ["shadowed"]
+
+    def test_log_then_drop_not_shadowed(self, firewall):
+        """A side-effect rule does not decide, so a later identical
+        verdict rule still fires."""
+        firewall.install("pftables -A input -o FILE_OPEN -d shadow_t -j LOG")
+        firewall.install("pftables -A input -o FILE_OPEN -d shadow_t -j DROP")
+        assert lint_rulebase(firewall) == []
+
+    def test_different_matches_not_shadowed(self, firewall):
+        firewall.install("pftables -A input -o FILE_OPEN -d shadow_t -j DROP")
+        firewall.install("pftables -A input -o FILE_OPEN -d etc_t -j DROP")
+        assert lint_rulebase(firewall) == []
+
+
+class TestLabelAndProgramChecks:
+    def test_unknown_label_reported(self, firewall, world):
+        firewall.install("pftables -A input -o FILE_OPEN -d no_such_t -j DROP")
+        findings = lint_rulebase(firewall, policy=world.adversaries.policy)
+        assert kinds(findings) == ["unknown-label"]
+        assert "no_such_t" in findings[0].detail
+
+    def test_syshigh_is_not_a_label(self, firewall, world):
+        firewall.install("pftables -A input -o FILE_OPEN -d ~{SYSHIGH} -j DROP")
+        assert lint_rulebase(firewall, policy=world.adversaries.policy) == []
+
+    def test_missing_program_reported(self, firewall, world):
+        firewall.install("pftables -A input -i 0x10 -p /usr/bin/ghost -o FILE_OPEN -j DROP")
+        findings = lint_rulebase(firewall, kernel=world)
+        assert kinds(findings) == ["missing-program"]
+
+    def test_present_program_clean(self, firewall, world):
+        firewall.install("pftables -A input -i 0x10 -p /usr/bin/apache2 -o FILE_OPEN -j DROP")
+        assert lint_rulebase(firewall, kernel=world) == []
+
+
+class TestChainReachability:
+    def test_unjumped_user_chain_reported(self, firewall):
+        firewall.install("pftables -A orphan_chain -o FILE_OPEN -j DROP")
+        assert kinds(lint_rulebase(firewall)) == ["unreachable-chain"]
+
+    def test_jumped_chain_clean(self, firewall):
+        firewall.install("pftables -A input -o FILE_OPEN -j side")
+        firewall.install("pftables -A side -d shadow_t -j DROP")
+        assert lint_rulebase(firewall) == []
+
+
+class TestShippedRulesAreClean:
+    def test_r1_r12_lint_clean(self, firewall, world):
+        firewall.install_all(RULES_R1_R12)
+        findings = lint_rulebase(firewall, policy=world.adversaries.policy, kernel=world)
+        assert findings == [], render_findings(findings)
+
+    def test_package_rules_lint_clean(self, world):
+        from repro.rulesets.packages import all_packages, install_packages
+
+        firewall = ProcessFirewall()
+        install_packages(firewall, all_packages())
+        findings = lint_rulebase(firewall, policy=world.adversaries.policy, kernel=world)
+        assert findings == [], render_findings(findings)
+
+
+class TestCli:
+    def test_pfctl_lint_clean(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "ok.pf"
+        path.write_text("\n".join(RULES_R1_R12) + "\n")
+        assert main(["lint", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_pfctl_lint_findings_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bad.pf"
+        path.write_text("pftables -A input -o FILE_OPEN -d typo_t -j DROP\n")
+        assert main(["lint", str(path)]) == 3
+        assert "unknown-label" in capsys.readouterr().out

@@ -1,0 +1,39 @@
+"""Value atoms and literal coercion."""
+
+import pytest
+
+from repro.firewall.context import ContextField
+from repro.firewall.values import Value, is_atom
+
+
+class TestCoercion:
+    def test_decimal(self):
+        assert Value("42").literal == 42
+
+    def test_hex(self):
+        assert Value("0xbeef").literal == 0xBEEF
+
+    def test_quoted_string(self):
+        assert Value("'sig'").literal == "sig"
+
+    def test_plain_string(self):
+        assert Value("NR_sigreturn").literal == "NR_sigreturn"
+
+    def test_int_passthrough(self):
+        assert Value(7).literal == 7
+
+
+class TestAtoms:
+    def test_is_atom(self):
+        assert is_atom("C_INO")
+        assert not is_atom("c_ino")
+        assert not is_atom(42)
+
+    def test_atom_required_field(self):
+        assert Value("C_INO").required_field is ContextField.RESOURCE_ID
+        assert Value("C_DAC_OWNER").required_field is ContextField.DAC_OWNER
+        assert Value("C_TGT_DAC_OWNER").required_field is ContextField.TGT_DAC_OWNER
+        assert Value("5").required_field is None
+
+    def test_literal_resolve_needs_no_engine(self):
+        assert Value("5").resolve(None, None, None) == 5

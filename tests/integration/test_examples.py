@@ -1,0 +1,41 @@
+"""Every example script runs to completion (in-process)."""
+
+import io
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+EXAMPLES = sorted(f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, monkeypatch):
+    buffer = io.StringIO()
+    monkeypatch.setattr(sys, "stdout", buffer)
+    runpy.run_path(os.path.join(EXAMPLES_DIR, script), run_name="__main__")
+    output = buffer.getvalue()
+    assert output.strip(), "{} printed nothing".format(script)
+    assert "Traceback" not in output
+
+
+def test_expected_examples_present():
+    names = {
+        "quickstart.py",
+        "webserver_hardening.py",
+        "toctou_defense.py",
+        "rule_generation.py",
+        "library_hijack.py",
+    }
+    assert names <= set(EXAMPLES)
+
+
+def test_quickstart_blocks(monkeypatch):
+    buffer = io.StringIO()
+    monkeypatch.setattr(sys, "stdout", buffer)
+    runpy.run_path(os.path.join(EXAMPLES_DIR, "quickstart.py"), run_name="__main__")
+    output = buffer.getvalue()
+    assert "attack succeeded" in output  # stock kernel half
+    assert "attack BLOCKED" in output  # firewall half

@@ -1,0 +1,91 @@
+"""Interleaving search: the firewall wins under *every* schedule.
+
+A TOCTTOU defence that only works for the interleaving the developer
+imagined is no defence.  These tests drive the victim/adversary pairs
+under randomized schedules (seeded, so failures replay) and assert:
+
+- unprotected: some schedule makes the attack succeed (the race is
+  real);
+- protected: **no** schedule lets the attack goal hold.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import errors
+from repro.firewall.engine import ProcessFirewall
+from repro.rulesets.default import safe_open_pf_rules
+from repro.sched.scheduler import Scheduler
+from repro.vfs.file import OpenFlags
+from repro.world import build_world, spawn_adversary, spawn_root_shell
+
+SECRET_TARGET = "/etc/shadow"
+WORK = "/tmp/work-file"
+
+
+def _build(protected):
+    kernel = build_world()
+    if protected:
+        firewall = kernel.attach_firewall(ProcessFirewall())
+        firewall.install_all(safe_open_pf_rules())
+    victim = spawn_root_shell(kernel, comm="victim")
+    adversary = spawn_adversary(kernel)
+    return kernel, victim, adversary
+
+
+def _victim_steps(kernel, victim, outcome):
+    """open_nolink with a preemption point in the check/use window."""
+    sys = kernel.sys
+    try:
+        st_ = sys.lstat(victim, WORK)
+        if st_.is_symlink():
+            return
+        yield
+        fd = sys.open(victim, WORK)
+        outcome["leaked"] = sys.read(victim, fd)
+        sys.close(victim, fd)
+    except errors.KernelError as exc:
+        outcome["error"] = exc
+    if False:  # pragma: no cover - make this a generator even on error
+        yield
+
+
+def _adversary_steps(kernel, adversary):
+    sys = kernel.sys
+    fd = sys.open(adversary, WORK, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666)
+    sys.write(adversary, fd, b"innocent")
+    sys.close(adversary, fd)
+    yield
+    try:
+        sys.unlink(adversary, WORK)
+        sys.symlink(adversary, SECRET_TARGET, WORK)
+    except errors.KernelError:
+        pass
+    yield
+
+
+def _run(protected, seed):
+    kernel, victim, adversary = _build(protected)
+    outcome = {}
+    sched = Scheduler(policy="random", seed=seed)
+    sched.add("adversary", _adversary_steps(kernel, adversary))
+    sched.add("victim", _victim_steps(kernel, victim, outcome))
+    sched.run()
+    leaked = outcome.get("leaked", b"")
+    return b"secret" in leaked
+
+
+def test_unprotected_race_is_winnable():
+    """Some schedule leaks the secret on a stock kernel."""
+    assert any(_run(protected=False, seed=seed) for seed in range(30))
+
+
+def test_unprotected_race_is_losable_too():
+    """And some schedule doesn't — it really is a race."""
+    assert any(not _run(protected=False, seed=seed) for seed in range(30))
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_protected_never_leaks_under_any_schedule(seed):
+    assert not _run(protected=True, seed=seed)

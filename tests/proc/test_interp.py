@@ -1,0 +1,63 @@
+"""Interpreter (script-level) stacks."""
+
+import pytest
+
+from repro import errors
+from repro.proc.interp import InterpreterStack, ScriptFrame
+
+
+class TestScriptFrame:
+    def test_entrypoint(self):
+        frame = ScriptFrame("/app/x.php", 17, function="render")
+        assert frame.entrypoint() == ("/app/x.php", 17)
+
+    def test_line_coerced_to_int(self):
+        assert ScriptFrame("/x", "42").line == 42
+
+
+class TestInterpreterStack:
+    def test_push_pop(self):
+        stack = InterpreterStack("php")
+        stack.push("/a.php", 1)
+        stack.push("/b.php", 2)
+        assert stack.depth == 2
+        assert stack.pop().path == "/b.php"
+        assert stack.top().path == "/a.php"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(errors.EFAULT):
+            InterpreterStack().pop()
+
+    def test_unwind_innermost_first(self):
+        stack = InterpreterStack()
+        stack.push("/a.php", 1)
+        stack.push("/b.php", 2)
+        frames = stack.unwind()
+        assert [f.path for f in frames] == ["/b.php", "/a.php"]
+
+    def test_unwind_cap(self):
+        stack = InterpreterStack()
+        for i in range(100):
+            stack.push("/x.php", i)
+        assert len(stack.unwind(max_frames=8)) == 8
+
+    def test_corruption_raises(self):
+        stack = InterpreterStack()
+        stack.push("/a.php", 1)
+        stack.corrupt_below = 0
+        with pytest.raises(errors.EFAULT):
+            stack.unwind()
+
+    def test_infinite_bounded(self):
+        stack = InterpreterStack()
+        stack.push("/a.php", 1)
+        stack.infinite = True
+        assert len(stack.unwind(max_frames=10)) == 10
+
+    def test_infinite_empty_terminates(self):
+        stack = InterpreterStack()
+        stack.infinite = True
+        assert stack.unwind() == []
+
+    def test_language_recorded(self):
+        assert InterpreterStack("bash").language == "bash"

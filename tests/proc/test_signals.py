@@ -1,0 +1,66 @@
+"""Signal state bookkeeping."""
+
+import pytest
+
+from repro.proc import signals as sig
+from repro.proc.signals import SignalDisposition, SignalState
+
+
+class TestDisposition:
+    def test_default_unhandled(self):
+        assert not SignalDisposition().is_handled
+
+    def test_pc_handler(self):
+        assert SignalDisposition(handler_pc=0x100).is_handled
+
+    def test_callable_handler(self):
+        assert SignalDisposition(handler=lambda p, s: None).is_handled
+
+
+class TestBlocking:
+    def test_block_unblock(self):
+        state = SignalState()
+        state.block({sig.SIGTERM})
+        assert state.is_blocked(sig.SIGTERM)
+        state.unblock({sig.SIGTERM})
+        assert not state.is_blocked(sig.SIGTERM)
+
+    def test_sigkill_never_blockable(self):
+        state = SignalState()
+        state.block({sig.SIGKILL})
+        assert not state.is_blocked(sig.SIGKILL)
+
+    def test_sigstop_never_blockable(self):
+        state = SignalState()
+        state.block({sig.SIGSTOP})
+        assert not state.is_blocked(sig.SIGSTOP)
+
+
+class TestHandlerDepth:
+    def test_enter_leave(self):
+        state = SignalState()
+        state.enter_handler(sig.SIGALRM)
+        assert state.in_handler
+        assert state.current_signal == sig.SIGALRM
+        state.leave_handler()
+        assert not state.in_handler
+        assert state.current_signal is None
+
+    def test_nested_depth(self):
+        state = SignalState()
+        state.enter_handler(sig.SIGALRM)
+        state.enter_handler(sig.SIGTERM)
+        assert state.handler_depth == 2
+        state.leave_handler()
+        assert state.in_handler
+
+    def test_sa_mask_applied_on_entry(self):
+        state = SignalState()
+        state.set_handler(sig.SIGALRM, handler_pc=0x1, sa_mask={sig.SIGTERM})
+        state.enter_handler(sig.SIGALRM)
+        assert state.is_blocked(sig.SIGTERM)
+
+    def test_leave_below_zero_harmless(self):
+        state = SignalState()
+        state.leave_handler()
+        assert state.handler_depth == 0

@@ -1,0 +1,114 @@
+"""Binary images, frames, and defensive stack unwinding."""
+
+import pytest
+
+from repro import errors
+from repro.proc.stack import BinaryImage, Frame, UserStack
+
+
+class TestBinaryImage:
+    def test_base_is_deterministic_per_path(self):
+        a = BinaryImage("/bin/sh")
+        b = BinaryImage("/bin/sh")
+        assert a.base == b.base  # seeded by path hash
+
+    def test_different_paths_differ(self):
+        assert BinaryImage("/bin/sh").base != BinaryImage("/usr/bin/php5").base
+
+    def test_contains(self):
+        image = BinaryImage("/bin/sh", base=0x400000, size=0x1000)
+        assert image.contains(0x400000)
+        assert image.contains(0x400FFF)
+        assert not image.contains(0x401000)
+        assert not image.contains(0x3FFFFF)
+
+    def test_rel_abs_roundtrip(self):
+        image = BinaryImage("/bin/sh", base=0x400000, size=0x10000)
+        assert image.rel(image.abs(0x596B)) == 0x596B
+
+    def test_rel_outside_raises(self):
+        image = BinaryImage("/bin/sh", base=0x400000, size=0x1000)
+        with pytest.raises(errors.EFAULT):
+            image.rel(0x900000)
+
+    def test_abs_outside_raises(self):
+        image = BinaryImage("/bin/sh", base=0x400000, size=0x1000)
+        with pytest.raises(errors.EFAULT):
+            image.abs(0x2000)
+
+    def test_aslr_alignment(self):
+        assert BinaryImage("/x").base % 0x1000 == 0
+
+
+class TestFrame:
+    def test_entrypoint_is_base_relative(self):
+        image = BinaryImage("/bin/sh", base=0x500000, size=0x10000)
+        frame = Frame(image.abs(0x123), image=image)
+        assert frame.entrypoint() == ("/bin/sh", 0x123)
+
+    def test_unmapped_frame_has_no_entrypoint(self):
+        assert Frame(0xDEAD).entrypoint() is None
+
+    def test_pc_outside_image_has_no_entrypoint(self):
+        image = BinaryImage("/bin/sh", base=0x500000, size=0x1000)
+        assert Frame(0x1, image=image).entrypoint() is None
+
+
+class TestUserStack:
+    def test_push_pop(self):
+        stack = UserStack()
+        stack.push(0x1)
+        stack.push(0x2)
+        assert stack.pop().pc == 0x2
+        assert stack.depth == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(errors.EFAULT):
+            UserStack().pop()
+
+    def test_top(self):
+        stack = UserStack()
+        assert stack.top() is None
+        stack.push(0x5)
+        assert stack.top().pc == 0x5
+
+    def test_unwind_innermost_first(self):
+        stack = UserStack()
+        stack.push(0x1)
+        stack.push(0x2)
+        frames = stack.unwind()
+        assert [f.pc for f in frames] == [0x2, 0x1]
+
+    def test_unwind_respects_cap(self):
+        stack = UserStack()
+        for i in range(100):
+            stack.push(i)
+        assert len(stack.unwind(max_frames=10)) == 10
+
+    def test_default_cap(self):
+        stack = UserStack()
+        for i in range(100):
+            stack.push(i)
+        assert len(stack.unwind()) == UserStack.MAX_UNWIND_FRAMES
+
+    def test_corrupted_stack_raises_efault(self):
+        """Paper §4.4: invalid pointers must abort cleanly."""
+        stack = UserStack()
+        for i in range(5):
+            stack.push(i)
+        stack.corrupt_below = 2
+        with pytest.raises(errors.EFAULT):
+            stack.unwind()
+
+    def test_infinite_stack_bounded_by_cap(self):
+        """Paper §4.4: DoS via unwinding infinite call stacks."""
+        stack = UserStack()
+        stack.push(0x1)
+        stack.infinite = True
+        frames = stack.unwind(max_frames=16)
+        assert len(frames) <= 16
+
+    def test_infinite_empty_stack_terminates(self):
+        stack = UserStack()
+        stack.infinite = True
+        assert stack.unwind(max_frames=8) == []

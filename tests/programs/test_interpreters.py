@@ -1,0 +1,113 @@
+"""PHP, Python, Java, and shell program behaviour."""
+
+import pytest
+
+from repro import errors
+from repro.programs.java import JavaRuntime
+from repro.programs.php import PhpInterpreter
+from repro.programs.python_interp import PythonInterpreter
+from repro.programs.shell import ShellScript
+from repro.world import build_world, spawn_adversary
+
+
+@pytest.fixture
+def world():
+    return build_world()
+
+
+class TestPhp:
+    @pytest.fixture
+    def php(self, world):
+        proc = world.spawn("php5", uid=0, label="httpd_t", binary_path="/usr/bin/php5")
+        return PhpInterpreter(world, proc)
+
+    def test_include_reads_source(self, world, php):
+        world.mkdirs("/var/www/html/app", label="httpd_user_script_exec_t")
+        world.add_file("/var/www/html/app/page.php", b"<?php ok(); ?>")
+        assert php.include("/var/www/html/app/page.php") == b"<?php ok(); ?>"
+        assert php.included == ["/var/www/html/app/page.php"]
+
+    def test_component_appends_extension(self, world, php):
+        world.mkdirs("/var/www/html/app", label="httpd_user_script_exec_t")
+        world.add_file("/var/www/html/app/view.php", b"view")
+        assert php.run_component("/var/www/html/app", "", "view") == b"view"
+
+    def test_null_byte_truncates_extension(self, world, php):
+        world.add_file("/tmp/evil", b"payload")
+        source = php.run_component("/var/www/html", "", "../../../tmp/evil\x00")
+        assert source == b"payload"
+
+    def test_missing_include_raises(self, php):
+        with pytest.raises(errors.ENOENT):
+            php.include("/var/www/html/none.php")
+
+
+class TestPython:
+    def test_cwd_searched_first(self, world):
+        proc = world.spawn("py", uid=0, label="unconfined_t", binary_path="/usr/bin/python2.7")
+        world.add_file("/tmp/mod.py", b"cwd version")
+        world.mkdirs("/usr/share/py", label="usr_t")
+        world.add_file("/usr/share/py/mod.py", b"system version")
+        interp = PythonInterpreter(world, proc, cwd_path="/tmp", sys_path=["", "/usr/share/py"])
+        path, source = interp.import_module("mod")
+        assert path == "/tmp/mod.py" and source == b"cwd version"
+
+    def test_without_cwd_entry_system_wins(self, world):
+        proc = world.spawn("py", uid=0, label="unconfined_t", binary_path="/usr/bin/python2.7")
+        world.mkdirs("/usr/share/py", label="usr_t")
+        world.add_file("/usr/share/py/mod.py", b"system version")
+        interp = PythonInterpreter(world, proc, cwd_path="/tmp", sys_path=["/usr/share/py"])
+        path, _ = interp.import_module("mod")
+        assert path == "/usr/share/py/mod.py"
+
+    def test_missing_module(self, world):
+        proc = world.spawn("py", uid=0, label="unconfined_t", binary_path="/usr/bin/python2.7")
+        interp = PythonInterpreter(world, proc)
+        with pytest.raises(errors.ENOENT):
+            interp.import_module("ghost")
+
+
+class TestJava:
+    def test_cwd_config_preferred(self, world):
+        world.mkdirs("/etc/java", label="etc_t")
+        world.add_file("/etc/java/jvm.cfg", b"system")
+        world.add_file("/tmp/jvm.cfg", b"local")
+        proc = world.spawn("java", uid=0, label="unconfined_t", binary_path="/usr/bin/java")
+        java = JavaRuntime(world, proc, cwd_path="/tmp")
+        path, data = java.load_config()
+        assert path == "/tmp/jvm.cfg" and data == b"local"
+
+    def test_fallback_to_system(self, world):
+        world.mkdirs("/etc/java", label="etc_t")
+        world.add_file("/etc/java/jvm.cfg", b"system")
+        proc = world.spawn("java", uid=0, label="unconfined_t", binary_path="/usr/bin/java")
+        java = JavaRuntime(world, proc, cwd_path="/home/user")
+        path, _ = java.load_config()
+        assert path == "/etc/java/jvm.cfg"
+
+
+class TestShell:
+    def test_redirect_creates_and_writes(self, world):
+        proc = world.spawn("script", uid=0, label="init_t", binary_path="/bin/bash")
+        script = ShellScript(world, proc)
+        script.redirect_to("/tmp/out", data=b"hello\n")
+        assert world.lookup("/tmp/out").data == b"hello\n"
+
+    def test_redirect_follows_planted_link(self, world):
+        proc = world.spawn("script", uid=0, label="init_t", binary_path="/bin/bash")
+        adversary = spawn_adversary(world)
+        world.sys.symlink(adversary, "/etc/passwd", "/tmp/out")
+        ShellScript(world, proc).redirect_to("/tmp/out", data=b"CLOBBER")
+        assert world.lookup("/etc/passwd").data == b"CLOBBER"
+
+    def test_safe_redirect_refuses_planted_link(self, world):
+        proc = world.spawn("script", uid=0, label="init_t", binary_path="/bin/bash")
+        adversary = spawn_adversary(world)
+        world.sys.symlink(adversary, "/etc/passwd", "/tmp/out")
+        with pytest.raises(errors.KernelError):
+            ShellScript(world, proc).redirect_to_safely("/tmp/out")
+
+    def test_safe_redirect_clean(self, world):
+        proc = world.spawn("script", uid=0, label="init_t", binary_path="/bin/bash")
+        ShellScript(world, proc).redirect_to_safely("/tmp/out", data=b"x")
+        assert world.lookup("/tmp/out").data == b"x"

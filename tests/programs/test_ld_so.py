@@ -1,0 +1,93 @@
+"""The dynamic linker's search-path behaviour."""
+
+import pytest
+
+from repro import errors
+from repro.programs.ld_so import DEFAULT_LIBRARY_PATH, EPT_OPEN_LIBRARY, DynamicLinker
+from repro.world import build_world, spawn_adversary
+
+
+@pytest.fixture
+def world():
+    return build_world()
+
+
+def make_victim(world, uid=0, setuid=False, env=None):
+    proc = world.spawn("app", uid=uid, label="unconfined_t", binary_path="/bin/sh", env=env)
+    if setuid:
+        proc.creds.euid = 0 if uid != 0 else uid
+    return proc
+
+
+class TestSearchPath:
+    def test_default_path(self, world):
+        linker = DynamicLinker(world, make_victim(world))
+        assert tuple(linker.build_search_path()) == DEFAULT_LIBRARY_PATH
+
+    def test_ld_library_path_prepended(self, world):
+        victim = make_victim(world, env={"LD_LIBRARY_PATH": "/opt/a:/opt/b"})
+        linker = DynamicLinker(world, victim)
+        assert linker.build_search_path()[:2] == ["/opt/a", "/opt/b"]
+
+    def test_setuid_scrubs_environment(self, world):
+        """Figure 1b lines 1-5."""
+        victim = make_victim(world, uid=1000, setuid=True,
+                             env={"LD_LIBRARY_PATH": "/tmp", "LD_PRELOAD": "/tmp/x.so"})
+        linker = DynamicLinker(world, victim)
+        path = linker.build_search_path()
+        assert "/tmp" not in path
+        assert "LD_LIBRARY_PATH" not in victim.env
+        assert "LD_PRELOAD" not in victim.env
+
+    def test_runpath_not_scrubbed_even_for_setuid(self, world):
+        """The E1 channel: RUNPATH is trusted unconditionally."""
+        victim = make_victim(world, uid=1000, setuid=True)
+        linker = DynamicLinker(world, victim, runpath=("/tmp/svn",))
+        assert "/tmp/svn" in linker.build_search_path()
+
+    def test_runpath_after_ld_library_path(self, world):
+        victim = make_victim(world, env={"LD_LIBRARY_PATH": "/opt"})
+        linker = DynamicLinker(world, victim, runpath=("/rp",))
+        path = linker.build_search_path()
+        assert path.index("/opt") < path.index("/rp") < path.index("/lib")
+
+
+class TestLoading:
+    def test_loads_first_hit(self, world):
+        linker = DynamicLinker(world, make_victim(world))
+        path, image = linker.load_library("libc.so.6")
+        assert path == "/lib/libc.so.6"
+        assert image.path == path
+
+    def test_missing_library_enoent(self, world):
+        linker = DynamicLinker(world, make_victim(world))
+        with pytest.raises(errors.ENOENT):
+            linker.load_library("libnothere.so")
+
+    def test_preload_wins_for_non_setuid(self, world):
+        world.add_file("/tmp/pre.so", b"\x7fELF", uid=1000, mode=0o755)
+        victim = make_victim(world, env={"LD_PRELOAD": "/tmp/pre.so"})
+        path, _ = linker_load(world, victim, "libc.so.6")
+        assert path == "/tmp/pre.so"
+
+    def test_preload_ignored_for_setuid(self, world):
+        world.add_file("/tmp/pre.so", b"\x7fELF", uid=1000, mode=0o755)
+        victim = make_victim(world, uid=1000, setuid=True, env={"LD_PRELOAD": "/tmp/pre.so"})
+        path, _ = linker_load(world, victim, "libc.so.6")
+        assert path == "/lib/libc.so.6"
+
+    def test_entrypoint_frames_balanced(self, world):
+        victim = make_victim(world)
+        linker = DynamicLinker(world, victim)
+        linker.load_library("libc.so.6")
+        assert victim.stack.depth == 0
+
+    def test_library_mapped_into_process(self, world):
+        victim = make_victim(world)
+        linker = DynamicLinker(world, victim)
+        _, image = linker.load_library("libc.so.6")
+        assert image in victim.images
+
+
+def linker_load(world, victim, name):
+    return DynamicLinker(world, victim).load_library(name)

@@ -1,0 +1,188 @@
+"""The open-variant defences of Figure 4, attacked and benign."""
+
+import pytest
+
+from repro import errors
+from repro.programs.libc import (
+    OPEN_VARIANTS,
+    SafetyViolation,
+    open_nofollow,
+    open_nolink,
+    open_race,
+    plain_open,
+    safe_open,
+)
+from repro.sched.scheduler import Scheduler
+from repro.vfs.file import OpenFlags
+from repro.world import build_world, spawn_adversary, spawn_root_shell
+
+
+@pytest.fixture
+def world():
+    return build_world()
+
+
+@pytest.fixture
+def root(world):
+    return spawn_root_shell(world)
+
+
+@pytest.fixture
+def adversary(world):
+    return spawn_adversary(world)
+
+
+class TestBenign:
+    @pytest.mark.parametrize("variant", sorted(OPEN_VARIANTS))
+    def test_all_variants_open_clean_file(self, world, root, variant):
+        world.add_file("/tmp/clean", b"data", uid=0, mode=0o600)
+        fd = OPEN_VARIANTS[variant](world, root, "/tmp/clean")
+        assert world.sys.read(root, fd) == b"data"
+
+    def test_safe_open_allows_root_owned_links(self, world, root):
+        """A victim's own symlinks are fine (owner matches)."""
+        world.add_file("/var/target", b"ok", uid=0)
+        world.add_symlink("/tmp/rootlink", "/var/target", uid=0)
+        fd = safe_open(world, root, "/tmp/rootlink")
+        assert world.sys.read(root, fd) == b"ok"
+
+    def test_safe_open_allows_adversary_link_to_own_file(self, world, root, adversary):
+        """Chari semantics: a link into the adversary's own files is
+        allowed."""
+        world.add_file("/tmp/users-own", b"theirs", uid=1000, mode=0o644)
+        world.sys.symlink(adversary, "/tmp/users-own", "/tmp/users-link")
+        fd = safe_open(world, root, "/tmp/users-link")
+        assert world.sys.read(root, fd) == b"theirs"
+
+
+class TestStaticAttacks:
+    @pytest.fixture
+    def planted(self, world, adversary):
+        world.sys.symlink(adversary, "/etc/shadow", "/tmp/victim")
+        return "/tmp/victim"
+
+    def test_plain_open_fooled(self, world, root, planted):
+        fd = plain_open(world, root, planted)
+        assert b"secret" in world.sys.read(root, fd)
+
+    def test_nofollow_blocks(self, world, root, planted):
+        with pytest.raises(errors.ELOOP):
+            open_nofollow(world, root, planted)
+
+    def test_nolink_blocks_static_link(self, world, root, planted):
+        with pytest.raises(SafetyViolation):
+            open_nolink(world, root, planted)
+
+    def test_safe_open_blocks_adversary_link_to_victim_file(self, world, root, planted):
+        with pytest.raises(SafetyViolation):
+            safe_open(world, root, planted)
+
+    def test_safe_open_blocks_intermediate_link(self, world, root, adversary):
+        """nofollow/nolink only see the final component; safe_open sees
+        every prefix."""
+        world.sys.symlink(adversary, "/etc", "/tmp/etc-alias")
+        # Final component is a regular file: the naive checks pass.
+        fd = open_nolink(world, root, "/tmp/etc-alias/passwd")
+        world.sys.close(root, fd)
+        with pytest.raises(SafetyViolation):
+            safe_open(world, root, "/tmp/etc-alias/passwd")
+
+
+class TestRacedAttacks:
+    def test_open_nolink_race_window(self, world, root, adversary):
+        """Reproduce Figure 1a lines 3-6 losing the race."""
+        path = "/tmp/work"
+        fd = world.sys.open(adversary, path, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666)
+        world.sys.close(adversary, fd)
+        st = world.sys.lstat(root, path)
+        assert not st.is_symlink()
+        # ... adversary runs here ...
+        world.sys.unlink(adversary, path)
+        world.sys.symlink(adversary, "/etc/shadow", path)
+        fd = world.sys.open(root, path)  # the "use" of open_nolink
+        assert b"secret" in world.sys.read(root, fd)
+
+    def test_open_race_detects_swap(self, world, root, adversary):
+        """The fstat identity check catches a plain swap."""
+        path = "/tmp/work"
+        fd = world.sys.open(adversary, path, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666)
+        world.sys.close(adversary, fd)
+
+        original_open = world.sys.open
+        swapped = {}
+
+        def open_with_swap(proc, p, **kwargs):
+            # Adversary wins the race exactly once, right before the
+            # victim's open.  They hold the original file open during
+            # the swap so its inode number cannot recycle into the
+            # replacement (otherwise the swap is a cryogenic-sleep
+            # variant, tested separately).
+            if proc is root and p == path and not swapped:
+                swapped["done"] = True
+                pin = original_open(adversary, p)
+                world.sys.unlink(adversary, path)
+                replacement = original_open(
+                    adversary, path, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666
+                )
+                world.sys.close(adversary, replacement)
+                world.sys.close(adversary, pin)
+            return original_open(proc, p, **kwargs)
+
+        world.sys.open = open_with_swap
+        try:
+            with pytest.raises(SafetyViolation):
+                open_race(world, root, path)
+        finally:
+            world.sys.open = original_open
+
+    def test_open_race_detects_cryogenic_sleep(self, world, root, adversary):
+        """The second lstat (held fd pins the inode) catches recycling."""
+        path = "/tmp/work"
+        fd = world.sys.open(adversary, path, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666)
+        world.sys.close(adversary, fd)
+
+        original_fstat = world.sys.fstat
+        raced = {}
+
+        def fstat_with_swap(proc, fd_):
+            result = original_fstat(proc, fd_)
+            if proc is root and not raced:
+                raced["done"] = True
+                # After the victim's fstat comparison data is captured,
+                # swap the name to a new file; the re-lstat must differ.
+                world.sys.unlink(adversary, path)
+                replacement = world.sys.open(
+                    adversary, path, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666
+                )
+                world.sys.close(adversary, replacement)
+            return result
+
+        world.sys.fstat = fstat_with_swap
+        try:
+            with pytest.raises(SafetyViolation):
+                open_race(world, root, path)
+        finally:
+            world.sys.fstat = original_fstat
+
+
+class TestSyscallCosts:
+    def test_variant_costs_ordered(self, world, root):
+        """open < nolink < race < safe_open in syscalls issued."""
+        world.mkdirs("/a/b/c")
+        world.add_file("/a/b/c/f", b"x", uid=0, mode=0o600)
+        costs = {}
+        for name in ("open", "open_nolink", "open_race", "safe_open"):
+            before = world.stats.total_syscalls
+            fd = OPEN_VARIANTS[name](world, root, "/a/b/c/f")
+            world.sys.close(root, fd)
+            costs[name] = world.stats.total_syscalls - before - 1
+        assert costs["open"] < costs["open_nolink"] < costs["open_race"] < costs["safe_open"]
+
+    def test_safe_open_cost_at_least_4_per_component(self, world, root):
+        world.mkdirs("/a/b/c")
+        world.add_file("/a/b/c/f", b"x", uid=0, mode=0o600)
+        before = world.stats.total_syscalls
+        fd = safe_open(world, root, "/a/b/c/f")
+        world.sys.close(root, fd)
+        cost = world.stats.total_syscalls - before - 1
+        assert cost >= 4 * 4  # four components

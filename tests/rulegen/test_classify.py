@@ -1,0 +1,138 @@
+"""Entrypoint classification and the Table 8 math, on hand-built traces."""
+
+import pytest
+
+from repro.rulegen.classify import (
+    BOTH,
+    HIGH,
+    LOW,
+    classify,
+    rules_for_threshold,
+    table8_row,
+    threshold_sweep,
+    zero_fp_threshold,
+)
+from repro.rulegen.trace import TraceRecord
+
+EP_A = ("/bin/a", 0x10)
+EP_B = ("/bin/b", 0x20)
+EP_C = ("/bin/c", 0x30)
+
+
+def rec(ept, low, label=None):
+    label = label or ("tmp_t" if low else "etc_t")
+    return TraceRecord(ept, "FILE_OPEN", label, adv_writable=low)
+
+
+def trace(*specs):
+    """specs: (ept, [low-flags...])"""
+    out = []
+    for ept, flags in specs:
+        for flag in flags:
+            out.append(rec(ept, flag))
+    return out
+
+
+class TestClassification:
+    def test_pure_high(self):
+        classified = classify(trace((EP_A, [False] * 3)))
+        assert classified[EP_A].full_class() is HIGH
+
+    def test_pure_low(self):
+        classified = classify(trace((EP_A, [True] * 3)))
+        assert classified[EP_A].full_class() is LOW
+
+    def test_both(self):
+        classified = classify(trace((EP_A, [False, False, True])))
+        assert classified[EP_A].full_class() is BOTH
+
+    def test_prefix_classification(self):
+        classified = classify(trace((EP_A, [False, False, True])))
+        ept = classified[EP_A]
+        assert ept.class_of_prefix(1) is HIGH
+        assert ept.class_of_prefix(2) is HIGH
+        assert ept.class_of_prefix(3) is BOTH
+
+    def test_prefix_zero_uses_first(self):
+        classified = classify(trace((EP_A, [True, False])))
+        assert classified[EP_A].class_of_prefix(0) is LOW
+
+    def test_reveal_index(self):
+        classified = classify(trace((EP_A, [False, False, True])))
+        assert classified[EP_A].reveal_index() == 3
+
+    def test_reveal_none_for_pure(self):
+        classified = classify(trace((EP_A, [False] * 5)))
+        assert classified[EP_A].reveal_index() is None
+
+    def test_records_without_entrypoint_skipped(self):
+        records = [TraceRecord(None, "FILE_OPEN", "tmp_t", True)]
+        assert classify(records) == {}
+
+    def test_labels_bucketed_by_integrity(self):
+        records = [rec(EP_A, False, "etc_t"), rec(EP_A, True, "tmp_t")]
+        ept = classify(records)[EP_A]
+        assert ept.labels_high == {"etc_t"}
+        assert ept.labels_low == {"tmp_t"}
+
+
+class TestTable8Row:
+    @pytest.fixture
+    def records(self):
+        return trace(
+            (EP_A, [False] * 10),          # pure high, 10 invocations
+            (EP_B, [True] * 3),            # pure low, 3 invocations
+            (EP_C, [False] * 4 + [True] * 2),  # both, reveal at 5
+        )
+
+    def test_threshold_zero(self, records):
+        row = table8_row(classify(records), 0)
+        assert row["high_only"] == 2  # A, and C looks high at 1
+        assert row["low_only"] == 1
+        assert row["both"] == 0
+        assert row["rules_produced"] == 3
+        assert row["false_positives"] == 1  # C's rule would misfire
+
+    def test_threshold_above_reveal(self, records):
+        row = table8_row(classify(records), 5)
+        assert row["both"] == 1
+        assert row["rules_produced"] == 1  # only A has >=5 invocations
+        assert row["false_positives"] == 0
+
+    def test_threshold_excludes_short_entrypoints(self, records):
+        row = table8_row(classify(records), 4)
+        # B has only 3 invocations: no rule even though pure.
+        assert row["rules_produced"] == 2  # A and C (C not yet revealed)
+        assert row["false_positives"] == 1
+
+    def test_zero_fp_threshold_is_max_reveal(self, records):
+        assert zero_fp_threshold(records) == 5
+
+    def test_sweep_shape(self, records):
+        rows = threshold_sweep(records, thresholds=(0, 5))
+        assert [r["threshold"] for r in rows] == [0, 5]
+
+
+class TestRuleGeneration:
+    def test_rules_for_pure_entrypoints(self):
+        records = trace((EP_A, [False] * 5), (EP_B, [True] * 5))
+        rules = rules_for_threshold(records, threshold=5)
+        assert len(rules) == 2
+        joined = "\n".join(rules)
+        assert "/bin/a" in joined and "/bin/b" in joined
+
+    def test_both_entrypoints_excluded(self):
+        records = trace((EP_C, [False, True] * 3))
+        assert rules_for_threshold(records, threshold=1) == []
+
+    def test_threshold_filters(self):
+        records = trace((EP_A, [False] * 3))
+        assert rules_for_threshold(records, threshold=5) == []
+        assert len(rules_for_threshold(records, threshold=3)) == 1
+
+    def test_generated_rules_parse(self):
+        from repro.firewall.pftables import parse_rule
+
+        records = trace((EP_A, [False] * 5), (EP_B, [True] * 5))
+        for text in rules_for_threshold(records, threshold=1):
+            assert parse_rule(text)

@@ -1,0 +1,57 @@
+"""OS-distributor launch-consistency analysis (§6.3.2)."""
+
+from repro.rulegen.distro import LaunchRecord, consistent_programs, synthesize_launches
+
+
+class TestConsistency:
+    def test_identical_launches_consistent(self):
+        launches = [LaunchRecord("/usr/bin/a", argv=("/usr/bin/a",)) for _ in range(4)]
+        consistent, inconsistent = consistent_programs(launches)
+        assert consistent == {"/usr/bin/a"}
+        assert inconsistent == set()
+
+    def test_argv_variation_inconsistent(self):
+        launches = [
+            LaunchRecord("/usr/bin/a", argv=("/usr/bin/a",)),
+            LaunchRecord("/usr/bin/a", argv=("/usr/bin/a", "--debug")),
+        ]
+        consistent, inconsistent = consistent_programs(launches)
+        assert inconsistent == {"/usr/bin/a"}
+
+    def test_env_variation_inconsistent(self):
+        launches = [
+            LaunchRecord("/usr/bin/a", env={"X": "1"}),
+            LaunchRecord("/usr/bin/a", env={"X": "2"}),
+        ]
+        _, inconsistent = consistent_programs(launches)
+        assert inconsistent == {"/usr/bin/a"}
+
+    def test_modified_package_inconsistent(self):
+        """User-edited configs break distributor-rule validity even if
+        every launch looked identical."""
+        launches = [LaunchRecord("/usr/bin/a", package_intact=False) for _ in range(3)]
+        _, inconsistent = consistent_programs(launches)
+        assert inconsistent == {"/usr/bin/a"}
+
+    def test_mixed_programs_partitioned(self):
+        launches = [
+            LaunchRecord("/usr/bin/a"),
+            LaunchRecord("/usr/bin/a"),
+            LaunchRecord("/usr/bin/b", argv=("x",)),
+            LaunchRecord("/usr/bin/b", argv=("y",)),
+        ]
+        consistent, inconsistent = consistent_programs(launches)
+        assert consistent == {"/usr/bin/a"}
+        assert inconsistent == {"/usr/bin/b"}
+
+
+class TestSyntheticPopulation:
+    def test_headline_numbers(self):
+        consistent, inconsistent = consistent_programs(synthesize_launches())
+        assert len(consistent) == 232
+        assert len(consistent) + len(inconsistent) == 318
+
+    def test_deterministic(self):
+        a = synthesize_launches(seed=1)
+        b = synthesize_launches(seed=1)
+        assert [r.fingerprint() for r in a] == [r.fingerprint() for r in b]

@@ -1,0 +1,86 @@
+"""§6.3.1's environment-sensitivity finding, reproduced.
+
+    "Test suites exercise programs under multiple program environments
+    ... These environments may access resources that are not relevant
+    to the expected deployment, thus resulting in rules that cause
+    false negatives.  For example, the Apache test suite exercises
+    programs under configurations that allow and disallow low-integrity
+    user-defined configuration files (.htaccess)."
+
+We trace the same server twice — AllowOverride on (the test suite's
+extra environment) and off (the deployment) — generate rules from each
+trace, and show the test-suite-derived rules are strictly weaker.
+"""
+
+import pytest
+
+from repro import errors
+from repro.firewall.engine import ProcessFirewall
+from repro.programs.apache import EPT_SERVE_OPEN, ApacheServer
+from repro.rulegen.classify import classify, rules_for_threshold
+from repro.rulegen.trace import records_from_engine
+from repro.world import build_world, spawn_adversary
+
+
+def _traced_world(allow_htaccess):
+    kernel = build_world()
+    firewall = kernel.attach_firewall(ProcessFirewall())
+    firewall.install("pftables -A input -o FILE_OPEN -j LOG")
+    # A user-content area containing a user-writable .htaccess.
+    kernel.mkdirs("/var/www/html/site", uid=1000, mode=0o755, label="httpd_sys_content_t")
+    kernel.add_file("/var/www/html/site/index.html", b"<html>site</html>",
+                    label="httpd_sys_content_t")
+    kernel.add_file("/var/www/html/site/.htaccess", b"Options -Indexes\n",
+                    uid=1000, mode=0o644, label="httpd_user_content_t")
+    proc = kernel.spawn("apache2", uid=0, label="httpd_t", binary_path="/usr/bin/apache2")
+    server = ApacheServer(kernel, proc, allow_htaccess=allow_htaccess)
+    for _ in range(12):
+        assert server.serve("/site/index.html").status == 200
+    return kernel, firewall
+
+
+def _serve_entrypoint_class(firewall):
+    records = records_from_engine(firewall)
+    classified = classify(records)
+    key = ("/usr/bin/apache2", EPT_SERVE_OPEN)
+    return classified[key].full_class()
+
+
+class TestEnvironmentSensitivity:
+    def test_htaccess_environment_poisons_classification(self):
+        _kernel, firewall = _traced_world(allow_htaccess=True)
+        # The serving entrypoint read both the page (high) and the
+        # user-writable .htaccess (low): classified "both".
+        assert _serve_entrypoint_class(firewall) == "both"
+
+    def test_deployment_environment_classifies_pure(self):
+        _kernel, firewall = _traced_world(allow_htaccess=False)
+        assert _serve_entrypoint_class(firewall) == "high"
+
+    def test_test_suite_trace_yields_no_protective_rule(self):
+        _kernel, firewall = _traced_world(allow_htaccess=True)
+        rules = rules_for_threshold(records_from_engine(firewall), threshold=10)
+        assert not any("0x2d637" in rule for rule in rules)
+
+    def test_deployment_trace_rule_blocks_the_attack(self):
+        kernel, firewall = _traced_world(allow_htaccess=False)
+        rules = rules_for_threshold(records_from_engine(firewall), threshold=10)
+        serving_rules = [rule for rule in rules if "0x2d637" in rule]
+        assert serving_rules
+        firewall.flush()
+        firewall.install_all(serving_rules)
+        proc = kernel.spawn("apache2", uid=0, label="httpd_t", binary_path="/usr/bin/apache2")
+        server = ApacheServer(kernel, proc)
+        # Benign serving still works under the generated rule.
+        assert server.serve("/site/index.html").status == 200
+        # The generated rule is the search-path-family invariant (the
+        # entrypoint was classified *high*): it pins the entrypoint to
+        # SYSHIGH objects, blocking delivery of adversary-planted
+        # content pulled in via traversal.
+        adversary = spawn_adversary(kernel)
+        fd = kernel.sys.open(adversary, "/tmp/evil.html", flags=0x41, mode=0o666)
+        kernel.sys.write(adversary, fd, b"<script>pwn()</script>")
+        kernel.sys.close(adversary, fd)
+        response = server.serve("/../../../../tmp/evil.html")
+        assert response.status == 403
+        assert firewall.stats.drops >= 1

@@ -1,0 +1,79 @@
+"""Rule refinement from benign denials."""
+
+import pytest
+
+from repro import errors
+from repro.firewall.engine import ProcessFirewall
+from repro.programs.ld_so import DynamicLinker
+from repro.rulegen.refine import apply_refinements, refine_rules
+from repro.world import build_world, spawn_adversary, spawn_root_shell
+
+#: R1 variant missing httpd_modules_t — the false-positive seed.
+TOO_TIGHT_R1 = (
+    "pftables -A input -p /lib/ld-2.15.so -i 0x596b -s SYSHIGH "
+    "-d ~{lib_t|textrel_shlib_t} -o FILE_OPEN -j DROP"
+)
+
+
+def _world_with_rule(rule_text):
+    kernel = build_world()
+    firewall = kernel.attach_firewall(ProcessFirewall())
+    firewall.install(rule_text)
+    kernel.mkdirs("/usr/lib/apache2", label="httpd_modules_t")
+    kernel.add_file("/usr/lib/apache2/mod_ssl.so", b"\x7fELF", mode=0o755, label="httpd_modules_t")
+    return kernel, firewall
+
+
+def _load_module(kernel):
+    apache = kernel.spawn("apache2", uid=0, label="httpd_t", binary_path="/usr/bin/apache2")
+    linker = DynamicLinker(kernel, apache, runpath=("/usr/lib/apache2",))
+    return linker.load_library("mod_ssl.so")
+
+
+class TestRefinementLoop:
+    def test_too_tight_rule_denies_benign_module(self):
+        kernel, _fw = _world_with_rule(TOO_TIGHT_R1)
+        with pytest.raises(errors.PFDenied):
+            _load_module(kernel)
+
+    def test_refine_proposes_the_missing_label(self):
+        kernel, _fw = _world_with_rule(TOO_TIGHT_R1)
+        with pytest.raises(errors.PFDenied):
+            _load_module(kernel)
+        proposals = refine_rules(kernel)
+        assert len(proposals) == 1
+        assert proposals[0].added_labels == {"httpd_modules_t"}
+        assert "httpd_modules_t" in proposals[0].new_text
+
+    def test_applied_refinement_fixes_benign_keeps_blocking_attack(self):
+        kernel, firewall = _world_with_rule(TOO_TIGHT_R1)
+        with pytest.raises(errors.PFDenied):
+            _load_module(kernel)
+        applied = apply_refinements(firewall, refine_rules(kernel))
+        assert applied == 1
+        # Benign module load now passes...
+        path, _image = _load_module(kernel)
+        assert path == "/usr/lib/apache2/mod_ssl.so"
+        # ...and the attack the rule exists for is still blocked.
+        adversary = spawn_adversary(kernel)
+        fd = kernel.sys.open(adversary, "/tmp/evil.so", flags=0x41, mode=0o755)
+        kernel.sys.close(adversary, fd)
+        victim = kernel.spawn("app", uid=0, label="unconfined_t", binary_path="/bin/sh",
+                              env={"LD_LIBRARY_PATH": "/tmp"})
+        with pytest.raises(errors.PFDenied):
+            DynamicLinker(kernel, victim).load_library("evil.so")
+
+    def test_no_denials_no_proposals(self):
+        kernel, _fw = _world_with_rule(TOO_TIGHT_R1)
+        assert refine_rules(kernel) == []
+
+    def test_allow_set_rules_not_widened(self):
+        """A positive-set DROP rule (drop when label IS in the set)
+        cannot be fixed by widening; refine leaves it alone."""
+        kernel = build_world()
+        firewall = kernel.attach_firewall(ProcessFirewall())
+        firewall.install("pftables -A input -o FILE_OPEN -d {etc_t} -j DROP")
+        root = spawn_root_shell(kernel)
+        with pytest.raises(errors.PFDenied):
+            kernel.sys.open(root, "/etc/passwd")
+        assert refine_rules(kernel) == []

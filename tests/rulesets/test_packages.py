@@ -1,0 +1,71 @@
+"""Per-package rule delivery."""
+
+import pytest
+
+from repro import errors
+from repro.attacks.exploits import EXPLOITS
+from repro.firewall.engine import ProcessFirewall
+from repro.firewall.pftables import parse_rule
+from repro.rulesets.packages import PACKAGE_RULES, all_packages, install_packages, rules_for_packages
+
+#: Exploit -> package whose shipped rules must block it.
+COVERAGE = {
+    "E1": "libc6",
+    "E2": "python2.7",
+    "E3": "libdbus-1",
+    "E4": "php5",
+    "E5": "openssh-server",
+    "E6": "dbus-daemon",
+    "E7": "openjdk",
+    "E8": "libc6",
+    "E9": "base-files",
+}
+
+
+class TestRegistry:
+    def test_every_package_parses(self):
+        for name in all_packages():
+            for line in PACKAGE_RULES[name]:
+                assert parse_rule(line), (name, line)
+
+    def test_unknown_package_rejected(self):
+        with pytest.raises(errors.EINVAL):
+            rules_for_packages(["not-a-package"])
+
+    def test_duplicates_install_once(self):
+        # base-files and openssh-server both ship the signal rules.
+        combined = rules_for_packages(["base-files", "openssh-server"])
+        assert len(combined) == len(set(combined))
+
+    def test_install_counts(self):
+        firewall = ProcessFirewall()
+        count = install_packages(firewall, ["apache2", "php5"])
+        assert count == 3
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("eid,package", sorted(COVERAGE.items()))
+    def test_package_rules_block_their_exploit(self, eid, package):
+        scenario = EXPLOITS[eid]()
+        scenario.rules = lambda _pkg=package: rules_for_packages([_pkg])
+        result = scenario.run(with_firewall=True)
+        assert not result.succeeded, "{} not blocked by {} rules".format(eid, package)
+
+    @pytest.mark.parametrize("eid,package", sorted(COVERAGE.items()))
+    def test_package_rules_preserve_benign(self, eid, package):
+        scenario = EXPLOITS[eid]()
+        scenario.rules = lambda _pkg=package: rules_for_packages([_pkg])
+        assert scenario.run_benign(with_firewall=True)
+
+    def test_whole_distribution_blocks_everything(self):
+        everything = rules_for_packages(all_packages())
+        blocked = 0
+        for eid in sorted(EXPLOITS):
+            scenario = EXPLOITS[eid]()
+            base_rules = scenario.rules()
+            scenario.rules = lambda _r=everything, _b=base_rules: list(_r) + [
+                t for t in _b if t not in _r
+            ]
+            if not scenario.run(with_firewall=True).succeeded:
+                blocked += 1
+        assert blocked == len(EXPLOITS)

@@ -1,0 +1,115 @@
+"""Shipped rule sets: R1-R12, templates, the generated full base."""
+
+import pytest
+
+from repro.firewall.engine import ProcessFirewall
+from repro.firewall.pftables import parse_rule
+from repro.rulesets.default import (
+    PAPER_TABLE5_TEXTS,
+    RULES_R1_R12,
+    SIGNAL_RULE_TEXTS,
+    install_default_rules,
+    install_signal_rules,
+    restrict_entrypoint_rule,
+    safe_open_pf_rules,
+    toctou_rules,
+)
+from repro.rulesets.generated import FULL_RULEBASE_SIZE, generate_full_rulebase, install_full_rulebase
+
+
+class TestDefaultRules:
+    def test_twelve_rules(self):
+        assert len(RULES_R1_R12) == 12
+        assert len(PAPER_TABLE5_TEXTS) == 12
+
+    def test_install_default(self):
+        pf = ProcessFirewall()
+        install_default_rules(pf)
+        assert pf.rules.rule_count() == 12
+
+    def test_signal_rules_order(self):
+        """R10 (check) must precede R11 (set) in the signal chain."""
+        pf = ProcessFirewall()
+        install_signal_rules(pf)
+        chain = pf.rules.table("filter").chain("signal_chain")
+        assert "DROP" in chain.rules[0].render()
+        assert "STATE" in chain.rules[1].render()
+
+    def test_sigreturn_rule_in_syscallbegin(self):
+        pf = ProcessFirewall()
+        install_signal_rules(pf)
+        assert len(pf.rules.table("filter").chain("syscallbegin")) == 1
+
+
+class TestTemplates:
+    def test_t1_renders_and_parses(self):
+        text = restrict_entrypoint_rule("/bin/x", 0x10, ("lib_t", "usr_t"), op="FILE_OPEN")
+        parsed = parse_rule(text)
+        assert parsed.chain == "input"
+        assert "~{lib_t|usr_t}" in text
+
+    def test_t1_syshigh_form(self):
+        text = restrict_entrypoint_rule("/bin/x", 0x10, "SYSHIGH")
+        assert "-d ~SYSHIGH" in text
+        assert parse_rule(text)
+
+    def test_t1_with_subject(self):
+        text = restrict_entrypoint_rule("/bin/x", 0x10, "SYSHIGH", subject="SYSHIGH")
+        assert "-s SYSHIGH" in text
+
+    def test_t2_pair(self):
+        record, enforce = toctou_rules("/bin/x", 0x10, "FILE_GETATTR", 0x20, "FILE_OPEN")
+        assert "STATE --set" in record.replace("-j STATE --set", "STATE --set")
+        assert "--nequal" in enforce
+        assert parse_rule(record) and parse_rule(enforce)
+
+    def test_t2_key_is_use_entrypoint(self):
+        record, enforce = toctou_rules("/bin/x", 0x10, "FILE_GETATTR", 0x20, "FILE_OPEN")
+        assert "--key 0x20" in record and "--key 0x20" in enforce
+
+    def test_safe_open_rules_parse(self):
+        for text in safe_open_pf_rules():
+            assert parse_rule(text)
+
+
+class TestGeneratedBase:
+    def test_size(self):
+        assert len(generate_full_rulebase()) == FULL_RULEBASE_SIZE
+
+    def test_contains_table5(self):
+        texts = generate_full_rulebase()
+        for rule in RULES_R1_R12:
+            assert rule in texts
+
+    def test_all_parse_and_install(self):
+        pf = ProcessFirewall()
+        count = install_full_rulebase(pf)
+        assert count == FULL_RULEBASE_SIZE
+
+    def test_synthetic_entrypoints_disjoint_from_real(self):
+        """Synthetic offsets start at 0x400000 so they can never match
+        the scenario programs' call sites."""
+        from repro.firewall.pftables import parse_rule as parse
+
+        for text in generate_full_rulebase():
+            if text in RULES_R1_R12 or text in safe_open_pf_rules():
+                continue
+            parsed = parse(text)
+            key = parsed.rule.entrypoint_key()
+            if key is not None:
+                assert key[1] >= 0x400000 or key in {
+                    ("/bin/dbus-daemon", 0x3C750),
+                    ("/bin/dbus-daemon", 0x3C786),
+                }
+
+    def test_full_base_does_not_break_benign_exploit_worlds(self):
+        """PF Full must not introduce false positives on the E1-E9
+        benign workloads (the paper's deployment-safety claim)."""
+        from repro.attacks.exploits import EXPLOITS
+        from repro.rulesets.generated import generate_full_rulebase
+
+        extra = generate_full_rulebase(size=200)
+        for eid in ("E1", "E4", "E9"):
+            scenario = EXPLOITS[eid]()
+            scenario.build(with_firewall=True, extra_rules=[t for t in extra if t not in scenario.rules()])
+            assert scenario._benign()

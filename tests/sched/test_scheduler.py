@@ -1,0 +1,137 @@
+"""Cooperative scheduler."""
+
+import pytest
+
+from repro import errors
+from repro.sched.scheduler import Scheduler, Threadlet
+
+
+def counter(log, name, steps):
+    for i in range(steps):
+        log.append((name, i))
+        yield
+    return name
+
+
+class TestThreadlet:
+    def test_runs_to_completion(self):
+        log = []
+        t = Threadlet("a", counter(log, "a", 2))
+        t.step()
+        t.step()
+        t.step()
+        assert t.done and t.result == "a"
+
+    def test_step_after_done_raises(self):
+        t = Threadlet("a", counter([], "a", 0))
+        t.step()
+        with pytest.raises(errors.EINVAL):
+            t.step()
+
+    def test_kernel_error_captured(self):
+        def boom():
+            yield
+            raise errors.EACCES("nope")
+
+        t = Threadlet("a", boom())
+        t.step()
+        t.step()
+        assert t.done
+        assert isinstance(t.error, errors.EACCES)
+
+
+class TestRoundRobin:
+    def test_alternates_fairly(self):
+        log = []
+        sched = Scheduler()
+        sched.add("a", counter(log, "a", 3))
+        sched.add("b", counter(log, "b", 3))
+        sched.run()
+        # Steps interleave: never two consecutive from the same side
+        # until one finishes.
+        assert log[:4] == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+
+    def test_results_collected(self):
+        sched = Scheduler()
+        sched.add("a", counter([], "a", 1))
+        sched.add("b", counter([], "b", 1))
+        sched.run()
+        assert sched.results() == {"a": "a", "b": "b"}
+
+
+class TestScripted:
+    def test_exact_interleaving(self):
+        log = []
+        sched = Scheduler(policy="scripted", script=["v", "adv", "v"])
+        sched.add("adv", counter(log, "adv", 1))
+        sched.add("v", counter(log, "v", 2))
+        sched.run()
+        assert log == [("v", 0), ("adv", 0), ("v", 1)]
+
+    def test_script_exhaustion_drains(self):
+        log = []
+        sched = Scheduler(policy="scripted", script=["a"])
+        sched.add("a", counter(log, "a", 1))
+        sched.add("b", counter(log, "b", 2))
+        sched.run()
+        assert sched.get("b").done
+
+    def test_script_entry_for_done_threadlet_skipped(self):
+        log = []
+        sched = Scheduler(policy="scripted", script=["a", "a", "a", "b", "b", "b"])
+        sched.add("a", counter(log, "a", 0))
+        sched.add("b", counter(log, "b", 1))
+        assert sched.run()
+
+
+class TestRandomPolicy:
+    def test_deterministic_per_seed(self):
+        def build(seed):
+            log = []
+            sched = Scheduler(policy="random", seed=seed)
+            sched.add("a", counter(log, "a", 5))
+            sched.add("b", counter(log, "b", 5))
+            sched.run()
+            return log
+
+        assert build(7) == build(7)
+
+    def test_seeds_differ(self):
+        def trace(seed):
+            log = []
+            sched = Scheduler(policy="random", seed=seed)
+            sched.add("a", counter(log, "a", 8))
+            sched.add("b", counter(log, "b", 8))
+            sched.run()
+            return tuple(log)
+
+        assert len({trace(s) for s in range(6)}) > 1
+
+
+class TestLimits:
+    def test_max_steps_guard(self):
+        def forever():
+            while True:
+                yield
+
+        sched = Scheduler()
+        sched.add("loop", forever())
+        with pytest.raises(errors.EINVAL):
+            sched.run(max_steps=10)
+
+    def test_error_does_not_stop_others(self):
+        def boom():
+            yield
+            raise errors.EACCES("x")
+
+        log = []
+        sched = Scheduler()
+        sched.add("bad", boom())
+        sched.add("good", counter(log, "good", 3))
+        sched.run()
+        assert sched.get("good").done
+        assert "bad" in sched.errors()
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(errors.EINVAL):
+            Scheduler().get("ghost")

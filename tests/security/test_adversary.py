@@ -1,0 +1,101 @@
+"""Adversary accessibility computation (paper footnote 2)."""
+
+import pytest
+
+from repro.proc.process import Credentials, Process
+from repro.security.adversary import AdversaryModel
+from repro.security.selinux import reference_policy
+from repro.vfs.inode import FileType, Inode
+
+
+def proc(uid=0, euid=None, label="unconfined_t"):
+    p = Process(1, "t", creds=Credentials(uid=uid, euid=euid), label=label)
+    return p
+
+
+def file_inode(uid=0, mode=0o644, label="etc_t", itype=FileType.REG):
+    return Inode(1, itype, uid=uid, mode=mode, label=label)
+
+
+class TestDacAdversaries:
+    def test_root_not_an_adversary(self):
+        model = AdversaryModel(known_uids={0, 1000})
+        assert model.dac_adversaries(proc(uid=1000, euid=1000)) == set()
+        assert model.dac_adversaries(proc(uid=0)) == {1000}
+
+    def test_self_not_an_adversary(self):
+        model = AdversaryModel(known_uids={0, 1000, 1001})
+        assert model.dac_adversaries(proc(uid=1000, euid=1000)) == {1001}
+
+    def test_effective_uid_matters(self):
+        """A setuid-root process's adversary set is computed from euid."""
+        model = AdversaryModel(known_uids={0, 1000})
+        setuid = proc(uid=1000, euid=0)
+        assert model.dac_adversaries(setuid) == {1000}
+
+
+class TestDacAccessibility:
+    def test_world_writable_is_low_integrity(self):
+        model = AdversaryModel(known_uids={0, 1000})
+        assert model.is_low_integrity(proc(uid=0), file_inode(uid=0, mode=0o666))
+
+    def test_root_owned_0644_is_high_integrity(self):
+        model = AdversaryModel(known_uids={0, 1000})
+        assert model.is_high_integrity(proc(uid=0), file_inode(uid=0, mode=0o644))
+
+    def test_adversary_owned_is_low_integrity(self):
+        model = AdversaryModel(known_uids={0, 1000})
+        assert model.is_low_integrity(proc(uid=0), file_inode(uid=1000, mode=0o644))
+
+    def test_world_readable_is_low_secrecy(self):
+        model = AdversaryModel(known_uids={0, 1000})
+        assert model.is_low_secrecy(proc(uid=0), file_inode(uid=0, mode=0o644))
+
+    def test_0600_root_is_high_secrecy(self):
+        model = AdversaryModel(known_uids={0, 1000})
+        assert not model.is_low_secrecy(proc(uid=0), file_inode(uid=0, mode=0o600))
+
+    def test_symlink_accessibility_follows_owner(self):
+        """Symlinks are 0777 by construction; control means ownership."""
+        model = AdversaryModel(known_uids={0, 1000})
+        adversary_link = file_inode(uid=1000, mode=0o777, itype=FileType.LNK)
+        root_link = file_inode(uid=0, mode=0o777, itype=FileType.LNK)
+        assert model.is_low_integrity(proc(uid=0), adversary_link)
+        assert not model.is_low_integrity(proc(uid=0), root_link)
+
+
+class TestMacAccessibility:
+    @pytest.fixture
+    def model(self):
+        return AdversaryModel(policy=reference_policy(), known_uids={0})
+
+    def test_mac_adversaries_exclude_tcb(self, model):
+        advs = model.mac_adversaries(proc(label="httpd_t"))
+        assert "user_t" in advs
+        assert "sshd_t" not in advs
+        assert "httpd_t" not in advs
+
+    def test_mac_view_of_tmp_is_writable(self, model):
+        """user_t can write tmp_t objects under the reference policy."""
+        inode = file_inode(uid=0, mode=0o600, label="tmp_t")
+        assert model.mac_adversary_writable(proc(uid=0, label="httpd_t"), inode)
+
+    def test_accessibility_is_dac_and_mac_conjunction(self, model):
+        model.register_uid(1000)
+        # DAC-protected file in /tmp: MAC alone cannot make it low.
+        locked = file_inode(uid=0, mode=0o600, label="tmp_t")
+        assert not model.is_low_integrity(proc(uid=0, label="httpd_t"), locked)
+        # DAC-open file labeled etc_t: MAC protects it.
+        loose_etc = file_inode(uid=0, mode=0o666, label="etc_t")
+        assert not model.is_low_integrity(proc(uid=0, label="httpd_t"), loose_etc)
+        # Open on both sides: low integrity.
+        loose_tmp = file_inode(uid=0, mode=0o666, label="tmp_t")
+        assert model.is_low_integrity(proc(uid=0, label="httpd_t"), loose_tmp)
+
+    def test_etc_is_mac_high_integrity(self, model):
+        inode = file_inode(uid=0, mode=0o644, label="etc_t")
+        assert not model.mac_adversary_writable(proc(uid=0, label="httpd_t"), inode)
+
+    def test_no_policy_means_no_mac_adversaries(self):
+        model = AdversaryModel(known_uids={0})
+        assert model.mac_adversaries(proc()) == set()

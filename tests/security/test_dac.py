@@ -1,0 +1,65 @@
+"""Discretionary access control."""
+
+import pytest
+
+from repro import errors
+from repro.proc.process import Credentials
+from repro.security import dac
+from repro.vfs.inode import FileType, Inode
+
+
+def inode(uid=0, gid=0, mode=0o644):
+    return Inode(1, FileType.REG, uid=uid, gid=gid, mode=mode)
+
+
+class TestPermits:
+    def test_owner_rw(self):
+        i = inode(uid=5, mode=0o600)
+        assert dac.permits(i, 5, 5, "r")
+        assert dac.permits(i, 5, 5, "w")
+        assert not dac.permits(i, 5, 5, "x")
+
+    def test_group(self):
+        i = inode(uid=5, gid=9, mode=0o060)
+        assert dac.permits(i, 7, 9, "r")
+        assert not dac.permits(i, 7, 8, "r")
+
+    def test_other(self):
+        i = inode(uid=5, gid=5, mode=0o004)
+        assert dac.permits(i, 7, 7, "r")
+        assert not dac.permits(i, 7, 7, "w")
+
+    def test_owner_triad_shadows_other(self):
+        """An owner with 0o077 is denied even though 'other' may pass."""
+        i = inode(uid=5, mode=0o077)
+        assert not dac.permits(i, 5, 5, "r")
+        assert dac.permits(i, 6, 6, "r")
+
+    def test_root_bypasses(self):
+        i = inode(uid=5, mode=0o000)
+        assert dac.permits(i, 0, 0, "w")
+
+
+class TestCheck:
+    def test_denial_raises_eacces(self):
+        with pytest.raises(errors.EACCES):
+            dac.dac_check(Credentials(uid=7), inode(uid=5, mode=0o600), "r")
+
+    def test_allowed_returns_none(self):
+        assert dac.dac_check(Credentials(uid=5), inode(uid=5, mode=0o600), "r") is None
+
+    def test_effective_uid_used(self):
+        creds = Credentials(uid=7, euid=5)
+        assert dac.dac_check(creds, inode(uid=5, mode=0o600), "w") is None
+
+
+class TestEnumeration:
+    def test_writers(self):
+        i = inode(uid=5, mode=0o602)
+        assert dac.writers(i, {0, 5, 7}) == {0, 5, 7}
+        i2 = inode(uid=5, mode=0o600)
+        assert dac.writers(i2, {0, 5, 7}) == {0, 5}
+
+    def test_readers(self):
+        i = inode(uid=5, mode=0o600)
+        assert dac.readers(i, {5, 7}) == {5}

@@ -1,0 +1,99 @@
+"""SELinux-style type enforcement."""
+
+import pytest
+
+from repro import errors
+from repro.proc.process import Process
+from repro.security.lsm import Op, Operation
+from repro.security.selinux import SELinuxModule, SELinuxPolicy, reference_policy
+from repro.vfs.inode import FileType, Inode
+
+
+def op_for(proc, label, op=Op.FILE_OPEN):
+    inode = Inode(1, FileType.REG, label=label)
+    return Operation(proc, op, obj=inode, path="/x")
+
+
+class TestPolicy:
+    def test_allow_and_query(self):
+        policy = SELinuxPolicy()
+        policy.allow("httpd_t", "etc_t", "file", ("read",))
+        assert policy.allows("httpd_t", "etc_t", "file", "read")
+        assert not policy.allows("httpd_t", "etc_t", "file", "write")
+
+    def test_star_grants_all(self):
+        policy = SELinuxPolicy()
+        policy.allow("a_t", "b_t", "file", "*")
+        assert policy.allows("a_t", "b_t", "file", "anything")
+
+    def test_types_declared(self):
+        policy = SELinuxPolicy()
+        policy.allow("a_t", "b_t", "file", "*")
+        assert {"a_t", "b_t"} <= policy.types
+
+    def test_tcb_marking(self):
+        policy = SELinuxPolicy()
+        policy.mark_tcb("init_t", object=False)
+        policy.mark_tcb("etc_t", subject=False)
+        assert policy.is_tcb_subject("init_t")
+        assert not policy.is_tcb_object("init_t")
+        assert policy.is_tcb_object("etc_t")
+
+    def test_subjects_allowed(self):
+        policy = SELinuxPolicy()
+        policy.allow("a_t", "tmp_t", "file", ("write",))
+        policy.allow("b_t", "tmp_t", "file", ("read",))
+        assert policy.subjects_allowed("tmp_t", "file", "write") == {"a_t"}
+
+
+class TestModule:
+    def test_denial_raises_and_logs(self):
+        policy = SELinuxPolicy()
+        module = SELinuxModule(policy)
+        proc = Process(1, "t", label="user_t")
+        with pytest.raises(errors.EACCES):
+            module.authorize(op_for(proc, "shadow_t"))
+        assert module.denials
+
+    def test_allowed_passes(self):
+        policy = SELinuxPolicy()
+        policy.allow("user_t", "tmp_t", "file", "*")
+        module = SELinuxModule(policy)
+        proc = Process(1, "t", label="user_t")
+        module.authorize(op_for(proc, "tmp_t"))
+
+    def test_permissive_mode_allows_everything(self):
+        module = SELinuxModule(SELinuxPolicy(enforcing=False))
+        proc = Process(1, "t", label="user_t")
+        module.authorize(op_for(proc, "shadow_t"))
+
+    def test_unlabeled_object_skipped(self):
+        module = SELinuxModule(SELinuxPolicy())
+        proc = Process(1, "t", label="user_t")
+        module.authorize(Operation(proc, Op.PROCESS_SIGNAL_DELIVERY, obj=None))
+
+
+class TestReferencePolicy:
+    def test_tcb_subject_full_access(self):
+        policy = reference_policy()
+        assert policy.allows("httpd_t", "shadow_t", "file", "read")
+
+    def test_user_cannot_read_shadow(self):
+        policy = reference_policy()
+        assert not policy.allows("user_t", "shadow_t", "file", "read")
+
+    def test_user_writes_tmp(self):
+        policy = reference_policy()
+        assert policy.allows("user_t", "tmp_t", "file", "write")
+
+    def test_user_reads_lib(self):
+        policy = reference_policy()
+        assert policy.allows("user_t", "lib_t", "file", "read")
+        assert not policy.allows("user_t", "lib_t", "file", "write")
+
+    def test_syshigh_sets_populated(self):
+        policy = reference_policy()
+        assert "sshd_t" in policy.tcb_subjects
+        assert "lib_t" in policy.tcb_objects
+        assert "tmp_t" not in policy.tcb_objects
+        assert "user_t" not in policy.tcb_subjects

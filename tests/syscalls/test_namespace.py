@@ -1,0 +1,141 @@
+"""Namespace mutation syscalls: mkdir/unlink/rename/link/chmod/chown."""
+
+import pytest
+
+from repro import errors
+from repro.vfs.file import OpenFlags
+
+
+@pytest.fixture
+def sys(world):
+    return world.sys
+
+
+class TestMkdirRmdir:
+    def test_mkdir(self, world, root, sys):
+        sys.mkdir(root, "/tmp/newdir", mode=0o755)
+        assert world.lookup("/tmp/newdir").is_dir
+
+    def test_mkdir_existing_raises(self, root, sys):
+        with pytest.raises(errors.EEXIST):
+            sys.mkdir(root, "/tmp")
+
+    def test_mkdir_permission(self, adversary, sys):
+        with pytest.raises(errors.EACCES):
+            sys.mkdir(adversary, "/etc/evil")
+
+    def test_rmdir(self, world, root, sys):
+        sys.mkdir(root, "/tmp/gone")
+        sys.rmdir(root, "/tmp/gone")
+        with pytest.raises(errors.ENOENT):
+            world.walker.resolve("/tmp/gone")
+
+
+class TestUnlink:
+    def test_unlink_removes(self, world, root, sys):
+        world.add_file("/tmp/f")
+        sys.unlink(root, "/tmp/f")
+        with pytest.raises(errors.ENOENT):
+            world.walker.resolve("/tmp/f")
+
+    def test_sticky_blocks_other_users(self, world, root, adversary, sys):
+        """/tmp is sticky: only the owner (or root) may unlink."""
+        world.add_file("/tmp/rootfile", uid=0)
+        with pytest.raises(errors.EPERM):
+            sys.unlink(adversary, "/tmp/rootfile")
+
+    def test_sticky_allows_owner(self, world, adversary, sys):
+        world.add_file("/tmp/userfile", uid=1000)
+        sys.unlink(adversary, "/tmp/userfile")
+
+    def test_sticky_allows_root(self, world, root, adversary, sys):
+        world.add_file("/tmp/userfile", uid=1000)
+        sys.unlink(root, "/tmp/userfile")
+
+    def test_unlink_does_not_follow_final_link(self, world, root, adversary, sys):
+        sys.symlink(adversary, "/etc/passwd", "/tmp/link")
+        sys.unlink(root, "/tmp/link")
+        assert world.lookup("/etc/passwd") is not None
+        with pytest.raises(errors.ENOENT):
+            world.walker.resolve("/tmp/link", follow_final=False)
+
+
+class TestRename:
+    def test_rename_moves(self, world, root, sys):
+        world.add_file("/tmp/a", b"data")
+        sys.rename(root, "/tmp/a", "/tmp/b")
+        assert world.lookup("/tmp/b").data == b"data"
+
+    def test_rename_replaces(self, world, adversary, sys):
+        world.add_file("/tmp/src", b"new", uid=1000)
+        world.add_file("/tmp/dst", b"old", uid=1000)
+        sys.rename(adversary, "/tmp/src", "/tmp/dst")
+        assert world.lookup("/tmp/dst").data == b"new"
+
+    def test_rename_sticky_guard(self, world, adversary, sys):
+        world.add_file("/tmp/rootfile", uid=0)
+        world.add_file("/tmp/mine", uid=1000)
+        with pytest.raises(errors.EPERM):
+            sys.rename(adversary, "/tmp/rootfile", "/tmp/elsewhere")
+        with pytest.raises(errors.EPERM):
+            sys.rename(adversary, "/tmp/mine", "/tmp/rootfile")
+
+
+class TestLink:
+    def test_hardlink_shares_data(self, world, root, sys):
+        world.add_file("/tmp/orig", b"shared")
+        sys.link(root, "/tmp/orig", "/tmp/alias")
+        assert world.lookup("/tmp/alias").data == b"shared"
+        assert world.lookup("/tmp/alias").ino == world.lookup("/tmp/orig").ino
+
+    def test_symlink_syscall(self, world, root, sys):
+        sys.symlink(root, "/etc", "/tmp/etclink")
+        assert world.lookup("/tmp/etclink", follow=False).symlink_target == "/etc"
+
+    def test_symlink_existing_raises(self, world, root, sys):
+        world.add_file("/tmp/busy")
+        with pytest.raises(errors.EEXIST):
+            sys.symlink(root, "/etc", "/tmp/busy")
+
+
+class TestChmodChown:
+    def test_chmod_by_owner(self, world, adversary, sys):
+        world.add_file("/tmp/mine", uid=1000, mode=0o600)
+        sys.chmod(adversary, "/tmp/mine", 0o644)
+        assert world.lookup("/tmp/mine").mode & 0o777 == 0o644
+
+    def test_chmod_by_other_raises(self, world, adversary, sys):
+        world.add_file("/tmp/rootfile", uid=0)
+        with pytest.raises(errors.EPERM):
+            sys.chmod(adversary, "/tmp/rootfile", 0o777)
+
+    def test_chmod_follows_symlink(self, world, root, adversary, sys):
+        world.add_file("/tmp/target", uid=0, mode=0o600)
+        sys.symlink(adversary, "/tmp/target", "/tmp/via")
+        sys.chmod(root, "/tmp/via", 0o640)
+        assert world.lookup("/tmp/target").mode & 0o777 == 0o640
+
+    def test_chown_requires_root(self, world, adversary, sys):
+        world.add_file("/tmp/mine", uid=1000)
+        with pytest.raises(errors.EPERM):
+            sys.chown(adversary, "/tmp/mine", 0)
+
+    def test_chown_by_root(self, world, root, sys):
+        world.add_file("/tmp/f", uid=0)
+        sys.chown(root, "/tmp/f", 1000, 1000)
+        inode = world.lookup("/tmp/f")
+        assert (inode.uid, inode.gid) == (1000, 1000)
+
+
+class TestDirCalls:
+    def test_listdir(self, root, sys):
+        assert "passwd" in sys.listdir(root, "/etc")
+
+    def test_chdir_changes_cwd(self, world, root, sys):
+        sys.chdir(root, "/etc")
+        fd = sys.open(root, "passwd")
+        assert b"root:" in sys.read(root, fd)
+
+    def test_chdir_to_file_raises(self, root, sys):
+        with pytest.raises(errors.ENOTDIR):
+            sys.chdir(root, "/etc/passwd")

@@ -1,0 +1,153 @@
+"""Signal syscalls: sigaction, kill, masks, sigreturn."""
+
+import pytest
+
+from repro import errors
+from repro.proc import signals as sig
+
+
+@pytest.fixture
+def sys(world):
+    return world.sys
+
+
+@pytest.fixture
+def daemon(world):
+    return world.spawn("daemon", uid=0, label="unconfined_t", binary_path="/bin/sh")
+
+
+class TestSigaction:
+    def test_install_handler(self, world, daemon, sys):
+        sys.sigaction(daemon, sig.SIGUSR1, handler_pc=0x100)
+        assert daemon.signals.disposition(sig.SIGUSR1).is_handled
+
+    def test_cannot_catch_sigkill(self, world, daemon, sys):
+        with pytest.raises(errors.EINVAL):
+            sys.sigaction(daemon, sig.SIGKILL, handler_pc=0x100)
+
+    def test_handler_pc_relative_to_binary(self, world, daemon, sys):
+        sys.sigaction(daemon, sig.SIGUSR1, handler_pc=0x100)
+        disposition = daemon.signals.disposition(sig.SIGUSR1)
+        assert disposition.handler_pc == daemon.binary.abs(0x100)
+
+
+class TestKill:
+    def test_default_fatal(self, world, root, daemon, sys):
+        sys.kill(root, daemon.pid, sig.SIGTERM)
+        assert not daemon.alive
+        assert daemon.exit_code == 128 + sig.SIGTERM
+
+    def test_sigchld_default_ignored(self, world, root, daemon, sys):
+        sys.kill(root, daemon.pid, sig.SIGCHLD)
+        assert daemon.alive
+
+    def test_handled_signal_enters_handler(self, world, root, daemon, sys):
+        sys.sigaction(daemon, sig.SIGUSR1, handler_pc=0x100)
+        sys.kill(root, daemon.pid, sig.SIGUSR1)
+        assert daemon.signals.in_handler
+        assert daemon.stack.top().function == "sig{}_handler".format(sig.SIGUSR1)
+
+    def test_python_handler_runs_and_autoreturns(self, world, root, daemon, sys):
+        ran = []
+        sys.sigaction(daemon, sig.SIGUSR1, handler=lambda proc, signum: ran.append(signum))
+        sys.kill(root, daemon.pid, sig.SIGUSR1)
+        assert ran == [sig.SIGUSR1]
+        assert not daemon.signals.in_handler
+
+    def test_permission_check(self, world, adversary, daemon, sys):
+        with pytest.raises(errors.EPERM):
+            sys.kill(adversary, daemon.pid, sig.SIGTERM)
+
+    def test_owner_may_signal_own(self, world, adversary, sys):
+        other = world.spawn("mine", uid=1000, label="user_t", binary_path="/bin/sh")
+        sys.kill(adversary, other.pid, sig.SIGTERM)
+        assert not other.alive
+
+    def test_missing_pid_esrch(self, world, root, sys):
+        with pytest.raises(errors.ESRCH):
+            sys.kill(root, 9999, sig.SIGTERM)
+
+
+class TestBlocking:
+    def test_blocked_signal_queued(self, world, root, daemon, sys):
+        sys.sigaction(daemon, sig.SIGUSR1, handler_pc=0x100)
+        sys.sigprocmask(daemon, block=[sig.SIGUSR1])
+        sys.kill(root, daemon.pid, sig.SIGUSR1)
+        assert not daemon.signals.in_handler
+        assert daemon.signals.pending
+
+    def test_unblock_delivers_pending(self, world, root, daemon, sys):
+        sys.sigaction(daemon, sig.SIGUSR1, handler_pc=0x100)
+        sys.sigprocmask(daemon, block=[sig.SIGUSR1])
+        sys.kill(root, daemon.pid, sig.SIGUSR1)
+        sys.sigprocmask(daemon, unblock=[sig.SIGUSR1])
+        assert daemon.signals.in_handler
+
+    def test_sigkill_cannot_be_blocked(self, world, root, daemon, sys):
+        sys.sigprocmask(daemon, block=[sig.SIGKILL])
+        sys.kill(root, daemon.pid, sig.SIGKILL)
+        assert not daemon.alive
+
+
+class TestSigreturn:
+    def test_sigreturn_leaves_handler_and_pops_frame(self, world, root, daemon, sys):
+        sys.sigaction(daemon, sig.SIGUSR1, handler_pc=0x100)
+        sys.kill(root, daemon.pid, sig.SIGUSR1)
+        depth = daemon.stack.depth
+        sys.sigreturn(daemon)
+        assert not daemon.signals.in_handler
+        assert daemon.stack.depth == depth - 1
+
+    def test_sigreturn_outside_handler_harmless(self, world, daemon, sys):
+        sys.sigreturn(daemon)
+        assert not daemon.signals.in_handler
+
+    def test_nested_handlers_unwind_in_order(self, world, root, daemon, sys):
+        sys.sigaction(daemon, sig.SIGUSR1, handler_pc=0x100)
+        sys.sigaction(daemon, sig.SIGUSR2, handler_pc=0x200)
+        sys.kill(root, daemon.pid, sig.SIGUSR1)
+        sys.kill(root, daemon.pid, sig.SIGUSR2)
+        assert daemon.signals.handler_depth == 2
+        sys.sigreturn(daemon)
+        assert daemon.signals.handler_depth == 1
+        sys.sigreturn(daemon)
+        assert daemon.signals.handler_depth == 0
+
+
+class TestSaMaskInterplay:
+    def test_sa_mask_defers_second_signal(self, world, root, daemon, sys):
+        """A handler installed with sa_mask={TERM} makes the race window
+        structurally impossible: TERM queues instead of delivering."""
+        sys.sigaction(daemon, sig.SIGUSR1, handler_pc=0x100, sa_mask={sig.SIGTERM})
+        sys.sigaction(daemon, sig.SIGTERM, handler_pc=0x200)
+        sys.kill(root, daemon.pid, sig.SIGUSR1)
+        sys.kill(root, daemon.pid, sig.SIGTERM)
+        assert daemon.signals.handler_depth == 1  # TERM deferred
+        assert daemon.signals.pending
+
+    def test_deferred_signal_delivered_after_unblock(self, world, root, daemon, sys):
+        sys.sigaction(daemon, sig.SIGUSR1, handler_pc=0x100, sa_mask={sig.SIGTERM})
+        sys.sigaction(daemon, sig.SIGTERM, handler_pc=0x200)
+        sys.kill(root, daemon.pid, sig.SIGUSR1)
+        sys.kill(root, daemon.pid, sig.SIGTERM)
+        sys.sigprocmask(daemon, unblock=[sig.SIGTERM])
+        assert daemon.signals.handler_depth == 2  # now delivered
+
+    def test_pf_rules_compose_with_sa_mask(self, world, root, daemon, sys):
+        """With R9-R12 installed, a deferred-then-unblocked signal is
+        dropped while still inside the first handler, and deliverable
+        after sigreturn."""
+        from repro.firewall.engine import ProcessFirewall
+        from repro.rulesets.default import install_signal_rules
+
+        pf = ProcessFirewall()
+        world.attach_firewall(pf)
+        install_signal_rules(pf)
+        sys.sigaction(daemon, sig.SIGUSR1, handler_pc=0x100, sa_mask={sig.SIGTERM})
+        sys.sigaction(daemon, sig.SIGTERM, handler_pc=0x200)
+        sys.kill(root, daemon.pid, sig.SIGUSR1)
+        sys.kill(root, daemon.pid, sig.SIGTERM)  # queued by sa_mask
+        # Unblocking mid-handler: the PF drops the delivery (reentrancy).
+        with pytest.raises(errors.PFDenied):
+            sys.sigprocmask(daemon, unblock=[sig.SIGTERM])
+        assert daemon.signals.handler_depth == 1

@@ -1,0 +1,74 @@
+"""stat / lstat / fstat / readlink / access."""
+
+import pytest
+
+from repro import errors
+from repro.vfs.file import OpenFlags
+
+
+@pytest.fixture
+def sys(world):
+    return world.sys
+
+
+@pytest.fixture
+def linked(world, adversary):
+    world.sys.symlink(adversary, "/etc/passwd", "/tmp/link")
+    return "/tmp/link"
+
+
+class TestStatFamily:
+    def test_stat_follows(self, world, root, sys, linked):
+        st = sys.stat(root, linked)
+        assert st.is_regular()
+
+    def test_lstat_does_not_follow(self, world, root, sys, linked):
+        st = sys.lstat(root, linked)
+        assert st.is_symlink()
+
+    def test_fstat_matches_open_file(self, world, root, sys):
+        fd = sys.open(root, "/etc/passwd")
+        st = sys.fstat(root, fd)
+        assert st.identity() == world.lookup("/etc/passwd").identity()
+
+    def test_stat_missing_raises(self, root, sys):
+        with pytest.raises(errors.ENOENT):
+            sys.stat(root, "/etc/missing")
+
+    def test_fstat_bad_fd(self, root, sys):
+        with pytest.raises(errors.EBADF):
+            sys.fstat(root, 77)
+
+
+class TestReadlink:
+    def test_returns_target(self, root, sys, linked):
+        assert sys.readlink(root, linked) == "/etc/passwd"
+
+    def test_on_regular_file_raises(self, root, sys):
+        with pytest.raises(errors.EINVAL):
+            sys.readlink(root, "/etc/passwd")
+
+    def test_missing_raises(self, root, sys):
+        with pytest.raises(errors.ENOENT):
+            sys.readlink(root, "/tmp/none")
+
+
+class TestAccess:
+    def test_access_checks_real_uid(self, world, sys):
+        """The setuid trap: access() answers for the REAL uid."""
+        setuid = world.spawn("tool", uid=1000, label="unconfined_t", binary_path="/bin/sh")
+        setuid.creds.euid = 0
+        world.add_file("/tmp/rootonly", b"x", uid=0, mode=0o600)
+        # euid 0 could open it, but access says no for uid 1000:
+        with pytest.raises(errors.EACCES):
+            sys.access(setuid, "/tmp/rootonly", "r")
+        fd = sys.open(setuid, "/tmp/rootonly")  # open succeeds
+        assert fd >= 3
+
+    def test_access_allows_real_owner(self, world, adversary, sys):
+        world.add_file("/tmp/users", b"x", uid=1000, mode=0o600)
+        assert sys.access(adversary, "/tmp/users", "w")
+
+    def test_access_missing_raises(self, root, sys):
+        with pytest.raises(errors.ENOENT):
+            sys.access(root, "/tmp/none", "r")

@@ -1,0 +1,133 @@
+"""System-only baseline defences: they block the attack but also break
+legitimate workloads the context-aware firewall leaves alone."""
+
+import pytest
+
+from repro import errors
+from repro.baselines.openwall import OpenwallSymlinkPolicy
+from repro.baselines.raceguard import RaceGuard
+from repro.firewall.engine import ProcessFirewall
+from repro.rulesets.default import safe_open_pf_rules, toctou_rules
+from repro.vfs.file import OpenFlags
+from repro.world import build_world, spawn_adversary, spawn_root_shell
+
+
+def attach_baseline(kernel, module):
+    kernel.lsm.register(module)
+    return module
+
+
+class TestRaceGuardBlocksTheRace:
+    def _race(self, kernel, victim, adversary):
+        """lstat, adversary swap, open — the Figure 1a window."""
+        sys = kernel.sys
+        fd = sys.open(adversary, "/tmp/work", flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666)
+        sys.close(adversary, fd)
+        sys.lstat(victim, "/tmp/work")
+        pin = sys.open(adversary, "/tmp/work")  # pin ino across the swap
+        sys.unlink(adversary, "/tmp/work")
+        fd = sys.open(adversary, "/tmp/work", flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o666)
+        sys.close(adversary, fd)
+        sys.close(adversary, pin)
+        return sys.open(victim, "/tmp/work")
+
+    def test_stock_kernel_loses(self):
+        kernel = build_world()
+        victim, adversary = spawn_root_shell(kernel), spawn_adversary(kernel)
+        assert self._race(kernel, victim, adversary) >= 3  # opened the swap
+
+    def test_raceguard_wins(self):
+        kernel = build_world()
+        guard = attach_baseline(kernel, RaceGuard())
+        victim, adversary = spawn_root_shell(kernel), spawn_adversary(kernel)
+        with pytest.raises(errors.EACCES):
+            self._race(kernel, victim, adversary)
+        assert guard.denials == 1
+
+
+class TestRaceGuardFalsePositive:
+    def _log_rotation(self, kernel, reader, rotator):
+        """A reader stats the log; a *trusted* rotator renames it and
+        creates a fresh one; the reader opens the (new) log.  Entirely
+        legitimate — the reader never relied on identity."""
+        sys = kernel.sys
+        kernel.add_file("/var/app.log", b"old entries", uid=0, mode=0o644)
+        sys.stat(reader, "/var/app.log")
+        sys.rename(rotator, "/var/app.log", "/var/app.log.1")
+        fd = sys.open(rotator, "/var/app.log", flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY, mode=0o644)
+        sys.close(rotator, fd)
+        return sys.open(reader, "/var/app.log")
+
+    def test_raceguard_denies_legitimate_rotation(self):
+        """The Cai-et-al. prediction: no process context => false
+        positives on benign identity changes."""
+        kernel = build_world()
+        attach_baseline(kernel, RaceGuard())
+        reader, rotator = spawn_root_shell(kernel, "reader"), spawn_root_shell(kernel, "logrotate")
+        with pytest.raises(errors.EACCES):
+            self._log_rotation(kernel, reader, rotator)
+
+    def test_firewall_t2_rules_do_not_fire(self):
+        """The PF's T2 rules are scoped to a *specific* program's
+        check/use entrypoints, so the unrelated reader is untouched."""
+        kernel = build_world()
+        firewall = kernel.attach_firewall(ProcessFirewall())
+        firewall.install_all(
+            toctou_rules("/usr/bin/mail-helper", 0x5510, "FILE_GETATTR", 0x5544, "FILE_OPEN")
+        )
+        reader, rotator = spawn_root_shell(kernel, "reader"), spawn_root_shell(kernel, "logrotate")
+        fd = self._log_rotation(kernel, reader, rotator)
+        assert fd >= 3  # allowed
+        assert firewall.stats.drops == 0
+
+
+class TestOpenwallPolicy:
+    def test_blocks_the_e9_attack(self):
+        kernel = build_world()
+        policy = attach_baseline(kernel, OpenwallSymlinkPolicy())
+        victim, adversary = spawn_root_shell(kernel), spawn_adversary(kernel)
+        kernel.sys.symlink(adversary, "/etc/passwd", "/tmp/trap")
+        with pytest.raises(errors.EACCES):
+            kernel.sys.open(victim, "/tmp/trap")
+        assert policy.denials == 1
+
+    def test_false_positive_on_adversaryless_sharing(self):
+        """user A's link to user A's own file, read by root: legitimate
+        under Chari semantics (and allowed by the firewall's safe-open
+        rules), but the owner-based sysctl denies it."""
+        kernel = build_world()
+        attach_baseline(kernel, OpenwallSymlinkPolicy())
+        root = spawn_root_shell(kernel)
+        user = spawn_adversary(kernel)
+        kernel.add_file("/tmp/users-own", b"theirs", uid=1000, mode=0o644)
+        kernel.sys.symlink(user, "/tmp/users-own", "/tmp/users-link")
+        with pytest.raises(errors.EACCES):
+            kernel.sys.open(root, "/tmp/users-link")
+
+    def test_firewall_rules_allow_the_same_sharing(self):
+        kernel = build_world()
+        firewall = kernel.attach_firewall(ProcessFirewall())
+        firewall.install_all(safe_open_pf_rules())
+        root = spawn_root_shell(kernel)
+        user = spawn_adversary(kernel)
+        kernel.add_file("/tmp/users-own", b"theirs", uid=1000, mode=0o644)
+        kernel.sys.symlink(user, "/tmp/users-own", "/tmp/users-link")
+        fd = kernel.sys.open(root, "/tmp/users-link")
+        assert kernel.sys.read(root, fd) == b"theirs"
+
+    def test_policy_ignores_links_outside_sticky_dirs(self):
+        kernel = build_world()
+        attach_baseline(kernel, OpenwallSymlinkPolicy())
+        root = spawn_root_shell(kernel)
+        kernel.add_symlink("/lib/liblink.so", "/lib/libc.so.6", uid=1000)
+        fd = kernel.sys.open(root, "/lib/liblink.so")
+        assert fd >= 3
+
+    def test_same_owner_links_in_tmp_allowed(self):
+        kernel = build_world()
+        attach_baseline(kernel, OpenwallSymlinkPolicy())
+        user = spawn_adversary(kernel)
+        kernel.add_file("/tmp/mine", b"x", uid=1000, mode=0o644)
+        kernel.sys.symlink(user, "/tmp/mine", "/tmp/minelink")
+        fd = kernel.sys.open(user, "/tmp/minelink")
+        assert fd >= 3

@@ -1,0 +1,129 @@
+"""The pfctl command-line tool."""
+
+import pytest
+
+from repro.cli import main
+from repro.rulesets.default import RULES_R1_R12
+
+
+@pytest.fixture
+def rules_file(tmp_path):
+    path = tmp_path / "rules.pf"
+    path.write_text(
+        "# distributor rules\n" + "\n".join(RULES_R1_R12) + "\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def e_rules_file(tmp_path):
+    """A ruleset that should block all nine exploits."""
+    from repro.attacks.exploits import EXPLOITS
+
+    texts = []
+    for eid in sorted(EXPLOITS):
+        for text in EXPLOITS[eid]().rules():
+            if text not in texts:
+                texts.append(text)
+    path = tmp_path / "full.pf"
+    path.write_text("\n".join(texts) + "\n")
+    return str(path)
+
+
+class TestParse:
+    def test_valid_file(self, rules_file, capsys):
+        assert main(["parse", rules_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_line_fails_with_location(self, tmp_path, capsys):
+        path = tmp_path / "bad.pf"
+        path.write_text("pftables -o FILE_OPEN -j DROP\npftables -z nope -j DROP\n")
+        assert main(["parse", str(path)]) == 1
+        assert ":2:" in capsys.readouterr().out
+
+    def test_keep_going_reports_all(self, tmp_path, capsys):
+        path = tmp_path / "bad.pf"
+        path.write_text("pftables -z a -j DROP\npftables -z b -j DROP\n")
+        assert main(["parse", str(path), "--keep-going"]) == 1
+        out = capsys.readouterr().out
+        assert ":1:" in out and ":2:" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["parse", "/no/such/file.pf"]) == 1
+
+
+class TestFmtListSave:
+    def test_fmt_output_reparses(self, rules_file, capsys, tmp_path):
+        assert main(["fmt", rules_file]) == 0
+        formatted = capsys.readouterr().out
+        again = tmp_path / "fmt.pf"
+        again.write_text(formatted)
+        assert main(["parse", str(again)]) == 0
+
+    def test_list_shows_chains(self, rules_file, capsys):
+        assert main(["list", rules_file]) == 0
+        out = capsys.readouterr().out
+        assert "Chain input" in out
+        assert "Chain signal_chain" in out
+
+    def test_list_verbose_shows_hits(self, rules_file, capsys):
+        assert main(["list", rules_file, "-v"]) == 0
+        assert "hits" in capsys.readouterr().out
+
+    def test_save_roundtrip(self, rules_file, capsys):
+        from repro.firewall.engine import ProcessFirewall
+        from repro.firewall.persist import load_rules
+
+        assert main(["save", rules_file]) == 0
+        saved = capsys.readouterr().out
+        firewall = ProcessFirewall()
+        assert load_rules(firewall, saved) == 12
+
+
+class TestAudit:
+    def test_full_ruleset_blocks_all_nine(self, e_rules_file, capsys):
+        assert main(["audit", e_rules_file]) == 0
+        out = capsys.readouterr().out
+        assert "9/9 exploits blocked" in out
+
+    def test_weak_ruleset_flagged(self, tmp_path, capsys):
+        path = tmp_path / "weak.pf"
+        path.write_text(RULES_R1_R12[0] + "\n")  # only R1
+        assert main(["audit", str(path)]) == 2
+        out = capsys.readouterr().out
+        assert "not blocked" in out
+        assert "E1" in out
+
+
+class TestSuggest:
+    def test_suggest_from_json_trace(self, tmp_path, capsys):
+        from repro.firewall.engine import ProcessFirewall
+        from repro.rulegen.trace import dump_log_json
+        from repro.world import build_world
+
+        world = build_world()
+        pf = ProcessFirewall()
+        world.attach_firewall(pf)
+        pf.install("pftables -A input -o FILE_OPEN -j LOG")
+        proc = world.spawn("svc", uid=0, label="unconfined_t", binary_path="/bin/svc")
+        proc.call(proc.binary, 0x100)
+        for _ in range(12):
+            fd = world.sys.open(proc, "/etc/passwd")
+            world.sys.close(proc, fd)
+        log_path = tmp_path / "trace.json"
+        log_path.write_text(dump_log_json(pf))
+
+        assert main(["suggest", str(log_path), "--threshold", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "/bin/svc" in out and "0x100" in out
+
+        # The printed rules form a valid rules file.
+        rules_path = tmp_path / "suggested.pf"
+        rules_path.write_text(out)
+        assert main(["parse", str(rules_path)]) == 0
+
+    def test_suggest_empty_trace(self, tmp_path, capsys):
+        log_path = tmp_path / "trace.json"
+        log_path.write_text("[]")
+        assert main(["suggest", str(log_path)]) == 0
+        assert "no pure entrypoints" in capsys.readouterr().err

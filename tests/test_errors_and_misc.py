@@ -1,0 +1,123 @@
+"""The errno hierarchy, table rendering, kernel helpers, world layout."""
+
+import pytest
+
+from repro import errors
+from repro.analysis.tables import format_table, overhead_pct
+from repro.world import ADVERSARY_UID, build_world, spawn_adversary, spawn_root_shell
+
+
+class TestErrors:
+    def test_every_class_registered(self):
+        assert errors.ERRNO_BY_NAME["ENOENT"] is errors.ENOENT
+        assert errors.ERRNO_BY_NAME["EACCES"] is errors.EACCES
+        assert len(errors.ERRNO_BY_NAME) >= 17
+
+    def test_pfdenied_is_eacces_subclass(self):
+        assert issubclass(errors.PFDenied, errors.EACCES)
+        exc = errors.PFDenied("dropped", rule="sentinel")
+        assert exc.rule == "sentinel"
+        assert exc.errno_name == "EACCES"
+
+    def test_default_message_is_errno_name(self):
+        assert errors.ELOOP().message == "ELOOP"
+
+    def test_messages_preserved(self):
+        assert errors.ENOENT("/x/y").message == "/x/y"
+
+    def test_all_are_kernel_errors(self):
+        for cls in errors.ERRNO_BY_NAME.values():
+            assert issubclass(cls, errors.KernelError)
+
+
+class TestTables:
+    def test_overhead_pct(self):
+        assert overhead_pct(100, 104) == pytest.approx(4.0)
+        assert overhead_pct(100, 90) == pytest.approx(-10.0)
+        assert overhead_pct(0, 5) == 0.0
+
+    def test_format_alignment(self):
+        text = format_table(["name", "value"], [("a", 1), ("long-name", 2.5)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[-1]
+        assert "2.50" in text  # floats rendered to 2 places
+
+    def test_title_underlined(self):
+        text = format_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+
+class TestKernelHelpers:
+    def test_mkdirs_idempotent(self):
+        kernel = build_world()
+        first = kernel.mkdirs("/a/b/c")
+        again = kernel.mkdirs("/a/b/c")
+        assert first is again
+
+    def test_mkdirs_through_file_fails(self):
+        kernel = build_world()
+        kernel.add_file("/a")
+        with pytest.raises(errors.ENOTDIR):
+            kernel.mkdirs("/a/b")
+
+    def test_add_file_overwrites_content(self):
+        kernel = build_world()
+        kernel.add_file("/tmp/x", b"one")
+        kernel.add_file("/tmp/x", b"two")
+        assert kernel.lookup("/tmp/x").data == b"two"
+
+    def test_audit_disabled(self):
+        kernel = build_world()
+        kernel.audit_enabled = False
+        root = spawn_root_shell(kernel)
+        kernel.sys.open(root, "/etc/passwd")
+        assert kernel.audit == []
+
+    def test_audit_bounded(self):
+        kernel = build_world()
+        kernel.audit_limit = 10
+        root = spawn_root_shell(kernel)
+        for _ in range(20):
+            kernel.sys.stat(root, "/etc/passwd")
+        assert len(kernel.audit) <= kernel.audit_limit
+
+    def test_spawn_registers_uid_with_adversary_model(self):
+        kernel = build_world()
+        kernel.spawn("x", uid=4242)
+        assert 4242 in kernel.adversaries.known_uids
+
+    def test_get_process_esrch(self):
+        kernel = build_world()
+        with pytest.raises(errors.ESRCH):
+            kernel.get_process(999)
+
+
+class TestWorld:
+    def test_reference_labels_present(self):
+        kernel = build_world()
+        assert kernel.lookup("/etc/shadow").label == "shadow_t"
+        assert kernel.lookup("/lib").label == "lib_t"
+        assert kernel.lookup("/tmp").is_sticky
+
+    def test_adversary_is_unprivileged(self):
+        kernel = build_world()
+        adversary = spawn_adversary(kernel)
+        assert adversary.creds.uid == ADVERSARY_UID
+        assert adversary.label == "user_t"
+        with pytest.raises(errors.EACCES):
+            kernel.sys.open(adversary, "/etc/shadow")
+
+    def test_adversary_can_write_tmp(self):
+        kernel = build_world()
+        adversary = spawn_adversary(kernel)
+        fd = kernel.sys.open(adversary, "/tmp/mine", flags=0x41)
+        kernel.sys.close(adversary, fd)
+
+    def test_mac_can_be_disabled(self):
+        kernel = build_world(enforcing_mac=False)
+        adversary = spawn_adversary(kernel)
+        # Shadow has mode 0600, so DAC still protects it even without MAC.
+        with pytest.raises(errors.EACCES):
+            kernel.sys.open(adversary, "/etc/shadow")

@@ -1,0 +1,37 @@
+"""The one-shot evaluation runner."""
+
+import pytest
+
+from repro.experiments import DEFAULT_ORDER, EXPERIMENTS, main
+
+
+class TestRunner:
+    def test_registry_matches_order(self):
+        assert set(DEFAULT_ORDER) == set(EXPERIMENTS)
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Untrusted Search Path" in out
+
+    def test_table4_runs(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("exploits") == 9
+
+    def test_quick_table8(self, capsys):
+        assert main(["--quick", "table8"]) == 0
+        assert "zero-false-positive threshold" in capsys.readouterr().out
+
+    def test_quick_fig4(self, capsys):
+        assert main(["--quick", "fig4"]) == 0
+        assert "safe_open_PF" in capsys.readouterr().out
+
+    def test_baselines(self, capsys):
+        assert main(["baselines"]) == 0
+        out = capsys.readouterr().out
+        assert "raceguard" in out and "process firewall" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])

@@ -1,0 +1,41 @@
+"""ASCII figure rendering."""
+
+from repro.analysis.figures import BAR_WIDTH, bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_peak_fills_width(self):
+        text = bar_chart([("a", 10.0), ("b", 5.0)])
+        lines = text.splitlines()
+        assert lines[0].count("#") == BAR_WIDTH
+        assert lines[1].count("#") == BAR_WIDTH // 2
+
+    def test_zero_value_has_no_bar(self):
+        text = bar_chart([("a", 10.0), ("z", 0.0)])
+        assert "#" not in text.splitlines()[-1]
+
+    def test_values_printed_with_unit(self):
+        text = bar_chart([("a", 3.14159)], unit=" us")
+        assert "3.14 us" in text
+
+    def test_title(self):
+        text = bar_chart([("a", 1)], title="Latency")
+        assert text.splitlines()[0] == "Latency"
+
+    def test_empty_series(self):
+        assert bar_chart([], title="Empty") == "Empty"
+
+    def test_labels_aligned(self):
+        text = bar_chart([("short", 1), ("much-longer-label", 2)])
+        lines = text.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        text = grouped_bar_chart(
+            [("n=1", [("a", 1), ("b", 2)]), ("n=2", [("a", 3), ("b", 4)])],
+            title="Fig",
+        )
+        assert "n=1" in text and "n=2" in text
+        assert text.splitlines()[0] == "Fig"

@@ -1,0 +1,194 @@
+"""Filesystem tree operations."""
+
+import pytest
+
+from repro import errors
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.inode import FileType
+
+
+@pytest.fixture
+def fs():
+    return FileSystem(device=8)
+
+
+class TestCreate:
+    def test_create_file(self, fs):
+        inode = fs.create(fs.root, "passwd", FileType.REG)
+        assert fs.lookup(fs.root, "passwd") is inode
+
+    def test_create_sets_nlink(self, fs):
+        inode = fs.create(fs.root, "f", FileType.REG)
+        assert inode.nlink == 1
+
+    def test_create_duplicate_raises(self, fs):
+        fs.create(fs.root, "f", FileType.REG)
+        with pytest.raises(errors.EEXIST):
+            fs.create(fs.root, "f", FileType.REG)
+
+    def test_create_nonexclusive_returns_existing(self, fs):
+        first = fs.create(fs.root, "f", FileType.REG)
+        again = fs.create(fs.root, "f", FileType.REG, exclusive=False)
+        assert again is first
+
+    def test_label_inherits_from_parent(self, fs):
+        tmp = fs.create(fs.root, "tmp", FileType.DIR, label="tmp_t")
+        child = fs.create(tmp, "x", FileType.REG)
+        assert child.label == "tmp_t"
+
+    def test_explicit_label_wins(self, fs):
+        child = fs.create(fs.root, "x", FileType.REG, label="etc_t")
+        assert child.label == "etc_t"
+
+    def test_create_in_file_raises(self, fs):
+        f = fs.create(fs.root, "f", FileType.REG)
+        with pytest.raises(errors.ENOTDIR):
+            fs.create(f, "child", FileType.REG)
+
+    @pytest.mark.parametrize("bad", ["", ".", "..", "a/b"])
+    def test_invalid_names_rejected(self, fs, bad):
+        with pytest.raises(errors.EINVAL):
+            fs.create(fs.root, bad, FileType.REG)
+
+    def test_overlong_name_rejected(self, fs):
+        with pytest.raises(errors.ENAMETOOLONG):
+            fs.create(fs.root, "x" * 256, FileType.REG)
+
+
+class TestSymlinkAndHardlink:
+    def test_symlink_records_target(self, fs):
+        link = fs.symlink(fs.root, "l", "/etc/passwd")
+        assert link.symlink_target == "/etc/passwd"
+        assert link.itype is FileType.LNK
+
+    def test_symlink_mode_is_0777(self, fs):
+        assert fs.symlink(fs.root, "l", "x").mode == 0o777
+
+    def test_hardlink_shares_inode(self, fs):
+        f = fs.create(fs.root, "a", FileType.REG)
+        fs.hardlink(fs.root, "b", f)
+        assert fs.lookup(fs.root, "b") is f
+        assert f.nlink == 2
+
+    def test_hardlink_to_directory_rejected(self, fs):
+        d = fs.create(fs.root, "d", FileType.DIR)
+        with pytest.raises(errors.EPERM):
+            fs.hardlink(fs.root, "d2", d)
+
+    def test_hardlink_existing_name_rejected(self, fs):
+        f = fs.create(fs.root, "a", FileType.REG)
+        fs.create(fs.root, "b", FileType.REG)
+        with pytest.raises(errors.EEXIST):
+            fs.hardlink(fs.root, "b", f)
+
+
+class TestRemove:
+    def test_unlink_removes_entry(self, fs):
+        fs.create(fs.root, "f", FileType.REG)
+        fs.unlink(fs.root, "f")
+        assert not fs.exists(fs.root, "f")
+
+    def test_unlink_missing_raises(self, fs):
+        with pytest.raises(errors.ENOENT):
+            fs.unlink(fs.root, "nope")
+
+    def test_unlink_directory_raises(self, fs):
+        fs.create(fs.root, "d", FileType.DIR)
+        with pytest.raises(errors.EISDIR):
+            fs.unlink(fs.root, "d")
+
+    def test_rmdir_empty(self, fs):
+        fs.create(fs.root, "d", FileType.DIR)
+        fs.rmdir(fs.root, "d")
+        assert not fs.exists(fs.root, "d")
+
+    def test_rmdir_nonempty_raises(self, fs):
+        d = fs.create(fs.root, "d", FileType.DIR)
+        fs.create(d, "f", FileType.REG)
+        with pytest.raises(errors.ENOTEMPTY):
+            fs.rmdir(fs.root, "d")
+
+    def test_rmdir_on_file_raises(self, fs):
+        fs.create(fs.root, "f", FileType.REG)
+        with pytest.raises(errors.ENOTDIR):
+            fs.rmdir(fs.root, "f")
+
+    def test_unlink_last_link_releases_inode(self, fs):
+        f = fs.create(fs.root, "f", FileType.REG)
+        fs.unlink(fs.root, "f")
+        assert not fs.inodes.is_live(f.ino)
+
+
+class TestRename:
+    def test_rename_moves_entry(self, fs):
+        f = fs.create(fs.root, "a", FileType.REG)
+        d = fs.create(fs.root, "d", FileType.DIR)
+        fs.rename(fs.root, "a", d, "b")
+        assert fs.lookup(d, "b") is f
+        assert not fs.exists(fs.root, "a")
+
+    def test_rename_replaces_target_atomically(self, fs):
+        """Replacement is one step — the adversary's symlink swap."""
+        old = fs.create(fs.root, "target", FileType.REG)
+        fs.symlink(fs.root, "swap", "/etc/shadow")
+        fs.rename(fs.root, "swap", fs.root, "target")
+        replaced = fs.lookup(fs.root, "target")
+        assert replaced.is_symlink
+        assert not fs.inodes.is_live(old.ino)
+
+    def test_rename_missing_source_raises(self, fs):
+        with pytest.raises(errors.ENOENT):
+            fs.rename(fs.root, "nope", fs.root, "x")
+
+    def test_rename_over_nonempty_dir_raises(self, fs):
+        fs.create(fs.root, "src", FileType.REG)
+        d = fs.create(fs.root, "dst", FileType.DIR)
+        fs.create(d, "kid", FileType.REG)
+        with pytest.raises(errors.ENOTEMPTY):
+            fs.rename(fs.root, "src", fs.root, "dst")
+
+
+class TestListing:
+    def test_list_dir_sorted(self, fs):
+        for name in ["zeta", "alpha", "mid"]:
+            fs.create(fs.root, name, FileType.REG)
+        assert fs.list_dir(fs.root) == ["alpha", "mid", "zeta"]
+
+    def test_list_nondir_raises(self, fs):
+        f = fs.create(fs.root, "f", FileType.REG)
+        with pytest.raises(errors.ENOTDIR):
+            fs.list_dir(f)
+
+    def test_lookup_dot_is_self(self, fs):
+        assert fs.lookup(fs.root, ".") is fs.root
+
+
+class TestRenameCornerCases:
+    """Regression tests for bugs found by the property suite."""
+
+    def test_rename_onto_itself_is_noop(self, fs):
+        f = fs.create(fs.root, "a", FileType.REG)
+        fs.rename(fs.root, "a", fs.root, "a")
+        assert fs.lookup(fs.root, "a") is f
+        assert f.nlink == 1
+
+    def test_rename_onto_own_hardlink_is_noop(self, fs):
+        f = fs.create(fs.root, "a", FileType.REG)
+        fs.hardlink(fs.root, "b", f)
+        fs.rename(fs.root, "a", fs.root, "b")
+        assert fs.exists(fs.root, "a") and fs.exists(fs.root, "b")
+        assert f.nlink == 2
+
+    def test_rename_directory_into_own_subtree_rejected(self, fs):
+        d = fs.create(fs.root, "d", FileType.DIR)
+        sub = fs.create(d, "sub", FileType.DIR)
+        with pytest.raises(errors.EINVAL):
+            fs.rename(fs.root, "d", sub, "inside")
+        with pytest.raises(errors.EINVAL):
+            fs.rename(fs.root, "d", d, "inside")
+
+    def test_rename_directory_to_sibling_ok(self, fs):
+        d = fs.create(fs.root, "d", FileType.DIR)
+        e = fs.create(fs.root, "e", FileType.DIR)
+        fs.rename(fs.root, "d", e, "moved")
+        assert fs.lookup(e, "moved") is d

@@ -1,0 +1,143 @@
+"""Inode table: allocation, recycling, generations, reference counts."""
+
+import pytest
+
+from repro import errors
+from repro.vfs.inode import FileType, Inode, InodeTable
+
+
+@pytest.fixture
+def table():
+    return InodeTable(device=8)
+
+
+class TestAllocation:
+    def test_numbers_are_unique_among_live(self, table):
+        inodes = [table.alloc(FileType.REG) for _ in range(10)]
+        assert len({i.ino for i in inodes}) == 10
+
+    def test_alloc_sets_attributes(self, table):
+        inode = table.alloc(FileType.REG, uid=7, gid=8, mode=0o640, label="etc_t")
+        assert (inode.uid, inode.gid, inode.mode, inode.label) == (7, 8, 0o640, "etc_t")
+
+    def test_device_stamped(self, table):
+        assert table.alloc(FileType.REG).device == 8
+
+    def test_directory_gets_children_dict(self, table):
+        assert table.alloc(FileType.DIR).children == {}
+
+    def test_regular_file_has_no_children(self, table):
+        assert table.alloc(FileType.REG).children is None
+
+    def test_get_live(self, table):
+        inode = table.alloc(FileType.REG)
+        assert table.get(inode.ino) is inode
+
+    def test_get_dead_raises(self, table):
+        with pytest.raises(errors.ENOENT):
+            table.get(424242)
+
+    def test_len_counts_live(self, table):
+        table.alloc(FileType.REG)
+        table.alloc(FileType.REG)
+        assert len(table) == 2
+
+
+class TestRecycling:
+    def _make_linked(self, table):
+        inode = table.alloc(FileType.REG)
+        table.link_added(inode)
+        return inode
+
+    def test_unlinked_unopened_is_released(self, table):
+        inode = self._make_linked(table)
+        table.link_removed(inode)
+        assert not table.is_live(inode.ino)
+
+    def test_released_number_is_reused(self, table):
+        inode = self._make_linked(table)
+        old = inode.ino
+        table.link_removed(inode)
+        replacement = table.alloc(FileType.REG)
+        assert replacement.ino == old
+
+    def test_generation_bumps_on_reuse(self, table):
+        inode = self._make_linked(table)
+        gen = inode.generation
+        table.link_removed(inode)
+        replacement = table.alloc(FileType.REG)
+        assert replacement.generation == gen + 1
+
+    def test_open_pins_number(self, table):
+        """While open, the inode number must not recycle (the property
+        open_race's held-fd re-lstat depends on)."""
+        inode = self._make_linked(table)
+        table.opened(inode)
+        table.link_removed(inode)
+        assert table.is_live(inode.ino)
+        replacement = table.alloc(FileType.REG)
+        assert replacement.ino != inode.ino
+
+    def test_close_after_unlink_releases(self, table):
+        inode = self._make_linked(table)
+        table.opened(inode)
+        table.link_removed(inode)
+        table.closed(inode)
+        assert not table.is_live(inode.ino)
+
+    def test_lowest_freed_number_reused_first(self, table):
+        inodes = [self._make_linked(table) for _ in range(3)]
+        for inode in inodes:
+            table.link_removed(inode)
+        fresh = table.alloc(FileType.REG)
+        assert fresh.ino == min(i.ino for i in inodes)
+
+    def test_hardlink_keeps_alive(self, table):
+        inode = self._make_linked(table)
+        table.link_added(inode)  # second name
+        table.link_removed(inode)
+        assert table.is_live(inode.ino)
+
+    def test_nlink_underflow_rejected(self, table):
+        inode = table.alloc(FileType.REG)
+        with pytest.raises(errors.EINVAL):
+            table.link_removed(inode)
+
+    def test_open_underflow_rejected(self, table):
+        inode = table.alloc(FileType.REG)
+        with pytest.raises(errors.EINVAL):
+            table.closed(inode)
+
+
+class TestIdentity:
+    def test_identity_is_dev_ino(self, table):
+        inode = table.alloc(FileType.REG)
+        assert inode.identity() == (8, inode.ino)
+
+    def test_identity_ignores_generation(self, table):
+        """(dev, ino) equality is deliberately generation-blind: the
+        cryogenic-sleep attack depends on it."""
+        inode = table.alloc(FileType.REG)
+        table.link_added(inode)
+        old_identity = inode.identity()
+        table.link_removed(inode)
+        recycled = table.alloc(FileType.REG)
+        assert recycled.identity() == old_identity
+        assert recycled.generation != inode.generation
+
+
+class TestModeBits:
+    def test_setuid(self):
+        assert Inode(1, FileType.REG, mode=0o4755).is_setuid
+        assert not Inode(1, FileType.REG, mode=0o755).is_setuid
+
+    def test_setgid(self):
+        assert Inode(1, FileType.REG, mode=0o2755).is_setgid
+
+    def test_sticky(self):
+        assert Inode(1, FileType.DIR, mode=0o1777).is_sticky
+        assert not Inode(1, FileType.DIR, mode=0o777).is_sticky
+
+    def test_symlink_flag(self):
+        assert Inode(1, FileType.LNK).is_symlink
+        assert not Inode(1, FileType.REG).is_symlink

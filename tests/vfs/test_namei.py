@@ -1,0 +1,171 @@
+"""Pathname resolution: component walking, symlinks, observers."""
+
+import pytest
+
+from repro import errors
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.inode import FileType
+from repro.vfs.namei import PathWalker, WalkEvent, split_path
+
+
+@pytest.fixture
+def fs():
+    fs = FileSystem(device=8)
+    etc = fs.create(fs.root, "etc", FileType.DIR, label="etc_t")
+    fs.create(etc, "passwd", FileType.REG, label="etc_t")
+    tmp = fs.create(fs.root, "tmp", FileType.DIR, mode=0o1777, label="tmp_t")
+    fs.symlink(tmp, "link-abs", "/etc/passwd")
+    fs.symlink(tmp, "link-rel", "../etc/passwd")
+    fs.symlink(tmp, "dangling", "/no/such/file")
+    fs.symlink(tmp, "loop-a", "/tmp/loop-b")
+    fs.symlink(tmp, "loop-b", "/tmp/loop-a")
+    return fs
+
+
+@pytest.fixture
+def walker(fs):
+    return PathWalker(fs)
+
+
+class TestSplitPath:
+    def test_basic(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+
+    def test_drops_empty_and_dot(self):
+        assert split_path("/a//./b/") == ["a", "b"]
+
+    def test_keeps_dotdot(self):
+        assert split_path("/a/../b") == ["a", "..", "b"]
+
+    def test_empty_raises(self):
+        with pytest.raises(errors.EINVAL):
+            split_path("")
+
+    def test_overlong_raises(self):
+        with pytest.raises(errors.ENAMETOOLONG):
+            split_path("/" + "a/" * 3000)
+
+
+class TestBasicResolution:
+    def test_resolve_file(self, walker, fs):
+        resolved = walker.resolve("/etc/passwd")
+        assert resolved.inode is fs.lookup(fs.lookup(fs.root, "etc"), "passwd")
+        assert resolved.path == "/etc/passwd"
+
+    def test_resolve_root(self, walker, fs):
+        assert walker.resolve("/").inode is fs.root
+
+    def test_missing_component_raises(self, walker):
+        with pytest.raises(errors.ENOENT):
+            walker.resolve("/etc/shadow")
+
+    def test_nondir_intermediate_raises(self, walker):
+        with pytest.raises(errors.ENOTDIR):
+            walker.resolve("/etc/passwd/sub")
+
+    def test_dotdot_walks_up(self, walker):
+        resolved = walker.resolve("/etc/../etc/passwd")
+        assert resolved.path == "/etc/passwd"
+
+    def test_dotdot_at_root_stays(self, walker):
+        resolved = walker.resolve("/../../etc/passwd")
+        assert resolved.path == "/etc/passwd"
+
+    def test_relative_needs_cwd(self, walker):
+        with pytest.raises(errors.EINVAL):
+            walker.resolve("etc/passwd")
+
+    def test_relative_with_cwd(self, walker, fs):
+        etc = fs.lookup(fs.root, "etc")
+        resolved = walker.resolve("passwd", cwd=etc)
+        assert resolved.inode.itype is FileType.REG
+
+
+class TestSymlinks:
+    def test_absolute_link_followed(self, walker):
+        resolved = walker.resolve("/tmp/link-abs")
+        assert resolved.path == "/etc/passwd"
+
+    def test_relative_link_followed(self, walker):
+        resolved = walker.resolve("/tmp/link-rel")
+        assert resolved.path == "/etc/passwd"
+
+    def test_nofollow_returns_link(self, walker):
+        resolved = walker.resolve("/tmp/link-abs", follow_final=False)
+        assert resolved.inode.is_symlink
+
+    def test_intermediate_link_always_followed(self, walker, fs):
+        fs.symlink(fs.root, "e", "/etc")
+        resolved = walker.resolve("/e/passwd", follow_final=False)
+        assert resolved.path == "/etc/passwd"
+        assert not resolved.inode.is_symlink
+
+    def test_dangling_raises_enoent(self, walker):
+        with pytest.raises(errors.ENOENT):
+            walker.resolve("/tmp/dangling")
+
+    def test_loop_detected(self, walker):
+        with pytest.raises(errors.ELOOP):
+            walker.resolve("/tmp/loop-a")
+
+    def test_symlinks_followed_counted(self, walker):
+        assert walker.resolve("/tmp/link-abs").symlinks_followed == 1
+
+    def test_chained_links(self, walker, fs):
+        tmp = fs.lookup(fs.root, "tmp")
+        fs.symlink(tmp, "chain1", "/tmp/link-abs")
+        resolved = walker.resolve("/tmp/chain1")
+        assert resolved.path == "/etc/passwd"
+        assert resolved.symlinks_followed == 2
+
+
+class TestWantParent:
+    def test_existing_child(self, walker, fs):
+        resolved = walker.resolve("/etc/passwd", want_parent=True)
+        assert resolved.name == "passwd"
+        assert resolved.parent is fs.lookup(fs.root, "etc")
+        assert resolved.inode is not None
+
+    def test_missing_child(self, walker, fs):
+        resolved = walker.resolve("/etc/newfile", want_parent=True)
+        assert resolved.inode is None
+        assert resolved.parent is fs.lookup(fs.root, "etc")
+        assert resolved.name == "newfile"
+
+    def test_final_symlink_not_followed(self, walker):
+        resolved = walker.resolve("/tmp/link-abs", want_parent=True)
+        assert resolved.inode.is_symlink
+
+    def test_missing_parent_raises(self, walker):
+        with pytest.raises(errors.ENOENT):
+            walker.resolve("/no/such/dir/file", want_parent=True)
+
+
+class TestObserver:
+    def test_lookup_events_per_component(self, walker):
+        events = []
+        walker.resolve("/etc/passwd", observer=events.append)
+        kinds = [e.event for e in events]
+        assert kinds.count(WalkEvent.LOOKUP) == 2
+
+    def test_symlink_event_emitted(self, walker):
+        events = []
+        walker.resolve("/tmp/link-abs", observer=events.append)
+        assert any(e.event is WalkEvent.SYMLINK_FOLLOW for e in events)
+
+    def test_observer_can_abort(self, walker):
+        def deny(step):
+            if step.event is WalkEvent.SYMLINK_FOLLOW:
+                raise errors.EACCES("no links here")
+
+        with pytest.raises(errors.EACCES):
+            walker.resolve("/tmp/link-abs", observer=deny)
+
+    def test_final_event_last(self, walker):
+        events = []
+        walker.resolve("/etc/passwd", observer=events.append)
+        assert events[-1].event is WalkEvent.FINAL
+
+    def test_steps_recorded_on_result(self, walker):
+        resolved = walker.resolve("/etc/passwd")
+        assert len(resolved.steps) == 3  # 2 lookups + final

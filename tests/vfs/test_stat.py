@@ -1,0 +1,62 @@
+"""Stat snapshots."""
+
+import pytest
+
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.inode import FileType
+from repro.vfs.stat import StatResult
+
+
+@pytest.fixture
+def fs():
+    return FileSystem(device=8)
+
+
+class TestSnapshot:
+    def test_fields_copied(self, fs):
+        inode = fs.create(fs.root, "f", FileType.REG, uid=3, gid=4, mode=0o640)
+        inode.data = b"12345"
+        st = StatResult(inode)
+        assert (st.st_uid, st.st_gid, st.st_mode, st.st_size) == (3, 4, 0o640, 5)
+        assert st.st_dev == 8
+        assert st.st_ino == inode.ino
+
+    def test_snapshot_does_not_track_changes(self, fs):
+        inode = fs.create(fs.root, "f", FileType.REG, mode=0o600)
+        st = StatResult(inode)
+        inode.mode = 0o777
+        assert st.st_mode == 0o600
+
+    def test_type_predicates(self, fs):
+        reg = StatResult(fs.create(fs.root, "r", FileType.REG))
+        lnk = StatResult(fs.symlink(fs.root, "l", "x"))
+        dirent = StatResult(fs.create(fs.root, "d", FileType.DIR))
+        assert reg.is_regular() and not reg.is_symlink()
+        assert lnk.is_symlink() and not lnk.is_regular()
+        assert dirent.is_dir()
+
+    def test_setuid_predicate(self, fs):
+        inode = fs.create(fs.root, "s", FileType.REG, mode=0o4755)
+        assert StatResult(inode).is_setuid()
+
+
+class TestIdentityComparison:
+    def test_same_file_true_for_same_inode(self, fs):
+        inode = fs.create(fs.root, "f", FileType.REG)
+        assert StatResult(inode).same_file(StatResult(inode))
+
+    def test_same_file_false_for_different(self, fs):
+        a = StatResult(fs.create(fs.root, "a", FileType.REG))
+        b = StatResult(fs.create(fs.root, "b", FileType.REG))
+        assert not a.same_file(b)
+
+    def test_same_file_fooled_by_recycling(self, fs):
+        """The cryogenic-sleep property: (dev, ino) equality survives
+        recycling even though the object changed."""
+        victim = fs.create(fs.root, "v", FileType.REG)
+        before = StatResult(victim)
+        fs.unlink(fs.root, "v")
+        planted = fs.create(fs.root, "planted", FileType.REG)
+        after = StatResult(planted)
+        assert before.same_file(after)
+        assert before.st_generation != after.st_generation

@@ -1,0 +1,123 @@
+"""Property-based tests on filesystem invariants.
+
+Random namespace-mutation sequences must preserve:
+
+- every live inode is reachable from the root (no leaks);
+- every directory entry points at a live inode (no dangling entries);
+- inode numbers are unique among live inodes;
+- nlink equals the number of directory entries referencing the inode.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import errors
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.inode import FileType
+
+NAMES = ["a", "b", "c", "d"]
+
+
+@st.composite
+def operation(draw):
+    kind = draw(st.sampled_from(["create", "mkdir", "symlink", "link", "unlink", "rmdir", "rename"]))
+    return (
+        kind,
+        draw(st.sampled_from(NAMES)),  # primary name
+        draw(st.sampled_from(NAMES)),  # secondary name (link/rename)
+        draw(st.integers(min_value=0, max_value=3)),  # directory selector
+    )
+
+
+def _directories(fs):
+    """All live directory inodes, by tree walk from the root."""
+    out = []
+    stack = [fs.root]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        for ino in node.children.values():
+            child = fs.inodes.get(ino)
+            if child.is_dir:
+                stack.append(child)
+    return out
+
+
+def _apply(fs, op):
+    kind, name, other, dir_sel = op
+    dirs = _directories(fs)
+    parent = dirs[dir_sel % len(dirs)]
+    try:
+        if kind == "create":
+            fs.create(parent, name, FileType.REG)
+        elif kind == "mkdir":
+            fs.create(parent, name, FileType.DIR)
+        elif kind == "symlink":
+            fs.symlink(parent, name, "/" + other)
+        elif kind == "link":
+            target = fs.lookup(parent, other)
+            fs.hardlink(parent, name, target)
+        elif kind == "unlink":
+            fs.unlink(parent, name)
+        elif kind == "rmdir":
+            fs.rmdir(parent, name)
+        elif kind == "rename":
+            dirs2 = _directories(fs)
+            dest = dirs2[(dir_sel + 1) % len(dirs2)]
+            fs.rename(parent, name, dest, other)
+    except errors.KernelError:
+        pass  # invalid mutations must fail cleanly, never corrupt
+
+
+def _check_invariants(fs):
+    # Reachability + entry liveness + nlink accounting.
+    entry_counts = {}
+    seen_inos = set()
+    stack = [(fs.root, ["/"])]
+    visited = set()
+    while stack:
+        node, path = stack.pop()
+        if node.ino in visited:
+            continue
+        visited.add(node.ino)
+        seen_inos.add(node.ino)
+        for name, ino in node.children.items():
+            assert fs.inodes.is_live(ino), "dangling entry {} -> {}".format(name, ino)
+            entry_counts[ino] = entry_counts.get(ino, 0) + 1
+            child = fs.inodes.get(ino)
+            seen_inos.add(ino)
+            if child.is_dir:
+                stack.append((child, path + [name]))
+
+    live = {ino for ino in fs.inodes._live}
+    assert live == seen_inos | {fs.root.ino}, "unreachable live inodes: {}".format(live - seen_inos)
+
+    for ino, count in entry_counts.items():
+        inode = fs.inodes.get(ino)
+        assert inode.nlink == count, "inode {} nlink {} but {} entries".format(ino, inode.nlink, count)
+
+    # Uniqueness among live numbers is structural (dict keys), but the
+    # free list must never contain a live number.
+    assert not (set(fs.inodes._free) & live)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(operation(), max_size=30))
+def test_mutation_sequences_preserve_invariants(ops):
+    fs = FileSystem(device=8)
+    for op in ops:
+        _apply(fs, op)
+        _check_invariants(fs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(operation(), max_size=25), data=st.data())
+def test_recycled_numbers_bump_generation(ops, data):
+    fs = FileSystem(device=8)
+    generations = {}  # ino -> highest generation seen
+    for op in ops:
+        _apply(fs, op)
+        for ino, inode in fs.inodes._live.items():
+            if ino in generations and inode.generation != generations[ino]:
+                assert inode.generation > generations[ino]
+            generations[ino] = inode.generation

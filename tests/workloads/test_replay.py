@@ -1,0 +1,134 @@
+"""Syscall trace record/replay."""
+
+import pytest
+
+from repro import errors
+from repro.firewall.engine import ProcessFirewall
+from repro.vfs.file import OpenFlags
+from repro.workloads.replay import Trace, record_syscalls, replay
+from repro.world import build_world, spawn_adversary, spawn_root_shell
+
+
+def run_workload(kernel, root):
+    sys = kernel.sys
+    fd = sys.open(root, "/tmp/out", flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+    sys.write(root, fd, b"hello")
+    sys.close(root, fd)
+    child = sys.fork(root)
+    sys.stat(child, "/etc/passwd")
+    sys.exit(child, 0)
+    fd = sys.open(root, "/etc/shadow")
+    sys.read(root, fd)
+    sys.close(root, fd)
+
+
+class TestRecording:
+    def test_records_successful_calls(self):
+        kernel = build_world()
+        root = spawn_root_shell(kernel)
+        with record_syscalls(kernel) as trace:
+            run_workload(kernel, root)
+        methods = [entry[1] for entry in trace.entries]
+        assert methods.count("open") == 2
+        assert "fork" in methods and "write" in methods
+
+    def test_failed_calls_not_recorded(self):
+        kernel = build_world()
+        root = spawn_root_shell(kernel)
+        with record_syscalls(kernel) as trace:
+            with pytest.raises(errors.ENOENT):
+                kernel.sys.open(root, "/no/such")
+        assert len(trace) == 0
+
+    def test_recorder_detaches_on_exit(self):
+        kernel = build_world()
+        original = kernel.sys
+        with record_syscalls(kernel):
+            assert kernel.sys is not original
+        assert kernel.sys is original
+
+    def test_json_roundtrip(self):
+        kernel = build_world()
+        root = spawn_root_shell(kernel)
+        with record_syscalls(kernel) as trace:
+            run_workload(kernel, root)
+        again = Trace.from_json(trace.to_json())
+        assert again.entries == trace.entries
+
+    def test_save_load(self, tmp_path):
+        kernel = build_world()
+        root = spawn_root_shell(kernel)
+        with record_syscalls(kernel) as trace:
+            kernel.sys.write(root, kernel.sys.open(root, "/tmp/x", flags=0x41), b"\x00binary")
+        path = tmp_path / "t.json"
+        trace.save(str(path))
+        loaded = Trace.load(str(path))
+        assert loaded.entries == trace.entries
+
+
+class TestReplay:
+    def _recorded(self):
+        kernel = build_world()
+        root = spawn_root_shell(kernel)
+        with record_syscalls(kernel) as trace:
+            run_workload(kernel, root)
+        return trace
+
+    def test_replay_reproduces_state(self):
+        trace = self._recorded()
+        target = build_world()
+        root = spawn_root_shell(target)
+        result = replay(target, trace, {1: root})
+        assert result.failed == 0
+        assert result.executed == len(trace)
+        assert target.lookup("/tmp/out").data == b"hello"
+
+    def test_replay_fork_extends_mapping(self):
+        trace = self._recorded()
+        target = build_world()
+        # Make the replayed child's stat observable.
+        result = replay(target, trace, {1: spawn_root_shell(target)})
+        assert result.failed == 0
+        assert target.stats.syscalls.get("fork") == 1
+        assert target.stats.syscalls.get("exit") == 1
+
+    def test_replay_against_stricter_kernel_collects_denials(self):
+        trace = self._recorded()
+        target = build_world()
+        firewall = target.attach_firewall(ProcessFirewall())
+        firewall.install("pftables -A input -o FILE_OPEN -d shadow_t -j DROP")
+        result = replay(target, trace, {1: spawn_root_shell(target)})
+        # The shadow open is dropped, and the recorded read/close of the
+        # descriptor it would have produced fail in its shadow (EBADF).
+        assert [f[1] for f in result.failures] == ["open", "read", "close"]
+        assert result.failures[0][2] == "EACCES"
+
+    def test_strict_mode_raises(self):
+        trace = self._recorded()
+        target = build_world()
+        firewall = target.attach_firewall(ProcessFirewall())
+        firewall.install("pftables -A input -o FILE_OPEN -d shadow_t -j DROP")
+        with pytest.raises(errors.PFDenied):
+            replay(target, trace, {1: spawn_root_shell(target)}, tolerate_failures=False)
+
+    def test_unmapped_pid_skipped(self):
+        trace = Trace()
+        trace.append(42, "getpid", (), {})
+        target = build_world()
+        result = replay(target, trace, {})
+        assert result.executed == 0 and result.failed == 0
+
+    def test_kill_pids_translated(self):
+        kernel = build_world()
+        root = spawn_root_shell(kernel)
+        from repro.proc import signals as sig
+
+        victim = kernel.spawn("victim", uid=0, label="unconfined_t", binary_path="/bin/sh")
+        with record_syscalls(kernel) as trace:
+            kernel.sys.kill(root, victim.pid, sig.SIGTERM)
+        target = build_world()
+        new_root = spawn_root_shell(target)
+        new_victim = target.spawn("victim", uid=0, label="unconfined_t", binary_path="/bin/sh")
+        result = replay(target, trace, {root.pid: new_root, victim.pid: new_victim})
+        assert result.failed == 0
+        assert not new_victim.alive

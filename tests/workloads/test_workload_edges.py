@@ -1,0 +1,52 @@
+"""Edge cases in the workload harnesses."""
+
+import pytest
+
+from repro import errors
+from repro.workloads.lmbench import LmbenchSuite
+from repro.workloads.webbench import _build_server, apache_requests_per_second
+
+
+class TestWebbench:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            _build_server("nonsense", depth=1, clients=1)
+
+    def test_worker_pool_capped(self):
+        servers, _url = _build_server("pf", depth=1, clients=500)
+        assert len(servers) == 32
+
+    def test_deep_site_built_correctly(self):
+        servers, url = _build_server("program", depth=5, clients=1)
+        assert url.count("/") == 5
+        assert servers[0].serve(url).status == 200
+
+
+class TestLmbenchEdges:
+    def test_unknown_column_rejected(self):
+        with pytest.raises(KeyError):
+            LmbenchSuite("TURBO")
+
+    def test_rule_count_override(self):
+        suite = LmbenchSuite("EPTSPC", rule_count=50)
+        assert suite.firewall.rules.rule_count() == 50
+
+    def test_bench_process_has_deep_stack(self):
+        suite = LmbenchSuite("DISABLED")
+        assert suite.proc.stack.depth == 25
+
+
+class TestPersistListing:
+    def test_empty_firewall_lists_builtin_chains(self):
+        from repro.firewall.engine import ProcessFirewall
+        from repro.firewall.persist import list_rules
+
+        text = list_rules(ProcessFirewall())
+        assert "Chain input" in text
+
+    def test_save_empty_firewall_roundtrips(self):
+        from repro.firewall.engine import ProcessFirewall
+        from repro.firewall.persist import load_rules, save_rules
+
+        firewall = ProcessFirewall()
+        assert load_rules(ProcessFirewall(), save_rules(firewall)) == 0
