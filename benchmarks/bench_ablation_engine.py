@@ -8,6 +8,9 @@
    per-process design needs none.
 3. **Lazy vs eager context retrieval** (§4.2): context-module
    collections per syscall.
+4. **Compiled dispatch + negative-decision cache** (beyond the paper's
+   ladder): whole traversals short-circuited per process once a
+   default-allow verdict is proven context-independent.
 """
 
 import pytest
@@ -98,3 +101,33 @@ def test_lazy_context_ablation(run_once, emit):
     )
     assert lazy_total < eager_total
     assert lazy.context_cost < eager.context_cost
+
+
+def test_compiled_dispatch_ablation(run_once, emit):
+    def compare():
+        eptspc = _run_workload(EngineConfig.optimized(), 400)
+        compiled = _run_workload(EngineConfig.compiled(), 400)
+        return eptspc, compiled
+
+    eptspc, compiled = run_once(compare)
+    emit(
+        format_table(
+            ["engine", "invocations", "rules evaluated", "decision-cache hits"],
+            [
+                ("EPTSPC", eptspc.invocations, eptspc.rules_evaluated, eptspc.decision_cache_hits),
+                (
+                    "COMPILED",
+                    compiled.invocations,
+                    compiled.rules_evaluated,
+                    compiled.decision_cache_hits,
+                ),
+            ],
+            title="Ablation: compiled dispatch + negative-decision cache",
+        )
+    )
+    # The repeated stat loop is exactly the shape the decision cache
+    # eats: after the first traversal per (op, entrypoint) shape, whole
+    # walks are skipped — so COMPILED evaluates no more rules, and the
+    # hit counter proves the short-circuit actually fires.
+    assert compiled.decision_cache_hits > 0
+    assert compiled.rules_evaluated <= eptspc.rules_evaluated

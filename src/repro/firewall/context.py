@@ -51,9 +51,26 @@ def field_scope(field):
     return "syscall" if field & SYSCALL_SCOPED else "operation"
 
 
+#: Fields whose value is a pure function of the process identity for a
+#: fixed rule base: the subject label and entrypoint are part of the
+#: decision-cache key, and the program only changes on ``execve`` (which
+#: invalidates the per-task cache).  A traversal that consulted *only*
+#: these fields is eligible for the negative-decision cache; touching
+#: anything else (object labels, resource ids, adversary accessibility,
+#: syscall arguments, signal info, script frames) makes the verdict
+#: resource- or call-dependent and therefore uncacheable.
+DECISION_STABLE = (
+    ContextField.SUBJECT_LABEL
+    | ContextField.PROGRAM
+    | ContextField.ENTRYPOINT
+)
+
 #: Plain-int view of the syscall-scoped mask (hot-path comparisons use
 #: int arithmetic; IntFlag operator dispatch is measurably slower).
 _SYSCALL_SCOPED_INT = int(SYSCALL_SCOPED)
+
+#: Plain-int view of the decision-stable mask (see above).
+_DECISION_STABLE_INT = int(DECISION_STABLE)
 
 #: The same set as a frozenset for hot-path membership tests.
 _SYSCALL_SCOPED_FIELDS = frozenset(
@@ -69,7 +86,15 @@ class ContextFrame:
         values: field -> collected value.
     """
 
-    __slots__ = ("mask", "values", "scoped_dirty")
+    __slots__ = (
+        "mask",
+        "values",
+        "scoped_dirty",
+        "cached_mask",
+        "decision_unsafe",
+        "used_entrypoint",
+        "rule_matched",
+    )
 
     def __init__(self):
         self.mask = 0
@@ -78,6 +103,24 @@ class ContextFrame:
         #: (as opposed to absorbed from the cache) — tells the engine
         #: whether the per-process cache needs rewriting.
         self.scoped_dirty = False
+        #: Bits absorbed from the per-process context cache that have
+        #: not yet been *used* — `engine.ensure` clears a bit (and
+        #: counts one cache hit) the first time a rule actually reads
+        #: the field, so absorbed-but-unread fields never inflate the
+        #: CONCACHE accounting.
+        self.cached_mask = 0
+        #: Decision-cache bookkeeping for this traversal: set when any
+        #: non-decision-stable field was consulted, when a STATE
+        #: match/target touched the process dictionary, or when a
+        #: side-effect target fired.
+        self.decision_unsafe = False
+        #: True when the traversal consulted the entrypoint — the
+        #: memoized verdict must then be keyed on the entrypoint head.
+        self.used_entrypoint = False
+        #: True when any rule fully matched (its target executed);
+        #: such traversals are never memoized, so side effects and hit
+        #: counters replay faithfully.
+        self.rule_matched = False
 
     def has(self, field):
         # ``field.value`` keeps the arithmetic on plain ints: IntFlag's
@@ -98,11 +141,15 @@ class ContextFrame:
     def absorb_cached(self, cached_values):
         """Seed this frame with syscall-scoped values from the cache."""
         mask = self.mask
+        absorbed = 0
         values = self.values
         for field, value in cached_values.items():
-            mask |= field.value
+            bits = field.value
+            mask |= bits
+            absorbed |= bits
             values[field] = value
         self.mask = mask
+        self.cached_mask |= absorbed
 
     def syscall_scoped_values(self):
         """Extract the fields eligible for cross-operation caching."""

@@ -17,9 +17,16 @@ BASE / FULL           ``EngineConfig.unoptimized()``
 CONCACHE              ``EngineConfig.concache()``
 LAZYCON               ``EngineConfig.lazycon()``
 EPTSPC                ``EngineConfig.optimized()`` (the default)
+COMPILED              ``EngineConfig.compiled()``
 ====================  ==========================================
 
 (BASE vs FULL differ by rule-base size, not engine configuration.)
+
+The COMPILED rung extends the paper's ladder: chains pre-compile flat
+per-``(op, entrypoint)`` dispatch tuples at first use (invalidated on
+every rule mutation), and a per-process **negative-decision cache**
+memoizes default-allow verdicts whose traversal consulted nothing
+resource- or call-dependent — see ``docs/INTERNALS.md``.
 """
 
 from __future__ import annotations
@@ -28,9 +35,9 @@ from typing import Dict
 
 from repro import errors
 from repro.firewall import targets as tg
-from repro.firewall.context import ContextField, ContextFrame
+from repro.firewall.context import _DECISION_STABLE_INT, ContextField, ContextFrame
 from repro.firewall.modules.registry import collect_field
-from repro.firewall.rule import RuleBase
+from repro.firewall.rule import RuleBase, _op_accepts
 from repro.security.lsm import Op
 
 #: Maximum user-chain jump depth, like iptables' traversal limits.
@@ -40,7 +47,15 @@ MAX_CHAIN_DEPTH = 16
 class EngineConfig:
     """Feature switches for the engine optimizations (paper §4.2-4.3)."""
 
-    __slots__ = ("enabled", "context_cache", "lazy_context", "entrypoint_chains", "global_traversal_state")
+    __slots__ = (
+        "enabled",
+        "context_cache",
+        "lazy_context",
+        "entrypoint_chains",
+        "compiled_dispatch",
+        "decision_cache",
+        "global_traversal_state",
+    )
 
     def __init__(
         self,
@@ -48,12 +63,20 @@ class EngineConfig:
         context_cache=True,
         lazy_context=True,
         entrypoint_chains=True,
+        compiled_dispatch=False,
+        decision_cache=False,
         global_traversal_state=False,
     ):
         self.enabled = enabled
         self.context_cache = context_cache
         self.lazy_context = lazy_context
         self.entrypoint_chains = entrypoint_chains
+        #: Walk precompiled per-(op, entrypoint) dispatch tuples
+        #: instead of re-filtering/merging rule lists per mediation.
+        self.compiled_dispatch = compiled_dispatch
+        #: Memoize default-allow verdicts per process for traversals
+        #: that touched no resource- or call-dependent context.
+        self.decision_cache = decision_cache
         #: Ablation: emulate iptables' global traversal state, which
         #: requires disabling preemption/interrupts per invocation
         #: (counted in ``stats.irq_disables``) instead of the paper's
@@ -83,8 +106,13 @@ class EngineConfig:
 
     @classmethod
     def optimized(cls):
-        """EPTSPC: all optimizations (the shipping default)."""
+        """EPTSPC: all paper optimizations (the shipping default)."""
         return cls()
+
+    @classmethod
+    def compiled(cls):
+        """COMPILED: EPTSPC + compiled dispatch + decision cache."""
+        return cls(compiled_dispatch=True, decision_cache=True)
 
     def clone(self, **overrides):
         values = {name: getattr(self, name) for name in self.__slots__}
@@ -102,7 +130,14 @@ class EngineStats:
         self.accepts = 0
         self.context_collections = {}  # type: Dict[str, int]
         self.context_cost = 0
+        #: Context-collection work actually avoided by the per-process
+        #: context cache: counted at lookup time, the first time a rule
+        #: (or the eager collector) reads an absorbed field — never for
+        #: fields the cache carried but nothing consulted.
         self.cache_hits = 0
+        #: Whole traversals short-circuited by the negative-decision
+        #: cache (COMPILED configurations only).
+        self.decision_cache_hits = 0
         self.irq_disables = 0
 
     def reset(self):
@@ -122,9 +157,11 @@ class ProcessFirewall:
         #: ablation (global_traversal_state).
         self._shared_traversal = []
         #: Memo of relevant top-level chains per op, keyed by rule-base
-        #: version (hot-path optimization for the op-index skip).
+        #: stamp (hot-path optimization for the op-index skip).  The
+        #: stamp, not the bare version, so an atomically swapped rule
+        #: base (persist restore) can never alias a stale memo.
         self._chain_memo = {}
-        self._chain_memo_version = -1
+        self._chain_memo_stamp = None
 
     # ------------------------------------------------------------------
     # policy plumbing
@@ -164,8 +201,23 @@ class ProcessFirewall:
         the engine "aborts evaluation of malformed context without
         itself exiting or functioning incorrectly", at the cost of the
         malformed process's own protection.
+
+        Every lookup also feeds two kinds of bookkeeping: a field that
+        is not decision-stable poisons the negative-decision cache for
+        this traversal, and the first read of a field absorbed from the
+        per-process context cache counts one ``cache_hits`` (the
+        collection the cache actually avoided).
         """
-        if frame.has(field):
+        bits = field.value
+        if bits & _DECISION_STABLE_INT:
+            if field is ContextField.ENTRYPOINT:
+                frame.used_entrypoint = True
+        else:
+            frame.decision_unsafe = True
+        if frame.mask & bits:
+            if frame.cached_mask & bits:
+                frame.cached_mask &= ~bits
+                self.stats.cache_hits += 1
             return frame.get(field)
         try:
             return collect_field(field, operation, self.kernel, frame, self.stats)
@@ -196,21 +248,59 @@ class ProcessFirewall:
             self.stats.irq_disables += 1
             self._shared_traversal.append(operation)
 
-        frame = ContextFrame()
+        frame = None
         proc = operation.proc
         seq = operation.extra.get("syscall_seq")
 
-        if self.config.context_cache and seq is not None and proc is not None:
-            cache = proc.pf_context_cache
-            if cache is not None and cache[0] == seq:
-                frame.absorb_cached(cache[1])
-                self.stats.cache_hits += len(cache[1])
+        # Negative-decision cache probe: a previous traversal of the
+        # same (op, subject label[, entrypoint head]) under this exact
+        # rule base proved the default-allow verdict depends on nothing
+        # else — skip the walk entirely.  An entrypoint-independent hit
+        # needs no context frame at all; an entrypoint-keyed one only
+        # needs the (per-syscall-cached) stack unwind.
+        dentries = dkey = stamp = None
+        if self.config.decision_cache and proc is not None:
+            stamp = self.rules.stamp
+            dcache = proc.pf_decision_cache
+            dkey = (operation.op, proc.label)
+            # A stale or absent cache is not rebuilt here: allocation
+            # waits for the first recordable verdict, so uncacheable
+            # workloads (and short-lived forks) pay only this probe.
+            if dcache is not None and dcache[0] is stamp:
+                dentries = dcache[1]
+                known = dentries.get(dkey)
+                if known is not None:
+                    if known is True:
+                        self.stats.decision_cache_hits += 1
+                        self.stats.accepts += 1
+                        if self.config.global_traversal_state:
+                            self._shared_traversal.pop()
+                        return
+                    frame = self._new_frame(proc, seq)
+                    entries = self.ensure(ContextField.ENTRYPOINT, operation, frame)
+                    if (entries[0] if entries else None) in known:
+                        self.stats.decision_cache_hits += 1
+                        self.stats.accepts += 1
+                        self._writeback_context(proc, seq, frame)
+                        if self.config.global_traversal_state:
+                            self._shared_traversal.pop()
+                        return
+
+        if frame is None:
+            frame = self._new_frame(proc, seq)
 
         if not self.config.lazy_context:
             # Eager collection of every field any installed rule uses.
             needed = self.rules.required_fields
             for field in ContextField:
-                if needed & field and not frame.has(field):
+                if needed & field:
+                    if frame.has(field):
+                        bits = field.value
+                        if frame.cached_mask & bits:
+                            # The cache saved this eager collection.
+                            frame.cached_mask &= ~bits
+                            self.stats.cache_hits += 1
+                        continue
                     try:
                         collect_field(field, operation, self.kernel, frame, self.stats)
                     except errors.EFAULT:
@@ -219,13 +309,7 @@ class ProcessFirewall:
         try:
             verdict, rule = self._traverse(operation, frame)
         finally:
-            if (
-                self.config.context_cache
-                and seq is not None
-                and proc is not None
-                and frame.scoped_dirty
-            ):
-                proc.pf_context_cache = (seq, frame.syscall_scoped_values())
+            self._writeback_context(proc, seq, frame)
             if self.config.global_traversal_state:
                 self._shared_traversal.pop()
 
@@ -233,6 +317,52 @@ class ProcessFirewall:
             self.stats.drops += 1
             raise errors.PFDenied("rule matched: {}".format(rule.text), rule=rule)
         self.stats.accepts += 1
+
+        if (
+            dkey is not None
+            and verdict == tg.CONTINUE
+            and not frame.rule_matched
+            and not frame.decision_unsafe
+        ):
+            # Clean default allow: no rule matched, nothing resource-
+            # or call-dependent was consulted.  Memoize, keyed on the
+            # entrypoint head only when the traversal looked at it.
+            if dentries is None:
+                # First recordable verdict under this rule-base stamp:
+                # (re)build the per-task cache now (also covers a STATE
+                # target having nulled it mid-traversal — impossible
+                # here, since a fired target sets rule_matched).
+                dentries = {}
+                proc.pf_decision_cache = (stamp, dentries)
+            if frame.used_entrypoint:
+                entries = frame.get(ContextField.ENTRYPOINT)
+                head = entries[0] if entries else None
+                known = dentries.get(dkey)
+                if known is None:
+                    dentries[dkey] = {head}
+                elif known is not True and len(known) < 1024:
+                    known.add(head)
+            else:
+                dentries[dkey] = True
+
+    def _new_frame(self, proc, seq):
+        """Fresh context frame, pre-seeded from the per-process cache."""
+        frame = ContextFrame()
+        if self.config.context_cache and seq is not None and proc is not None:
+            cache = proc.pf_context_cache
+            if cache is not None and cache[0] == seq:
+                frame.absorb_cached(cache[1])
+        return frame
+
+    def _writeback_context(self, proc, seq, frame):
+        """Refresh the per-process context cache after a mediation."""
+        if (
+            self.config.context_cache
+            and seq is not None
+            and proc is not None
+            and frame.scoped_dirty
+        ):
+            proc.pf_context_cache = (seq, frame.syscall_scoped_values())
 
     def _chains_for(self, op):
         if op is Op.SYSCALL_BEGIN:
@@ -247,9 +377,10 @@ class ProcessFirewall:
         Memoized per rule-base version: the result only changes when
         rules are installed or removed.
         """
-        if self._chain_memo_version != self.rules.version:
+        stamp = self.rules.stamp
+        if self._chain_memo_stamp != stamp:
             self._chain_memo = {}
-            self._chain_memo_version = self.rules.version
+            self._chain_memo_stamp = stamp
         cached = self._chain_memo.get(op)
         if cached is not None:
             return cached
@@ -309,42 +440,69 @@ class ProcessFirewall:
         if depth > MAX_CHAIN_DEPTH:
             raise errors.EINVAL("chain jump depth exceeded in {!r}".format(chain.name))
 
+        op = operation.op
+        prefiltered = False
         if self.config.entrypoint_chains:
-            # §4.3: non-entrypoint rules first (narrowed to those whose
-            # -o could match), then only the bucket for the current
-            # entrypoint — and only when some bucket rule handles this
-            # operation at all (otherwise the stack unwind is skipped).
-            sequences = [chain.preamble_for(operation.op)]
-            if chain.by_entrypoint:
-                ept_ops = chain.ept_ops
-                wanted = (
-                    ept_ops is None
-                    or operation.op in ept_ops
-                    or (operation.op is Op.LINK_READ and Op.LNK_FILE_READ in ept_ops)
-                )
-                if wanted:
-                    entries = self.ensure(ContextField.ENTRYPOINT, operation, frame)
-                    if entries:
-                        bucket = chain.by_entrypoint.get(entries[0])
-                        if bucket:
-                            sequences.append(bucket)
+            if self.config.compiled_dispatch:
+                # COMPILED: one flat, already op-filtered tuple per
+                # (op, entrypoint) shape — no merging, no per-rule op
+                # compare.  The entrypoint is only resolved (a stack
+                # unwind) when some bucket rule could handle this op,
+                # and only keys actually installed reach dispatch(), so
+                # the memo stays bounded.
+                ept_key = None
+                if chain.by_entrypoint:
+                    ept_ops = chain.ept_ops
+                    wanted = (
+                        ept_ops is None
+                        or op in ept_ops
+                        or (op is Op.LINK_READ and Op.LNK_FILE_READ in ept_ops)
+                    )
+                    if wanted:
+                        entries = self.ensure(ContextField.ENTRYPOINT, operation, frame)
+                        if entries and entries[0] in chain.by_entrypoint:
+                            ept_key = entries[0]
+                sequences = (chain.dispatch(op, ept_key),)
+                prefiltered = True
+            else:
+                # §4.3: non-entrypoint rules first (narrowed to those
+                # whose -o could match), then only the bucket for the
+                # current entrypoint — and only when some bucket rule
+                # handles this operation at all (otherwise the stack
+                # unwind is skipped).
+                sequences = [chain.preamble_for(op)]
+                if chain.by_entrypoint:
+                    ept_ops = chain.ept_ops
+                    wanted = (
+                        ept_ops is None
+                        or op in ept_ops
+                        or (op is Op.LINK_READ and Op.LNK_FILE_READ in ept_ops)
+                    )
+                    if wanted:
+                        entries = self.ensure(ContextField.ENTRYPOINT, operation, frame)
+                        if entries:
+                            bucket = chain.by_entrypoint.get(entries[0])
+                            if bucket:
+                                sequences.append(bucket)
         else:
             sequences = [chain.rules]
 
-        op = operation.op
         for sequence in sequences:
             for rule in sequence:
                 self.stats.rules_evaluated += 1
-                rule_op = rule.op
-                if rule_op is not None and rule_op is not op:
-                    # Inline header compare, before any method dispatch
-                    # (the LNK_FILE_READ/LINK_READ alias is normalized
-                    # at parse time; only the raw-enum alias remains).
-                    if not (op is Op.LINK_READ and rule_op is Op.LNK_FILE_READ):
-                        continue
+                if not prefiltered:
+                    rule_op = rule.op
+                    if rule_op is not None and rule_op is not op:
+                        # Inline header compare, before any method
+                        # dispatch (the LNK_FILE_READ/LINK_READ alias is
+                        # normalized at parse time; only the raw-enum
+                        # alias remains).
+                        if not (op is Op.LINK_READ and rule_op is Op.LNK_FILE_READ):
+                            continue
                 if not self._rule_matches(rule, operation, frame):
                     continue
                 rule.hits += 1
+                frame.rule_matched = True
                 verdict, arg = rule.target.execute(self, operation, frame)
                 if verdict in (tg.DROP, tg.ACCEPT):
                     return (verdict, rule)

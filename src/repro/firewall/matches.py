@@ -189,6 +189,9 @@ class StateMatch(MatchModule):
         return fields
 
     def matches(self, engine, operation, frame):
+        # Reads the mutable process dictionary directly (no ensure()
+        # call), so it must poison the negative-decision cache itself.
+        frame.decision_unsafe = True
         key = self.key.resolve(engine, operation, frame)
         if key not in operation.proc.pf_state:
             return False

@@ -23,7 +23,7 @@ from typing import List
 
 from repro import errors
 from repro.firewall.pftables import pftables
-from repro.firewall.rule import TABLES
+from repro.firewall.rule import RuleBase, TABLES
 
 
 def save_rules(firewall):
@@ -45,11 +45,18 @@ def load_rules(firewall, text, flush=True):
     """Restore a rule base from :func:`save_rules` output.
 
     Returns the number of rules installed.  Unknown directives raise
-    :class:`repro.errors.EINVAL` (a corrupt file must not half-apply:
-    parsing happens in a first pass, installation in a second).
+    :class:`repro.errors.EINVAL`, and a corrupt file must not
+    half-apply: parsing happens in a first pass, then installation runs
+    against a *staged* rule base that is only left in place when every
+    line applied cleanly.  Failures that surface at install time (e.g.
+    a ``DROP`` rule in the mangle table, which only the apply step
+    rejects) therefore leave the previous rules untouched.  The
+    engine's ``stats`` and ``log_records`` are never modified — a
+    restore replaces policy, not history.
     """
     table = "filter"
-    planned = []  # (table, pftables line)
+    planned = []  # pftables lines
+    declared = []  # (table, chain) declarations
     for raw in text.splitlines():
         line = raw.strip()
         if not line or line.startswith("#") or line == "COMMIT":
@@ -60,17 +67,44 @@ def load_rules(firewall, text, flush=True):
                 raise errors.EINVAL("unknown table {!r} in saved rules".format(table))
             continue
         if line.startswith(":"):
-            # Chain declaration; chains are auto-created on insertion.
+            # Chain declaration: created up front (like
+            # iptables-restore), so empty user chains survive a
+            # save/load round-trip.
+            declared.append((table, line[1:].strip()))
             continue
         if line.startswith("-A "):
             planned.append("pftables -t {} {}".format(table, line))
             continue
         raise errors.EINVAL("unparseable saved-rules line: {!r}".format(line))
 
-    if flush:
-        firewall.flush()
-    for line in planned:
-        pftables(firewall, line)
+    original = firewall.rules
+    staging = RuleBase()
+    if not flush:
+        # Keep the existing rules ahead of the loaded ones.  The Rule
+        # objects themselves are shared with the original base — they
+        # are immutable at install time, so grafting them into the
+        # staging chains (and reindexing) cannot disturb the original
+        # should the swap be rolled back.
+        for table_name in TABLES:
+            src_table = original.table(table_name)
+            dst_table = staging.table(table_name)
+            for chain_name, chain in src_table.chains.items():
+                if not len(chain) and chain.builtin:
+                    continue
+                dst_chain = dst_table.chain(chain_name, create=True)
+                dst_chain.rules.extend(chain.rules)
+                dst_chain._reindex()
+        staging.recompute_required_fields()
+    for table_name, chain_name in declared:
+        staging.table(table_name).chain(chain_name, create=True)
+
+    firewall.rules = staging
+    try:
+        for line in planned:
+            pftables(firewall, line)
+    except Exception:
+        firewall.rules = original
+        raise
     return len(planned)
 
 

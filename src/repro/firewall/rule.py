@@ -16,18 +16,32 @@ we have only deny rules followed by a default allow rule").
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Optional, Tuple
 
 from repro import errors
 from repro.firewall.context import ContextField
 from repro.firewall.matches import EntrypointMatch, MatchModule, OpMatch
 from repro.firewall.targets import Target
+from repro.security.lsm import Op
 
 #: Built-in chain names.
 BUILTIN_CHAINS = ("input", "output", "syscallbegin", "create")
 
 #: Table names, as in the paper's rule language (Table 3).
 TABLES = ("filter", "mangle")
+
+
+def _op_accepts(rule_op, op):
+    """Whether a rule's ``-o`` filter covers ``op``.
+
+    ``None`` matches every operation; the only alias is the paper's
+    ``LINK_READ`` name for ``LNK_FILE_READ`` (normalized at parse time,
+    so only the raw-enum direction remains).
+    """
+    if rule_op is None or rule_op is op:
+        return True
+    return op is Op.LINK_READ and rule_op is Op.LNK_FILE_READ
 
 
 class Rule:
@@ -104,6 +118,12 @@ class Chain:
         self.preamble_by_op = {}  # type: Dict[Optional[object], List[Rule]]
         #: Operations the entrypoint buckets could match (None = all).
         self.ept_ops = set()  # type: Optional[set]
+        #: Compiled dispatch lists: ``(op, entrypoint_key)`` -> flat
+        #: rule tuple, filled lazily and discarded on every reindex.
+        #: Key ``(op, None)`` holds the op-filtered preamble alone;
+        #: ``(op, (program, offset))`` holds preamble + that bucket,
+        #: both already narrowed to rules whose ``-o`` covers ``op``.
+        self._compiled = {}  # type: Dict[Tuple[object, object], tuple]
 
     def insert(self, rule, position=0):
         self.rules.insert(position, rule)
@@ -125,6 +145,7 @@ class Chain:
         self.preamble = []
         self.by_entrypoint = {}
         self.preamble_by_op = {}
+        self._compiled = {}
         ops = set()
         ept_ops = set()
         for rule in self.rules:
@@ -163,6 +184,33 @@ class Chain:
         merged = [rule for rule in self.preamble if rule in specific or rule in wildcard]
         return merged
 
+    def dispatch(self, op, ept_key=None):
+        """Flat, precompiled rule tuple for one ``(op, entrypoint)`` pair.
+
+        The first lookup for a key materializes the list — preamble
+        rules whose ``-o`` covers ``op`` in order, followed by the
+        matching rules of the ``ept_key`` bucket — and memoizes it;
+        every later mediation of the same shape iterates one tuple with
+        no merging, no membership tests, and no per-rule op checks.
+        The memo dies with the next reindex, so installs/deletes can
+        never serve stale dispatch lists.  Callers pass ``ept_key``
+        only for keys present in :attr:`by_entrypoint`, keeping the
+        memo bounded by (ops seen) × (installed entrypoints + 1).
+        """
+        key = (op, ept_key)
+        seq = self._compiled.get(key)
+        if seq is None:
+            rules = [rule for rule in self.preamble if _op_accepts(rule.op, op)]
+            if ept_key is not None:
+                rules.extend(
+                    rule
+                    for rule in self.by_entrypoint.get(ept_key, ())
+                    if _op_accepts(rule.op, op)
+                )
+            seq = tuple(rules)
+            self._compiled[key] = seq
+        return seq
+
     def __len__(self):
         return len(self.rules)
 
@@ -194,6 +242,11 @@ class Table:
 class RuleBase:
     """All tables of one firewall instance."""
 
+    #: Monotonic instance ids — two distinct rule bases must never
+    #: share a memo stamp even when their mutation counts coincide
+    #: (e.g. flush + reinstall, or an atomically swapped restore).
+    _uids = itertools.count()
+
     def __init__(self):
         self.tables = {name: Table(name) for name in TABLES}
         #: Union of context fields used by any installed rule — the set
@@ -201,6 +254,13 @@ class RuleBase:
         self.required_fields = ContextField(0)
         #: Bumped on every mutation; engines key their memos off it.
         self.version = 0
+        #: Unique per-instance id; memo stamps are ``(uid, version)``.
+        self.uid = next(RuleBase._uids)
+        #: Identity + mutation stamp for engine/per-task memo keys.
+        #: A plain attribute reassigned on every mutation, so the hot
+        #: path can compare by object identity (``is``) — the tuple
+        #: object only changes when the rule base does.
+        self.stamp = (self.uid, 0)
 
     def table(self, name="filter"):
         try:
@@ -228,9 +288,11 @@ class RuleBase:
             chain_obj.insert(rule, position)
         self.recompute_required_fields()
         self.version += 1
+        self.stamp = (self.uid, self.version)
         return rule
 
     def remove(self, table, chain, rule):
         self.table(table).chain(chain).delete(rule)
         self.recompute_required_fields()
         self.version += 1
+        self.stamp = (self.uid, self.version)

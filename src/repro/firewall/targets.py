@@ -84,7 +84,13 @@ class StateTarget(Target):
     def execute(self, engine, operation, frame):
         key = self.key.resolve(engine, operation, frame)
         value = self.value.resolve(engine, operation, frame)
-        operation.proc.pf_state[key] = value
+        proc = operation.proc
+        proc.pf_state[key] = value
+        # The process dictionary changed: this traversal is not
+        # memoizable, and any verdict this process memoized earlier
+        # could now be answered differently by a STATE match.
+        frame.decision_unsafe = True
+        proc.pf_decision_cache = None
         return (CONTINUE, None)
 
     def render(self):
@@ -115,6 +121,9 @@ class LogTarget(Target):
         self.prefix = prefix
 
     def execute(self, engine, operation, frame):
+        # A log record is an externally visible side effect — never
+        # memoize a traversal that emitted one.
+        frame.decision_unsafe = True
         entries = engine.ensure(ContextField.ENTRYPOINT, operation, frame)
         record = {
             "prefix": self.prefix,

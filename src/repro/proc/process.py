@@ -89,6 +89,12 @@ class Process:
         #: Cached firewall context surviving across hook invocations
         #: within one syscall (context caching, §4.2).
         self.pf_context_cache = None
+        #: Negative-decision cache (COMPILED engine): ``(rule-base
+        #: stamp, {(op, label): True | {entrypoint heads}})`` of
+        #: default-allow verdicts proven independent of anything but
+        #: the key.  Invalidated on rule mutation (stamp mismatch),
+        #: ``execve``, and STATE-target execution.
+        self.pf_decision_cache = None
 
     # ------------------------------------------------------------------
     # descriptor table

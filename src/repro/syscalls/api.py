@@ -459,6 +459,19 @@ class SyscallAPI:
         child.umask = getattr(proc, "umask", DEFAULT_UMASK)
         child.signals.dispositions = dict(proc.signals.dispositions)
         child.signals.blocked = set(proc.signals.blocked)
+        # Negative-decision cache: memoized allow verdicts are pure
+        # functions of (rule base, label, program, entrypoint), all of
+        # which fork preserves — copy the entries (not the mutable
+        # containers) so parent and child diverge independently.
+        dcache = proc.pf_decision_cache
+        if dcache is not None:
+            child.pf_decision_cache = (
+                dcache[0],
+                {
+                    key: (value if value is True else set(value))
+                    for key, value in dcache[1].items()
+                },
+            )
         kernel.processes[child.pid] = child
         return child
 
@@ -488,6 +501,7 @@ class SyscallAPI:
             proc.env = dict(env)
         proc.pf_state = {}
         proc.pf_context_cache = None
+        proc.pf_decision_cache = None
         return proc
 
     def exit(self, proc, code=0):

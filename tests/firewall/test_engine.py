@@ -159,7 +159,7 @@ class TestStateAndLog:
 
 
 class TestOptimizationEquivalence:
-    CONFIGS = ["unoptimized", "concache", "lazycon", "optimized"]
+    CONFIGS = ["unoptimized", "concache", "lazycon", "optimized", "compiled"]
 
     RULES = [
         "pftables -A input -o FILE_OPEN -d shadow_t -j DROP",
@@ -241,6 +241,144 @@ class TestOptimizationEquivalence:
             root = spawn_root_shell(world)
             world.sys.open(root, "/etc/passwd")
         assert indexed_pf.stats.rules_evaluated < linear_pf.stats.rules_evaluated
+
+
+class TestCacheHitAccounting:
+    """``stats.cache_hits`` counts fields a rule *used* from the
+    per-process context cache — not every field the cache carried."""
+
+    RULES = [
+        # DIR_SEARCH reads the entrypoint (bucket resolution); the
+        # FILE_OPEN rule reads only the object label.
+        "pftables -A input -i 0x10 -p /bin/sh -o DIR_SEARCH -j DROP",
+        "pftables -A input -o FILE_OPEN -d shadow_t -j DROP",
+    ]
+
+    def test_hits_count_uses_not_absorptions(self):
+        world, pf = make_world(config=EngineConfig.optimized(), rules=self.RULES)
+        root = spawn_root_shell(world)
+        root.call(root.binary, 0x99)
+        # open("/etc/passwd"): DIR_SEARCH on "/" collects ENTRYPOINT
+        # (a miss), DIR_SEARCH on "/etc" reads it from the cache (one
+        # hit).  The FILE_OPEN mediation absorbs the cached entrypoint
+        # but never reads it — the old accounting charged a hit there
+        # too.
+        world.sys.open(root, "/etc/passwd")
+        assert pf.stats.cache_hits == 1
+
+    def test_unused_cached_fields_never_counted(self):
+        world, pf = make_world(
+            config=EngineConfig.optimized(),
+            rules=["pftables -A input -o FILE_OPEN -d shadow_t -j DROP"],
+        )
+        root = spawn_root_shell(world)
+        # No rule reads any syscall-scoped field: nothing is cached,
+        # nothing is hit.
+        world.sys.open(root, "/etc/passwd")
+        assert pf.stats.cache_hits == 0
+
+    def test_eager_mode_counts_cache_absorbed_collections(self):
+        # In eager (CONCACHE) mode the cache stands in for whole
+        # collections, so an absorbed *needed* field counts even
+        # without a rule-level read.
+        world, pf = make_world(
+            config=EngineConfig.concache(),
+            rules=["pftables -A input -i 0x10 -p /bin/sh -o DIR_SEARCH -j DROP"],
+        )
+        root = spawn_root_shell(world)
+        world.sys.open(root, "/etc/passwd")
+        assert pf.stats.cache_hits > 0
+
+
+class TestDecisionCache:
+    """The COMPILED negative-decision cache (beyond-EPTSPC rung)."""
+
+    RULES = [
+        "pftables -A input -o FILE_OPEN -d shadow_t -j DROP",
+        "pftables -A input -i 0x2d637 -p /bin/sh -o FILE_GETATTR -j DROP",
+    ]
+
+    def _world(self, rules=None):
+        world, pf = make_world(config=EngineConfig.compiled(), rules=rules or self.RULES)
+        return world, pf, spawn_root_shell(world)
+
+    def test_repeat_allows_short_circuit(self):
+        world, pf, root = self._world()
+        for _ in range(5):
+            world.sys.stat(root, "/etc/passwd")
+        assert pf.stats.decision_cache_hits > 0
+        assert pf.stats.drops == 0
+
+    def test_verdicts_unchanged_by_cache(self):
+        world, pf, root = self._world()
+        for _ in range(3):
+            world.sys.stat(root, "/etc/passwd")  # warm the memo
+        with pytest.raises(errors.PFDenied):
+            world.sys.open(root, "/etc/shadow")
+        root.call(root.binary, 0x2D637)
+        with pytest.raises(errors.PFDenied):
+            world.sys.stat(root, "/etc/passwd")  # watched call site
+        root.ret()
+        world.sys.stat(root, "/etc/passwd")  # and back to allowed
+
+    def test_rule_install_invalidates(self):
+        world, pf, root = self._world()
+        for _ in range(3):
+            world.sys.stat(root, "/etc/passwd")
+        assert pf.stats.decision_cache_hits > 0
+        pf.install("pftables -A input -o FILE_GETATTR -d etc_t -j DROP")
+        with pytest.raises(errors.PFDenied):
+            world.sys.stat(root, "/etc/passwd")
+
+    def test_state_target_clears_per_task_cache(self):
+        world, pf, root = self._world(
+            rules=self.RULES
+            + ["pftables -A input -o SOCKET_BIND -j STATE --set --key 0x1 --value C_INO"]
+        )
+        for _ in range(2):
+            world.sys.stat(root, "/etc/passwd")
+        assert root.pf_decision_cache is not None
+        world.sys.bind(root, "/tmp/sock")  # STATE target fires
+        assert root.pf_decision_cache is None
+
+    def test_matched_rules_never_memoized(self):
+        # A LOG rule matches every FILE_OPEN: each open must emit a
+        # fresh record, so none of these traversals may be cached.
+        world, pf, root = self._world(
+            rules=["pftables -A input -o FILE_OPEN -j LOG --prefix t"]
+        )
+        for _ in range(4):
+            world.sys.open(root, "/etc/passwd")
+        assert len([r for r in pf.log_records if r["prefix"] == "t"]) == 4
+
+    def test_fork_inherits_and_execve_clears(self):
+        world, pf, root = self._world()
+        for _ in range(2):
+            world.sys.stat(root, "/etc/passwd")
+        assert root.pf_decision_cache is not None
+        child = world.sys.fork(root)
+        assert child.pf_decision_cache is not None
+        # Independent copies: the child warming new entries must not
+        # leak into the parent (and vice versa).
+        assert child.pf_decision_cache[1] is not root.pf_decision_cache[1]
+        world.sys.execve(child, "/bin/sh")
+        assert child.pf_decision_cache is None
+
+    def test_flush_invalidates_via_stamp(self):
+        world, pf, root = self._world()
+        for _ in range(2):
+            world.sys.stat(root, "/etc/passwd")
+        pf.flush()
+        pf.install("pftables -A input -o FILE_GETATTR -d etc_t -j DROP")
+        with pytest.raises(errors.PFDenied):
+            world.sys.stat(root, "/etc/passwd")
+
+    def test_eptspc_config_has_no_decision_hits(self):
+        world, pf = make_world(config=EngineConfig.optimized(), rules=self.RULES)
+        root = spawn_root_shell(world)
+        for _ in range(3):
+            world.sys.stat(root, "/etc/passwd")
+        assert pf.stats.decision_cache_hits == 0
 
 
 class TestReentrancy:

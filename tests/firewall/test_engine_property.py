@@ -89,7 +89,12 @@ def test_deny_only_rule_order_is_irrelevant(rules, seed, frames):
 )
 def test_optimizations_do_not_change_verdicts(rules, frames):
     reference = verdicts(rules, EngineConfig.unoptimized(), frames)
-    for factory in (EngineConfig.concache, EngineConfig.lazycon, EngineConfig.optimized):
+    for factory in (
+        EngineConfig.concache,
+        EngineConfig.lazycon,
+        EngineConfig.optimized,
+        EngineConfig.compiled,
+    ):
         assert verdicts(rules, factory(), frames) == reference
 
 

@@ -2,10 +2,52 @@
 
 from hypothesis import given, settings, strategies as st
 
+from repro import errors
 from repro.firewall.engine import ProcessFirewall
 from repro.firewall.persist import load_rules, save_rules
+from repro.security.lsm import Op, Operation
+from repro.world import build_world
 
 from tests.firewall.test_pftables_property import rule_line
+
+#: Mangle-table lines (verdictless targets only — mangle rejects DROP).
+MANGLE_LINES = st.sampled_from(
+    [
+        "pftables -t mangle -A input -o FILE_OPEN -j LOG",
+        "pftables -t mangle -A input -j STATE --set --key 0x7 --value C_INO",
+        "pftables -t mangle -A input -o DIR_SEARCH -j ACCEPT",
+    ]
+)
+
+#: Call-stack shapes for the verdict matrix: no frame, and two distinct
+#: entrypoints the rule strategy can also name.
+MATRIX_FRAMES = [(), (0x40,), (0x80,)]
+
+
+def _verdict_matrix(firewall):
+    """Mediate every Op from a few entrypoints; return verdict strings.
+
+    Operations are synthesized directly (no syscall layer) so the
+    matrix covers ops no workload conveniently reaches.
+    """
+    world = build_world()
+    world.attach_firewall(firewall)
+    inode = world.lookup("/etc/passwd")
+    out = []
+    for frames in MATRIX_FRAMES:
+        proc = world.spawn("m", uid=0, label="unconfined_t", binary_path="/bin/sh")
+        for offset in frames:
+            proc.call(proc.binary, offset)
+        for op in sorted(Op, key=lambda o: o.value):
+            operation = Operation(
+                proc, op, obj=inode, path="/etc/passwd", syscall="matrix", args=("matrix", 0)
+            )
+            try:
+                firewall.mediate(operation)
+                out.append("allow")
+            except errors.PFDenied:
+                out.append("drop")
+    return out
 
 
 @settings(max_examples=60, deadline=None)
@@ -24,6 +66,26 @@ def test_save_load_save_is_a_fixed_point(lines):
     load_rules(clone, saved)
     assert save_rules(clone) == saved
     assert clone.rules.rule_count() == firewall.rules.rule_count()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lines=st.lists(rule_line(), min_size=1, max_size=6),
+    mangle_lines=st.lists(MANGLE_LINES, max_size=2),
+)
+def test_round_trip_preserves_every_verdict(lines, mangle_lines):
+    """save → load yields identical verdicts for all ops × entrypoints,
+    including user chains and mangle rules."""
+    firewall = ProcessFirewall()
+    for line in lines + mangle_lines:
+        try:
+            firewall.install(line)
+        except Exception:
+            continue  # combinations the rule language rejects
+    clone = ProcessFirewall()
+    load_rules(clone, save_rules(firewall))
+    assert save_rules(clone) == save_rules(firewall)
+    assert _verdict_matrix(firewall) == _verdict_matrix(clone)
 
 
 @settings(max_examples=40, deadline=None)

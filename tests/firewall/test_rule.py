@@ -81,6 +81,115 @@ class TestChain:
         assert len(chain) == 0
 
 
+class TestReindexTransitions:
+    """Delete/flush/wildcard transitions must keep every derived index
+    (``relevant_ops``, ``ept_ops``, ``by_entrypoint``, the compiled
+    dispatch memo) consistent with ``rules``."""
+
+    def test_delete_restores_specific_relevant_ops(self):
+        chain = Chain("input")
+        specific = rule("pftables -o FILE_OPEN -j DROP")
+        wildcard = rule("pftables -d tmp_t -j DROP")
+        chain.append(specific)
+        chain.append(wildcard)
+        assert chain.relevant_ops is None
+        chain.delete(wildcard)
+        assert chain.relevant_ops == {Op.FILE_OPEN}
+
+    def test_delete_last_bucket_rule_clears_key_and_ept_ops(self):
+        chain = Chain("input")
+        pinned = rule("pftables -i 0x10 -p /bin/x -o FILE_OPEN -j DROP")
+        chain.append(pinned)
+        assert chain.ept_ops == {Op.FILE_OPEN}
+        chain.delete(pinned)
+        assert chain.by_entrypoint == {}
+        assert chain.ept_ops == set()
+        assert chain.relevant_ops == set()
+
+    def test_wildcard_bucket_rule_wildcards_ept_ops(self):
+        chain = Chain("input")
+        chain.append(rule("pftables -i 0x10 -p /bin/x -d tmp_t -j DROP"))
+        assert chain.ept_ops is None
+        assert chain.relevant_ops is None
+
+    def test_ept_ops_narrow_again_after_wildcard_delete(self):
+        chain = Chain("input")
+        narrow = rule("pftables -i 0x10 -p /bin/x -o FILE_OPEN -j DROP")
+        wide = rule("pftables -i 0x20 -p /bin/x -d tmp_t -j DROP")
+        chain.append(narrow)
+        chain.append(wide)
+        assert chain.ept_ops is None
+        chain.delete(wide)
+        assert chain.ept_ops == {Op.FILE_OPEN}
+        assert list(chain.by_entrypoint) == [("/bin/x", 0x10)]
+
+    def test_flush_resets_all_indexes(self):
+        chain = Chain("input")
+        chain.append(rule("pftables -o FILE_OPEN -j DROP"))
+        chain.append(rule("pftables -i 0x10 -p /bin/x -j DROP"))
+        chain.dispatch(Op.FILE_OPEN)  # populate the memo
+        chain.flush()
+        assert chain.preamble == []
+        assert chain.by_entrypoint == {}
+        assert chain.relevant_ops == set()
+        assert chain.ept_ops == set()
+        assert chain.preamble_by_op == {}
+        assert chain._compiled == {}
+
+    def test_preamble_ops_do_not_leak_into_ept_ops(self):
+        chain = Chain("input")
+        chain.append(rule("pftables -o FILE_READ -j DROP"))
+        chain.append(rule("pftables -i 0x10 -p /bin/x -o FILE_OPEN -j DROP"))
+        assert chain.ept_ops == {Op.FILE_OPEN}
+        assert chain.relevant_ops == {Op.FILE_READ, Op.FILE_OPEN}
+
+
+class TestCompiledDispatch:
+    def test_dispatch_filters_and_orders(self):
+        chain = Chain("input")
+        open_rule = rule("pftables -o FILE_OPEN -j DROP")
+        any_rule = rule("pftables -d tmp_t -j DROP")
+        read_rule = rule("pftables -o FILE_READ -j DROP")
+        pinned = rule("pftables -i 0x10 -p /bin/x -o FILE_OPEN -j DROP")
+        for r in (open_rule, any_rule, read_rule, pinned):
+            chain.append(r)
+        assert chain.dispatch(Op.FILE_OPEN) == (open_rule, any_rule)
+        assert chain.dispatch(Op.FILE_READ) == (any_rule, read_rule)
+        assert chain.dispatch(Op.FILE_OPEN, ("/bin/x", 0x10)) == (
+            open_rule,
+            any_rule,
+            pinned,
+        )
+
+    def test_dispatch_memo_invalidated_by_mutation(self):
+        chain = Chain("input")
+        first = rule("pftables -o FILE_OPEN -j DROP")
+        chain.append(first)
+        assert chain.dispatch(Op.FILE_OPEN) == (first,)
+        second = rule("pftables -o FILE_OPEN -d tmp_t -j DROP")
+        chain.append(second)
+        assert chain.dispatch(Op.FILE_OPEN) == (first, second)
+
+    def test_dispatch_honours_link_read_alias(self):
+        chain = Chain("input")
+        lnk = rule("pftables -o LNK_FILE_READ -j DROP")
+        chain.append(lnk)
+        assert chain.dispatch(Op.LINK_READ) == (lnk,)
+        assert chain.dispatch(Op.FILE_OPEN) == ()
+
+    def test_rulebase_stamp_changes_on_every_mutation(self):
+        base = RuleBase()
+        stamps = {base.stamp}
+        r = rule("pftables -o FILE_OPEN -j DROP")
+        base.install("filter", "input", r)
+        stamps.add(base.stamp)
+        base.remove("filter", "input", r)
+        stamps.add(base.stamp)
+        assert len(stamps) == 3
+        # Distinct instances never share a stamp, even at version 0.
+        assert RuleBase().stamp != RuleBase().stamp
+
+
 class TestTableAndBase:
     def test_builtin_chains_exist(self):
         table = Table("filter")
