@@ -3,7 +3,11 @@
 Columns: DISABLED (baseline), BASE (enabled, empty rules), FULL (1218
 rules, no optimizations), CONCACHE (+context caching), LAZYCON (+lazy
 retrieval), EPTSPC (+entrypoint chains), COMPILED (+compiled dispatch
-and the negative-decision cache).  Shape expectations follow the paper:
+and the negative-decision cache), TRACED (COMPILED with the full
+observability layer on: decision tracing + metrics registry — its
+distance from COMPILED is the published tracing-overhead number, and
+COMPILED itself must stay within noise of its pre-observability
+numbers, pinning the disabled path).  Shape expectations follow the paper:
 BASE ≈ DISABLED, FULL is the blow-up (worst on ``stat``/``open``), each
 optimization column recovers cost with EPTSPC landing within a few
 percent on most rows — and COMPILED must never lose to EPTSPC, winning
@@ -26,7 +30,7 @@ import pytest
 from repro.analysis.tables import format_table, overhead_pct
 from repro.workloads.lmbench import LMBENCH_OPS, LmbenchSuite, TABLE6_COLUMNS, run_table6
 
-COLUMNS = ["DISABLED", "BASE", "FULL", "CONCACHE", "LAZYCON", "EPTSPC", "COMPILED"]
+COLUMNS = ["DISABLED", "BASE", "FULL", "CONCACHE", "LAZYCON", "EPTSPC", "COMPILED", "TRACED"]
 
 HOTPATH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_hotpath.json")
 
@@ -59,17 +63,20 @@ def _emit_hotpath_json(results, iterations):
     for op in LMBENCH_OPS:
         eptspc = results[op]["EPTSPC"]
         compiled = results[op]["COMPILED"]
+        traced = results[op]["TRACED"]
         rows[op] = {
             "disabled_us": round(results[op]["DISABLED"], 3),
             "eptspc_us": round(eptspc, 3),
             "compiled_us": round(compiled, 3),
+            "traced_us": round(traced, 3),
             "compiled_vs_eptspc": round(compiled / eptspc, 3) if eptspc else None,
+            "traced_vs_compiled": round(traced / compiled, 3) if compiled else None,
         }
     payload = {
         "benchmark": "table6_lmbench_hotpath",
         "iterations": iterations,
         "python": platform.python_version(),
-        "columns_compared": ["EPTSPC", "COMPILED"],
+        "columns_compared": ["EPTSPC", "COMPILED", "TRACED"],
         "rows": rows,
     }
     rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"

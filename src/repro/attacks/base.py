@@ -88,7 +88,15 @@ class AttackScenario:
     # lifecycle
     # ------------------------------------------------------------------
 
-    def build(self, with_firewall, config=None, extra_rules=()):
+    def build(self, with_firewall, config=None, extra_rules=(), instrument=None):
+        """Build a fresh world (and firewall) for one run.
+
+        ``instrument``, when given, is called with the firewall after
+        rules are installed but before ``_setup`` — the hook the
+        observability tooling (``pfctl explain --exploit``, the
+        differential harness) uses to enable tracing or metrics
+        without subclass cooperation.
+        """
         kernel = build_world()
         self.kernel = kernel
         self.firewall = None
@@ -97,12 +105,14 @@ class AttackScenario:
             kernel.attach_firewall(firewall)
             firewall.install_all(list(self.rules()) + list(extra_rules))
             self.firewall = firewall
+            if instrument is not None:
+                instrument(firewall)
         self._setup(kernel)
         return kernel
 
-    def run(self, with_firewall=False, config=None):
+    def run(self, with_firewall=False, config=None, instrument=None):
         """Execute the exploit; returns an :class:`AttackResult`."""
-        self.build(with_firewall, config=config)
+        self.build(with_firewall, config=config, instrument=instrument)
         try:
             succeeded = self._attack()
         except errors.PFDenied as exc:
@@ -118,11 +128,11 @@ class AttackScenario:
         )
         return AttackResult(bool(succeeded), blocked=blocked, detail=detail)
 
-    def run_benign(self, with_firewall=True, config=None):
+    def run_benign(self, with_firewall=True, config=None, instrument=None):
         """Execute the legitimate workload; returns True when unharmed.
 
         A :class:`PFDenied` here is a false positive — the thing the
         paper's rule-generation methodology is designed to avoid.
         """
-        self.build(with_firewall, config=config)
+        self.build(with_firewall, config=config, instrument=instrument)
         return bool(self._benign())

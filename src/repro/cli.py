@@ -11,11 +11,20 @@ files:
 - ``save``   — emit the pftables-save serialization.
 - ``audit``  — install the rules into the standard world and run the
   paper's nine exploits against them, reporting which are blocked.
+- ``counters`` — drive a built-in benign workload through the rules and
+  print the ``iptables -L -v``-style chain view with live hit/drop/
+  traversal counters (``--json`` / ``--prometheus`` export the metrics
+  registry instead).
+- ``explain`` — the ``pf-trace`` front end: mediate one access (or one
+  of the E1–E9 exploits) with decision tracing on and print why each
+  mediation was allowed or dropped.
 
 Usage::
 
     python -m repro.cli parse myrules.pf
     python -m repro.cli audit myrules.pf
+    python -m repro.cli counters myrules.pf --prometheus
+    python -m repro.cli explain myrules.pf --open /etc/shadow
 """
 
 from __future__ import annotations
@@ -125,6 +134,119 @@ def cmd_audit(args):
     return 0 if blocked == len(EXPLOITS) else 2
 
 
+def _drive_workload(world, shell):
+    """A small built-in benign workload for the ``counters`` command.
+
+    Mirrors the differential harness's macro workload (tree stats,
+    open/read loops, fork + execve) plus one guaranteed-sensitive open,
+    swallowing kernel denials so drop counters accumulate instead of
+    aborting the drive.
+    """
+    sysi = world.sys
+
+    def attempt(fn):
+        try:
+            fn()
+        except errors.KernelError:
+            pass
+
+    def open_read(path):
+        fd = sysi.open(shell, path)
+        sysi.read(shell, fd, 32)
+        sysi.close(shell, fd)
+
+    for path in ("/etc/passwd", "/lib/libc.so.6", "/bin/sh"):
+        attempt(lambda p=path: sysi.stat(shell, p))
+    for _ in range(4):
+        attempt(lambda: open_read("/etc/passwd"))
+    attempt(lambda: open_read("/etc/shadow"))
+    child = sysi.fork(shell)
+    attempt(lambda: sysi.execve(child, "/bin/sh", argv=["/bin/sh", "-c", "true"]))
+    attempt(lambda: sysi.stat(child, "/bin/sh"))
+    sysi.exit(child, 0)
+
+
+def cmd_counters(args):
+    from repro.world import build_world, spawn_root_shell
+
+    world = build_world()
+    firewall = ProcessFirewall()
+    world.attach_firewall(firewall)
+    for line in read_rule_lines(args.file):
+        pftables(firewall, line)
+    firewall.metrics.enable()
+    shell = spawn_root_shell(world)
+    _drive_workload(world, shell)
+    if args.json:
+        print(firewall.metrics.to_json())
+        return 0
+    if args.prometheus:
+        sys.stdout.write(firewall.metrics.to_prometheus())
+        return 0
+    print(list_rules(firewall, verbose=True))
+    print()
+    print("mediations: {}  allowed: {}  dropped: {}  fast-path: {}".format(
+        firewall.stats.invocations,
+        firewall.stats.accepts,
+        firewall.stats.drops,
+        firewall.metrics.value("pf_fast_path_total"),
+    ))
+    return 0
+
+
+def cmd_explain(args):
+    if args.exploit:
+        from repro.attacks.exploits import EXPLOITS
+
+        eid = args.exploit.upper()
+        if eid not in EXPLOITS:
+            print(
+                "pfctl: unknown exploit {!r} (choose from {})".format(
+                    args.exploit, ", ".join(sorted(EXPLOITS))),
+                file=sys.stderr,
+            )
+            return 1
+        rule_lines = read_rule_lines(args.file)
+        scenario = EXPLOITS[eid]()
+        scenario.rules = lambda _lines=rule_lines: list(_lines)
+        holder = {}
+
+        def instrument(firewall):
+            holder["tracer"] = firewall.enable_tracing(capacity=1024)
+
+        result = scenario.run(with_firewall=True, instrument=instrument)
+        state = "blocked" if result.blocked else (
+            "succeeded" if result.succeeded else "failed")
+        print("{} {}: {} ({})".format(eid, scenario.name, state, result.detail))
+        tracer = holder["tracer"]
+        traces = tracer.drops()
+        if not traces and tracer.last() is not None:
+            traces = [tracer.last()]
+        for trace in traces:
+            print(trace.render())
+        return 0
+
+    from repro.world import build_world, spawn_root_shell
+
+    world = build_world()
+    firewall = ProcessFirewall()
+    world.attach_firewall(firewall)
+    for line in read_rule_lines(args.file):
+        pftables(firewall, line)
+    tracer = firewall.enable_tracing(capacity=1024)
+    shell = spawn_root_shell(world)
+    try:
+        fd = world.sys.open(shell, args.open)
+        world.sys.close(shell, fd)
+    except errors.PFDenied:
+        pass
+    except errors.KernelError as exc:
+        print("pfctl: open denied outside the firewall: {}".format(exc.message))
+    for trace in tracer:
+        print(trace.render())
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(prog="pfctl", description=__doc__.split("\n\n")[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -159,6 +281,26 @@ def build_parser():
     p = sub.add_parser("audit", help="run the E1-E9 exploits against the rules")
     p.add_argument("file")
     p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser(
+        "counters", help="drive a benign workload; print live chain counters")
+    p.add_argument("file")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--json", action="store_true",
+                       help="export the metrics registry as JSON")
+    group.add_argument("--prometheus", action="store_true",
+                       help="export the metrics registry as Prometheus text")
+    p.set_defaults(func=cmd_counters)
+
+    p = sub.add_parser(
+        "explain", help="pf-trace: show why a mediation was allowed or dropped")
+    p.add_argument("file")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--open", metavar="PATH",
+                       help="trace opening PATH in the standard world")
+    group.add_argument("--exploit", metavar="EID",
+                       help="trace one of the E1-E9 exploits (e.g. E3)")
+    p.set_defaults(func=cmd_explain)
     return parser
 
 

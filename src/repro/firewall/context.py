@@ -94,6 +94,7 @@ class ContextFrame:
         "decision_unsafe",
         "used_entrypoint",
         "rule_matched",
+        "trace",
     )
 
     def __init__(self):
@@ -121,6 +122,11 @@ class ContextFrame:
         #: such traversals are never memoized, so side effects and hit
         #: counters replay faithfully.
         self.rule_matched = False
+        #: The :class:`repro.obs.trace.DecisionTrace` recording this
+        #: mediation, or ``None`` (the default) when tracing is off.
+        #: Carried on the frame so the chain walk and ``ensure`` can
+        #: reach it without widening their signatures.
+        self.trace = None
 
     def has(self, field):
         # ``field.value`` keeps the arithmetic on plain ints: IntFlag's

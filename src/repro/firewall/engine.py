@@ -27,10 +27,20 @@ per-``(op, entrypoint)`` dispatch tuples at first use (invalidated on
 every rule mutation), and a per-process **negative-decision cache**
 memoizes default-allow verdicts whose traversal consulted nothing
 resource- or call-dependent — see ``docs/INTERNALS.md``.
+
+The engine also hosts the :mod:`repro.obs` observability layer:
+decision traces (opt-in via :meth:`ProcessFirewall.enable_tracing`),
+the metrics registry (:attr:`ProcessFirewall.metrics`, disabled by
+default), and the bounded audit ring
+(:attr:`ProcessFirewall.audit`, always on — it replaces the old
+unbounded ``log_records`` list).  With tracing off and metrics
+disabled the hot path pays only ``is None`` / boolean checks; the
+differential harness pins that enabling them changes no verdict.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict
 
 from repro import errors
@@ -38,6 +48,21 @@ from repro.firewall import targets as tg
 from repro.firewall.context import _DECISION_STABLE_INT, ContextField, ContextFrame
 from repro.firewall.modules.registry import collect_field
 from repro.firewall.rule import RuleBase, _op_accepts
+from repro.obs.audit import WARNING, AuditRing
+from repro.obs.metrics import (
+    PHASE_CACHE_PROBE,
+    PHASE_CHAIN_WALK,
+    PHASE_CONTEXT,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    FIELD_CACHED,
+    FIELD_COLLECTED,
+    STAGE_DECISION_CACHE,
+    STAGE_FAST_PATH,
+    RuleEval,
+    Tracer,
+)
 from repro.security.lsm import Op
 
 #: Maximum user-chain jump depth, like iptables' traversal limits.
@@ -87,6 +112,7 @@ class EngineConfig:
 
     @classmethod
     def disabled(cls):
+        """DISABLED: the firewall is attached but mediates nothing."""
         return cls(enabled=False)
 
     @classmethod
@@ -115,13 +141,18 @@ class EngineConfig:
         return cls(compiled_dispatch=True, decision_cache=True)
 
     def clone(self, **overrides):
+        """Copy this configuration, overriding selected switches."""
         values = {name: getattr(self, name) for name in self.__slots__}
         values.update(overrides)
         return EngineConfig(**values)
 
 
 class EngineStats:
-    """Counters exposed to the benchmark harness."""
+    """Flat counters exposed to the benchmark harness.
+
+    The aggregate view; per-rule / per-chain / per-table breakdowns
+    live in the firewall's :class:`repro.obs.metrics.MetricsRegistry`.
+    """
 
     def __init__(self):
         self.invocations = 0
@@ -141,18 +172,41 @@ class EngineStats:
         self.irq_disables = 0
 
     def reset(self):
+        """Zero every counter (the engine's other memos are untouched —
+        resetting statistics must not change decisions, and the memos
+        are invalidated by rule-base stamps, not by this method)."""
         self.__init__()
 
 
 class ProcessFirewall:
-    """The firewall proper: rule base + engine + statistics."""
+    """The firewall proper: rule base + engine + statistics.
 
-    def __init__(self, config=None):
+    Observability attachments:
+
+    - :attr:`stats` — flat :class:`EngineStats` counters (always on).
+    - :attr:`audit` — bounded :class:`repro.obs.audit.AuditRing`; the
+      ``-j LOG`` target and drop notifications land here.
+      :attr:`log_records` remains as the historical view of the
+      ``"log"`` channel.
+    - :attr:`metrics` — :class:`repro.obs.metrics.MetricsRegistry`
+      (call ``firewall.metrics.enable()`` to start counting).
+    - :attr:`tracer` — ``None`` until :meth:`enable_tracing`; then a
+      :class:`repro.obs.trace.Tracer` recording one
+      :class:`~repro.obs.trace.DecisionTrace` per mediation.
+    """
+
+    def __init__(self, config=None, audit_capacity=4096):
         self.config = config or EngineConfig.optimized()
         self.rules = RuleBase()
         self.kernel = None  # set by Kernel.attach_firewall
         self.stats = EngineStats()
-        self.log_records = []
+        #: Bounded audit ring (replaces the unbounded log_records list).
+        self.audit = AuditRing(capacity=audit_capacity)
+        #: Per-rule/per-chain counters and phase timers; disabled by
+        #: default so the hot path pays one boolean test per site.
+        self.metrics = MetricsRegistry()
+        #: Decision tracer; ``None`` (the default) disables tracing.
+        self.tracer = None
         #: Shared traversal stack used only in the iptables-emulation
         #: ablation (global_traversal_state).
         self._shared_traversal = []
@@ -168,10 +222,12 @@ class ProcessFirewall:
     # ------------------------------------------------------------------
 
     def tcb_subjects(self):
+        """Subject labels the MAC policy treats as trusted (SYSHIGH)."""
         policy = self.kernel.adversaries.policy if self.kernel else None
         return policy.tcb_subjects if policy is not None else frozenset()
 
     def tcb_objects(self):
+        """Object labels the MAC policy treats as trusted (SYSHIGH)."""
         policy = self.kernel.adversaries.policy if self.kernel else None
         return policy.tcb_objects if policy is not None else frozenset()
 
@@ -182,12 +238,62 @@ class ProcessFirewall:
         return pftables(self, rule_text)
 
     def install_all(self, rule_texts):
+        """Install a sequence of ``pftables`` lines; returns the rules."""
         return [self.install(text) for text in rule_texts]
 
     def flush(self):
+        """Remove every rule and reset the engine's observable history.
+
+        Installs a fresh :class:`RuleBase` (a new ``uid`` ⇒ a new
+        ``stamp``), zeroes :attr:`stats`, clears the audit ring, the
+        metrics registry's values, and any retained traces.  The
+        installed-chain memo is dropped eagerly, and per-process
+        decision caches — which the engine cannot enumerate — are
+        neutralized by the stamp change: any entry recorded under the
+        old rule base can no longer match
+        (``tests/firewall/test_flush_invalidation.py`` pins both).
+        """
         self.rules = RuleBase()
         self.stats.reset()
-        self.log_records = []
+        self.audit.clear()
+        self.metrics.reset()
+        if self.tracer is not None:
+            self.tracer.clear()
+        self._chain_memo = {}
+        self._chain_memo_stamp = None
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def log_records(self):
+        """The ``-j LOG`` records, as the plain list it historically was.
+
+        A snapshot of the audit ring's ``"log"`` channel: indexable,
+        iterable, JSON-serializable — but bounded by the ring's
+        capacity, unlike the unbounded list it replaces.  Appending to
+        the returned list does not store anything; emit through
+        :attr:`audit` instead.
+        """
+        return self.audit.records(kind="log")
+
+    def enable_tracing(self, capacity=256):
+        """Start recording one decision trace per mediation.
+
+        Returns the installed :class:`repro.obs.trace.Tracer` (an
+        existing tracer is kept, so repeated calls are idempotent).
+        Tracing changes no verdict, counter, or log record — only what
+        is additionally *recorded*; the observability differential
+        harness pins this.
+        """
+        if self.tracer is None:
+            self.tracer = Tracer(capacity=capacity)
+        return self.tracer
+
+    def disable_tracing(self):
+        """Stop tracing and drop the tracer (and its retained traces)."""
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # context retrieval (lazy, bitmask-guarded — §4.2)
@@ -206,7 +312,10 @@ class ProcessFirewall:
         is not decision-stable poisons the negative-decision cache for
         this traversal, and the first read of a field absorbed from the
         per-process context cache counts one ``cache_hits`` (the
-        collection the cache actually avoided).
+        collection the cache actually avoided).  When tracing is on,
+        the first use of a field is recorded on the frame's trace as
+        ``collected`` or ``cached``; when metrics are enabled, the
+        collection is timed into the ``context`` phase.
         """
         bits = field.value
         if bits & _DECISION_STABLE_INT:
@@ -218,7 +327,28 @@ class ProcessFirewall:
             if frame.cached_mask & bits:
                 frame.cached_mask &= ~bits
                 self.stats.cache_hits += 1
+                trace = frame.trace
+                if trace is not None:
+                    trace.note_field(field.name, FIELD_CACHED)
+                if self.metrics.enabled:
+                    self.metrics.inc(
+                        "pf_context_cache_hits_total", {"field": field.name}
+                    )
             return frame.get(field)
+        trace = frame.trace
+        if trace is not None:
+            trace.note_field(field.name, FIELD_COLLECTED)
+        metrics = self.metrics
+        if metrics.enabled:
+            started = perf_counter()
+            try:
+                return collect_field(field, operation, self.kernel, frame, self.stats)
+            except errors.EFAULT:
+                frame.put(field, None)
+                return None
+            finally:
+                metrics.observe_phase(PHASE_CONTEXT, perf_counter() - started)
+                metrics.inc("pf_context_collections_total", {"field": field.name})
         try:
             return collect_field(field, operation, self.kernel, frame, self.stats)
         except errors.EFAULT:
@@ -230,16 +360,35 @@ class ProcessFirewall:
     # ------------------------------------------------------------------
 
     def mediate(self, operation):
-        """Evaluate the rule base; raise :class:`PFDenied` on DROP."""
+        """Evaluate the rule base; raise :class:`PFDenied` on DROP.
+
+        The pipeline stages (named as in ``docs/INTERNALS.md`` and in
+        trace records): *fast_path* (op-index skip), *decision_cache*
+        (COMPILED's memoized default-allows), *context* (frame build +
+        field collection), *chain_walk* (mangle then filter), and
+        *verdict*.
+        """
         if not self.config.enabled:
             return
         self.stats.invocations += 1
+        metrics = self.metrics
+        metered = metrics.enabled
+        tracer = self.tracer
+        trace = tracer.begin(operation) if tracer is not None else None
+        if metered:
+            metrics.inc("pf_mediations_total", {"op": operation.op.value})
 
         if self.config.entrypoint_chains and not self._relevant_chains(operation.op):
             # Fast path: no installed chain can match this operation.
             # Safe because the base is deny-only with default allow —
             # skipping non-matching rules cannot change the verdict.
             self.stats.accepts += 1
+            if trace is not None:
+                trace.enter_stage(STAGE_FAST_PATH)
+                trace.finish("ALLOW")
+            if metered:
+                metrics.inc("pf_fast_path_total")
+                metrics.inc("pf_verdicts_total", {"verdict": "allow"})
             return
 
         if self.config.global_traversal_state:
@@ -260,6 +409,9 @@ class ProcessFirewall:
         # needs the (per-syscall-cached) stack unwind.
         dentries = dkey = stamp = None
         if self.config.decision_cache and proc is not None:
+            probe_started = perf_counter() if metered else 0.0
+            if trace is not None:
+                trace.enter_stage(STAGE_DECISION_CACHE)
             stamp = self.rules.stamp
             dcache = proc.pf_decision_cache
             dkey = (operation.op, proc.label)
@@ -273,21 +425,44 @@ class ProcessFirewall:
                     if known is True:
                         self.stats.decision_cache_hits += 1
                         self.stats.accepts += 1
+                        if trace is not None:
+                            trace.decision_cache = "hit"
+                            trace.finish("ALLOW")
+                        if metered:
+                            metrics.observe_phase(
+                                PHASE_CACHE_PROBE, perf_counter() - probe_started
+                            )
+                            metrics.inc("pf_decision_cache_total", {"result": "hit"})
+                            metrics.inc("pf_verdicts_total", {"verdict": "allow"})
                         if self.config.global_traversal_state:
                             self._shared_traversal.pop()
                         return
-                    frame = self._new_frame(proc, seq)
+                    frame = self._new_frame(proc, seq, trace)
                     entries = self.ensure(ContextField.ENTRYPOINT, operation, frame)
                     if (entries[0] if entries else None) in known:
                         self.stats.decision_cache_hits += 1
                         self.stats.accepts += 1
+                        if trace is not None:
+                            trace.decision_cache = "hit-entrypoint"
+                            trace.finish("ALLOW")
+                        if metered:
+                            metrics.observe_phase(
+                                PHASE_CACHE_PROBE, perf_counter() - probe_started
+                            )
+                            metrics.inc("pf_decision_cache_total", {"result": "hit"})
+                            metrics.inc("pf_verdicts_total", {"verdict": "allow"})
                         self._writeback_context(proc, seq, frame)
                         if self.config.global_traversal_state:
                             self._shared_traversal.pop()
                         return
+            if trace is not None:
+                trace.decision_cache = "miss"
+            if metered:
+                metrics.observe_phase(PHASE_CACHE_PROBE, perf_counter() - probe_started)
+                metrics.inc("pf_decision_cache_total", {"result": "miss"})
 
         if frame is None:
-            frame = self._new_frame(proc, seq)
+            frame = self._new_frame(proc, seq, trace)
 
         if not self.config.lazy_context:
             # Eager collection of every field any installed rule uses.
@@ -300,23 +475,61 @@ class ProcessFirewall:
                             # The cache saved this eager collection.
                             frame.cached_mask &= ~bits
                             self.stats.cache_hits += 1
+                            if trace is not None:
+                                trace.note_field(field.name, FIELD_CACHED)
                         continue
+                    if trace is not None:
+                        trace.note_field(field.name, FIELD_COLLECTED)
                     try:
-                        collect_field(field, operation, self.kernel, frame, self.stats)
+                        if metered:
+                            started = perf_counter()
+                            try:
+                                collect_field(field, operation, self.kernel, frame, self.stats)
+                            finally:
+                                metrics.observe_phase(PHASE_CONTEXT, perf_counter() - started)
+                                metrics.inc(
+                                    "pf_context_collections_total", {"field": field.name}
+                                )
+                        else:
+                            collect_field(field, operation, self.kernel, frame, self.stats)
                     except errors.EFAULT:
                         frame.put(field, None)
 
+        walk_started = perf_counter() if metered else 0.0
         try:
             verdict, rule = self._traverse(operation, frame)
         finally:
+            if metered:
+                metrics.observe_phase(PHASE_CHAIN_WALK, perf_counter() - walk_started)
             self._writeback_context(proc, seq, frame)
             if self.config.global_traversal_state:
                 self._shared_traversal.pop()
 
         if verdict == tg.DROP:
             self.stats.drops += 1
+            if trace is not None:
+                trace.finish("DROP", rule)
+            if metered:
+                metrics.inc("pf_verdicts_total", {"verdict": "drop"})
+            self.audit.emit(
+                {
+                    "time": self.kernel.clock.now() if self.kernel else 0,
+                    "pid": proc.pid if proc is not None else None,
+                    "comm": proc.comm if proc is not None else None,
+                    "op": operation.op.value,
+                    "syscall": operation.syscall,
+                    "path": operation.path,
+                    "rule": rule.text,
+                },
+                severity=WARNING,
+                kind="drop",
+            )
             raise errors.PFDenied("rule matched: {}".format(rule.text), rule=rule)
         self.stats.accepts += 1
+        if trace is not None:
+            trace.finish("ALLOW")
+        if metered:
+            metrics.inc("pf_verdicts_total", {"verdict": "allow"})
 
         if (
             dkey is not None
@@ -345,9 +558,10 @@ class ProcessFirewall:
             else:
                 dentries[dkey] = True
 
-    def _new_frame(self, proc, seq):
+    def _new_frame(self, proc, seq, trace=None):
         """Fresh context frame, pre-seeded from the per-process cache."""
         frame = ContextFrame()
+        frame.trace = trace
         if self.config.context_cache and seq is not None and proc is not None:
             cache = proc.pf_context_cache
             if cache is not None and cache[0] == seq:
@@ -365,6 +579,7 @@ class ProcessFirewall:
             proc.pf_context_cache = (seq, frame.syscall_scoped_values())
 
     def _chains_for(self, op):
+        """Built-in chain names a given operation is routed through."""
         if op is Op.SYSCALL_BEGIN:
             return ("syscallbegin",)
         if op is Op.FILE_CREATE:
@@ -408,6 +623,7 @@ class ProcessFirewall:
         the filter table (enforced at install time).
         """
         proc = operation.proc
+        metered = self.metrics.enabled
         for table_name in ("mangle", "filter"):
             table = self.rules.tables[table_name]
             for chain_name in self._chains_for(operation.op):
@@ -421,6 +637,11 @@ class ProcessFirewall:
                     and not (operation.op is Op.LINK_READ and Op.LNK_FILE_READ in chain.relevant_ops)
                 ):
                     continue
+                if metered:
+                    self.metrics.inc(
+                        "pf_chain_traversals_total",
+                        {"table": table_name, "chain": chain_name},
+                    )
                 if proc is not None:
                     proc.pf_traversal.append(chain_name)
                 try:
@@ -437,6 +658,7 @@ class ProcessFirewall:
         return (tg.CONTINUE, None)
 
     def _walk_chain(self, table, chain, operation, frame, depth):
+        """Evaluate one chain (and any user-chain jumps) for an operation."""
         if depth > MAX_CHAIN_DEPTH:
             raise errors.EINVAL("chain jump depth exceeded in {!r}".format(chain.name))
 
@@ -487,9 +709,19 @@ class ProcessFirewall:
         else:
             sequences = [chain.rules]
 
+        trace = frame.trace
+        visit = trace.begin_chain(table.name, chain.name) if trace is not None else None
+        metrics = self.metrics
+        metered = metrics.enabled
+
         for sequence in sequences:
             for rule in sequence:
                 self.stats.rules_evaluated += 1
+                if metered:
+                    metrics.inc(
+                        "pf_rules_evaluated_total",
+                        {"table": table.name, "chain": chain.name},
+                    )
                 if not prefiltered:
                     rule_op = rule.op
                     if rule_op is not None and rule_op is not op:
@@ -498,13 +730,41 @@ class ProcessFirewall:
                         # normalized at parse time; only the raw-enum
                         # alias remains).
                         if not (op is Op.LINK_READ and rule_op is Op.LNK_FILE_READ):
+                            if visit is not None:
+                                visit.rules.append(RuleEval(
+                                    rule.text, "miss",
+                                    failed_match="-o {}".format(rule_op.value),
+                                ))
                             continue
-                if not self._rule_matches(rule, operation, frame):
-                    continue
+                if visit is None:
+                    if not self._rule_matches(rule, operation, frame):
+                        continue
+                else:
+                    failed = self._first_failing_match(rule, operation, frame)
+                    if failed is not None:
+                        visit.rules.append(RuleEval(
+                            rule.text, "miss", failed_match=failed.render()
+                        ))
+                        continue
                 rule.hits += 1
                 frame.rule_matched = True
+                if metered:
+                    metrics.inc(
+                        "pf_rule_hits_total",
+                        {"table": table.name, "chain": chain.name, "rule": rule.text},
+                    )
                 verdict, arg = rule.target.execute(self, operation, frame)
+                if visit is not None:
+                    visit.rules.append(RuleEval(
+                        rule.text, "matched",
+                        target=rule.target.render(), verdict=verdict,
+                    ))
                 if verdict in (tg.DROP, tg.ACCEPT):
+                    if metered and verdict == tg.DROP:
+                        metrics.inc(
+                            "pf_rule_drops_total",
+                            {"table": table.name, "chain": chain.name, "rule": rule.text},
+                        )
                     return (verdict, rule)
                 if verdict == tg.RETURN:
                     return (tg.CONTINUE, None)
@@ -517,7 +777,21 @@ class ProcessFirewall:
         return (tg.CONTINUE, None)
 
     def _rule_matches(self, rule, operation, frame):
+        """Whether every match module of ``rule`` accepts the operation."""
         for match in rule.matches:
             if not match.matches(self, operation, frame):
                 return False
         return True
+
+    def _first_failing_match(self, rule, operation, frame):
+        """Traced twin of :meth:`_rule_matches`.
+
+        Evaluates the same predicates in the same order with the same
+        early exit, but returns the first *failing* match module (or
+        ``None`` on a full match) so traces can name the predicate
+        that killed each miss.
+        """
+        for match in rule.matches:
+            if not match.matches(self, operation, frame):
+                return match
+        return None

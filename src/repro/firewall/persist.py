@@ -109,7 +109,16 @@ def load_rules(firewall, text, flush=True):
 
 
 def list_rules(firewall, verbose=False):
-    """Render the rule base for humans (``pftables -L [-v]``)."""
+    """Render the rule base for humans (``pftables -L [-v]``).
+
+    With ``verbose``, every rule shows its live hit counter.  When the
+    firewall's metrics registry additionally holds data (it was enabled
+    while a workload ran), the listing upgrades to the full
+    ``iptables -L -v`` shape: chain headers gain traversal counts and
+    rules gain drop counts, all read live from
+    ``firewall.metrics`` — see ``docs/OBSERVABILITY.md``.
+    """
+    metrics = getattr(firewall, "metrics", None)
     lines = []
     for table_name in TABLES:
         table = firewall.rules.table(table_name)
@@ -122,10 +131,25 @@ def list_rules(firewall, verbose=False):
             if not len(chain) and not chain.builtin:
                 continue
             policy = "ACCEPT" if chain.builtin else "-"
-            lines.append("Chain {} (policy {})".format(chain_name, policy))
+            header = "Chain {} (policy {})".format(chain_name, policy)
+            if verbose and metrics is not None:
+                traversals = metrics.value(
+                    "pf_chain_traversals_total",
+                    {"table": table_name, "chain": chain_name},
+                )
+                if traversals:
+                    header += "  [{} traversals]".format(traversals)
+            lines.append(header)
             for i, rule in enumerate(chain, 1):
                 prefix = "{:>4}  ".format(i)
                 if verbose:
                     prefix += "[{:>6} hits]  ".format(rule.hits)
+                    if metrics is not None:
+                        drops = metrics.value(
+                            "pf_rule_drops_total",
+                            {"table": table_name, "chain": chain_name, "rule": rule.text},
+                        )
+                        if drops:
+                            prefix += "[{:>4} drops]  ".format(drops)
                 lines.append(prefix + rule.render())
     return "\n".join(lines)

@@ -190,13 +190,19 @@ def _parse_state_target(stream):
 
 def _parse_log_target(stream):
     prefix = ""
+    level = "info"
     while not stream.done() and stream.peek().startswith("--"):
         opt = stream.next()
         if opt == "--prefix":
             prefix = _strip_quotes(stream.next())
+        elif opt == "--level":
+            level = _strip_quotes(stream.next())
         else:
             raise errors.EINVAL("LOG target: unknown option {!r}".format(opt))
-    return tg.LogTarget(prefix=prefix)
+    try:
+        return tg.LogTarget(prefix=prefix, level=level)
+    except ValueError as exc:
+        raise errors.EINVAL("LOG target: {}".format(exc))
 
 
 def parse_rule(text):

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.firewall.context import ContextField
 from repro.firewall.values import Value
+from repro.obs.audit import INFO, severity_level, severity_name
 
 #: Traversal verdicts returned by Target.execute.
 DROP = "DROP"
@@ -117,8 +118,12 @@ class LogTarget(Target):
         | ContextField.ADV_READABLE
     )
 
-    def __init__(self, prefix=""):
+    def __init__(self, prefix="", level="info"):
         self.prefix = prefix
+        #: Audit severity the record is emitted at (``--level``);
+        #: normalized to the numeric scale at install time so a bad
+        #: name fails the rule install, not the mediation.
+        self.level = severity_level(level)
 
     def execute(self, engine, operation, frame):
         # A log record is an externally visible side effect — never
@@ -144,11 +149,16 @@ class LogTarget(Target):
         if getattr(operation.proc, "script_stack", None) is not None:
             script_entries = engine.ensure(ContextField.SCRIPT_ENTRYPOINT, operation, frame)
             record["script"] = list(script_entries[0]) if script_entries else None
-        engine.log_records.append(record)
+        engine.audit.emit(record, severity=self.level, kind="log")
         return (CONTINUE, None)
 
     def render(self):
-        return "-j LOG" + (" --prefix {}".format(self.prefix) if self.prefix else "")
+        text = "-j LOG"
+        if self.prefix:
+            text += " --prefix {}".format(self.prefix)
+        if self.level != INFO:
+            text += " --level {}".format(severity_name(self.level))
+        return text
 
 
 class JumpTarget(Target):

@@ -1,0 +1,253 @@
+"""Decision tracing: "why was this syscall dropped (or allowed)?".
+
+An opt-in, per-mediation record of the engine's walk — which pipeline
+stages ran, which chains were visited, which rules were evaluated and
+which predicate killed each miss, which context fields were collected
+versus served from the per-process cache, and the final verdict.  The
+stage names (``fast_path``, ``decision_cache``, ``context``,
+``chain_walk``, ``verdict``) are the "Mediation pipeline" stages of
+``docs/INTERNALS.md``; the full record schema is documented in
+``docs/OBSERVABILITY.md``.
+
+Tracing is off by default (``ProcessFirewall.tracer is None``) and the
+engine's hot path pays only ``is None`` checks; enabling it
+(``firewall.enable_tracing()``) must not change any verdict, counter,
+or log record — the differential harness pins that.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+#: Pipeline stage names, matching docs/INTERNALS.md.
+STAGE_FAST_PATH = "fast_path"
+STAGE_DECISION_CACHE = "decision_cache"
+STAGE_CONTEXT = "context"
+STAGE_CHAIN_WALK = "chain_walk"
+STAGE_VERDICT = "verdict"
+
+#: How a context field reached the frame (trace ``context`` values).
+FIELD_COLLECTED = "collected"
+FIELD_CACHED = "cached"
+
+
+class RuleEval:
+    """One evaluated rule within a chain visit.
+
+    Attributes:
+        rule: the rule's ``pftables`` text.
+        result: ``"matched"`` or ``"miss"``.
+        failed_match: rendered text of the first predicate that
+            rejected the rule (``None`` for matches).
+        target: the rendered target, for matched rules.
+        verdict: the traversal verdict the target returned, if any.
+    """
+
+    __slots__ = ("rule", "result", "failed_match", "target", "verdict")
+
+    def __init__(self, rule, result, failed_match=None, target=None, verdict=None):
+        self.rule = rule
+        self.result = result
+        self.failed_match = failed_match
+        self.target = target
+        self.verdict = verdict
+
+    def as_dict(self):
+        """The evaluation as a plain dict (trace-record shape)."""
+        return {
+            "rule": self.rule,
+            "result": self.result,
+            "failed_match": self.failed_match,
+            "target": self.target,
+            "verdict": self.verdict,
+        }
+
+
+class ChainVisit:
+    """One chain the traversal entered, with its rule evaluations."""
+
+    __slots__ = ("table", "chain", "rules")
+
+    def __init__(self, table, chain):
+        self.table = table
+        self.chain = chain
+        self.rules = []
+
+    def as_dict(self):
+        """The visit as a plain dict (trace-record shape)."""
+        return {
+            "table": self.table,
+            "chain": self.chain,
+            "rules": [r.as_dict() for r in self.rules],
+        }
+
+
+class DecisionTrace:
+    """The full record of one mediation through the engine pipeline."""
+
+    __slots__ = (
+        "seq",
+        "op",
+        "syscall",
+        "pid",
+        "comm",
+        "label",
+        "path",
+        "stages",
+        "decision_cache",
+        "context",
+        "chains",
+        "verdict",
+        "rule",
+    )
+
+    def __init__(self, seq, operation):
+        self.seq = seq
+        self.op = operation.op.value
+        self.syscall = operation.syscall
+        proc = operation.proc
+        self.pid = proc.pid if proc is not None else None
+        self.comm = proc.comm if proc is not None else None
+        self.label = proc.label if proc is not None else None
+        self.path = operation.path
+        #: Pipeline stages this mediation actually entered, in order.
+        self.stages = []
+        #: Decision-cache probe outcome: ``"off"``, ``"miss"``,
+        #: ``"hit"`` (entrypoint-independent) or ``"hit-entrypoint"``.
+        self.decision_cache = "off"
+        #: field name -> :data:`FIELD_COLLECTED` | :data:`FIELD_CACHED`,
+        #: recorded at the field's *first* use in this mediation.
+        self.context = {}
+        self.chains = []
+        self.verdict = None
+        #: Matching rule text for DROP verdicts.
+        self.rule = None
+
+    # ------------------------------------------------------------------
+    # recording hooks (called by the engine)
+    # ------------------------------------------------------------------
+
+    def enter_stage(self, stage):
+        """Append a pipeline stage (idempotent per stage)."""
+        if not self.stages or self.stages[-1] != stage:
+            if stage not in self.stages:
+                self.stages.append(stage)
+
+    def note_field(self, field_name, source):
+        """Record how a context field reached the frame (first use wins)."""
+        self.enter_stage(STAGE_CONTEXT)
+        if field_name not in self.context:
+            self.context[field_name] = source
+
+    def begin_chain(self, table_name, chain_name):
+        """Open a chain visit; returns it for rule-evaluation appends."""
+        self.enter_stage(STAGE_CHAIN_WALK)
+        visit = ChainVisit(table_name, chain_name)
+        self.chains.append(visit)
+        return visit
+
+    def finish(self, verdict, rule=None):
+        """Seal the trace with the final verdict (and DROP rule text)."""
+        self.enter_stage(STAGE_VERDICT)
+        self.verdict = verdict
+        self.rule = rule.text if rule is not None else None
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+
+    def consumed_fields(self):
+        """Names of every context field this mediation consulted."""
+        return sorted(self.context)
+
+    def as_dict(self):
+        """The trace as one JSON-ready dict (docs/OBSERVABILITY.md schema)."""
+        return {
+            "seq": self.seq,
+            "op": self.op,
+            "syscall": self.syscall,
+            "pid": self.pid,
+            "comm": self.comm,
+            "label": self.label,
+            "path": self.path,
+            "stages": list(self.stages),
+            "decision_cache": self.decision_cache,
+            "context": dict(self.context),
+            "chains": [c.as_dict() for c in self.chains],
+            "verdict": self.verdict,
+            "rule": self.rule,
+        }
+
+    def render(self):
+        """Multi-line human rendering (the ``pfctl explain`` output)."""
+        head = "#{} {} {} pid={} comm={} label={}".format(
+            self.seq, self.verdict or "?", self.op, self.pid, self.comm, self.label)
+        if self.path is not None:
+            head += " path={}".format(self.path)
+        lines = [head, "  stages: {}".format(" -> ".join(self.stages) or "-")]
+        if self.decision_cache != "off":
+            lines.append("  decision_cache: {}".format(self.decision_cache))
+        if self.context:
+            lines.append("  context: " + ", ".join(
+                "{}={}".format(name, src) for name, src in sorted(self.context.items())))
+        for visit in self.chains:
+            lines.append("  chain {}/{}:".format(visit.table, visit.chain))
+            for ev in visit.rules:
+                if ev.result == "matched":
+                    lines.append("    MATCH {}  => {}".format(ev.rule, ev.verdict or ev.target))
+                else:
+                    lines.append("    miss  {}  (failed: {})".format(ev.rule, ev.failed_match))
+        if self.verdict == "DROP":
+            lines.append("  DROPPED by: {}".format(self.rule))
+        else:
+            lines.append("  allowed (verdict: {})".format(self.verdict))
+        return "\n".join(lines)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<DecisionTrace #{} {} {}>".format(self.seq, self.op, self.verdict)
+
+
+class Tracer:
+    """Bounded store of :class:`DecisionTrace` records (newest kept).
+
+    Installed on a firewall via ``firewall.enable_tracing()``; the
+    engine calls :meth:`begin` once per mediation and mutates the
+    returned trace in place, so the ring always holds complete records
+    once a mediation returns.
+    """
+
+    def __init__(self, capacity=256):
+        if capacity < 1:
+            raise ValueError("Tracer capacity must be >= 1")
+        self.capacity = capacity
+        self.traces = deque(maxlen=capacity)
+        self._next_seq = 0
+
+    def begin(self, operation):
+        """Open (and retain) a new trace for one mediation."""
+        trace = DecisionTrace(self._next_seq, operation)
+        self._next_seq += 1
+        self.traces.append(trace)
+        return trace
+
+    def last(self):
+        """The most recent trace, or ``None``."""
+        return self.traces[-1] if self.traces else None
+
+    def drops(self):
+        """Every retained trace that ended in a DROP."""
+        return [t for t in self.traces if t.verdict == "DROP"]
+
+    def for_op(self, op_name):
+        """Retained traces for one LSM operation name."""
+        return [t for t in self.traces if t.op == op_name]
+
+    def clear(self):
+        """Discard retained traces (sequence numbering continues)."""
+        self.traces.clear()
+
+    def __len__(self):
+        return len(self.traces)
+
+    def __iter__(self):
+        return iter(list(self.traces))

@@ -16,15 +16,19 @@ from repro.firewall.engine import EngineConfig, ProcessFirewall
 from repro.rulesets.generated import install_full_rulebase
 from repro.world import build_world
 
-#: Table 6 column -> (attach firewall?, EngineConfig factory, full rules?)
+#: Table 6 column -> (EngineConfig factory, full rules?, instrumented?).
+#: ``instrumented`` turns the observability layer fully on (decision
+#: tracing + metrics registry), measuring its worst-case overhead
+#: against COMPILED — the observability twin of the paper's ladder.
 TABLE6_COLUMNS = {
-    "DISABLED": ("disabled", False),
-    "BASE": ("optimized", False),
-    "FULL": ("unoptimized", True),
-    "CONCACHE": ("concache", True),
-    "LAZYCON": ("lazycon", True),
-    "EPTSPC": ("optimized", True),
-    "COMPILED": ("compiled", True),
+    "DISABLED": ("disabled", False, False),
+    "BASE": ("optimized", False, False),
+    "FULL": ("unoptimized", True, False),
+    "CONCACHE": ("concache", True, False),
+    "LAZYCON": ("lazycon", True, False),
+    "EPTSPC": ("optimized", True, False),
+    "COMPILED": ("compiled", True, False),
+    "TRACED": ("compiled", True, True),
 }
 
 #: The paper's measurement file (average path length on their system
@@ -36,7 +40,7 @@ class LmbenchSuite:
     """One configured world plus the nine operations."""
 
     def __init__(self, column="DISABLED", rule_count=None):
-        config_name, full_rules = TABLE6_COLUMNS[column]
+        config_name, full_rules, instrumented = TABLE6_COLUMNS[column]
         self.column = column
         self.kernel = build_world()
         firewall = ProcessFirewall(getattr(EngineConfig, config_name)())
@@ -47,6 +51,9 @@ class LmbenchSuite:
                 install_full_rulebase(firewall)
             else:
                 install_full_rulebase(firewall, size=rule_count)
+        if instrumented:
+            firewall.enable_tracing()
+            firewall.metrics.enable()
         self.proc = self.kernel.spawn("lmbench", uid=0, label="unconfined_t", binary_path="/bin/sh")
         # Realistic call depth: entrypoint collection cost scales with
         # stack depth on real systems, and a syscall is never issued

@@ -72,13 +72,15 @@ class TestAtomicRestore:
     def test_successful_load_preserves_stats_and_logs(self):
         world, pf, root = _loaded_firewall()
         stats = pf.stats
-        logs = pf.log_records
+        audit = pf.audit
+        logs = list(pf.log_records)
         drops = stats.drops
         load_rules(pf, save_rules(pf))
         # A restore replaces policy, not history: same stats object,
-        # same counters, same records.
+        # same audit ring, same counters, same records.
         assert pf.stats is stats and pf.stats.drops == drops
-        assert pf.log_records is logs
+        assert pf.audit is audit
+        assert pf.log_records == logs
         with pytest.raises(errors.PFDenied):
             world.sys.open(root, "/etc/shadow")
 

@@ -1,0 +1,20 @@
+"""Docstring-presence gate for the observability layer and the engine.
+
+The same check CI runs via ``tools/check_docstrings.py``; running it as
+a test makes a missing docstring fail locally before it fails in CI.
+"""
+
+import os
+import sys
+
+TOOLS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "tools")
+
+
+def test_public_surface_is_documented():
+    sys.path.insert(0, os.path.abspath(TOOLS_DIR))
+    try:
+        from check_docstrings import missing_docstrings
+    finally:
+        sys.path.pop(0)
+    missing = missing_docstrings()
+    assert missing == [], "public symbols missing docstrings: {}".format(missing)

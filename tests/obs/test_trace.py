@@ -1,0 +1,156 @@
+"""Decision traces: recording, rendering, and engine integration."""
+
+import json
+
+import pytest
+
+from repro import errors
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.obs import Tracer
+from repro.obs.trace import (
+    FIELD_CACHED,
+    FIELD_COLLECTED,
+    STAGE_CHAIN_WALK,
+    STAGE_CONTEXT,
+    STAGE_DECISION_CACHE,
+    STAGE_FAST_PATH,
+    STAGE_VERDICT,
+)
+from repro.world import build_world, spawn_root_shell
+
+RULES = [
+    "pftables -A input -o FILE_OPEN -d shadow_t -j LOG --prefix shadow",
+    "pftables -A input -o FILE_OPEN -d shadow_t -j DROP",
+    "pftables -A input -o FILE_OPEN -d etc_t -s sshd_t -j DROP",
+]
+
+
+def _traced_world(config=None, rules=RULES):
+    world = build_world()
+    firewall = ProcessFirewall(config or EngineConfig.optimized())
+    world.attach_firewall(firewall)
+    firewall.install_all(rules)
+    tracer = firewall.enable_tracing()
+    shell = spawn_root_shell(world)
+    return world, firewall, tracer, shell
+
+
+class TestTraceRecords:
+    def test_drop_trace_names_rule_and_consumed_fields(self):
+        world, firewall, tracer, shell = _traced_world()
+        with pytest.raises(errors.PFDenied):
+            world.sys.open(shell, "/etc/shadow")
+        trace = tracer.last()
+        assert trace.verdict == "DROP"
+        assert trace.rule == RULES[1]
+        assert trace.op == "FILE_OPEN"
+        assert trace.path == "/etc/shadow"
+        # The chain walk shows both shadow rules firing in order.
+        (visit,) = [v for v in trace.chains if v.chain == "input"]
+        results = [(ev.result, ev.verdict) for ev in visit.rules]
+        assert ("matched", "CONTINUE") in results  # the LOG rule
+        assert ("matched", "DROP") in results
+        # Fields the walk consumed are attributed to collection/cache.
+        assert "OBJECT_LABEL" in trace.context
+        assert set(trace.context.values()) <= {FIELD_COLLECTED, FIELD_CACHED}
+
+    def test_miss_names_failing_predicate(self):
+        world, firewall, tracer, shell = _traced_world()
+        fd = world.sys.open(shell, "/etc/passwd")
+        world.sys.close(shell, fd)
+        open_traces = tracer.for_op("FILE_OPEN")
+        assert open_traces, "open must have been mediated"
+        trace = open_traces[-1]
+        assert trace.verdict == "ALLOW"
+        misses = [ev for v in trace.chains for ev in v.rules if ev.result == "miss"]
+        assert misses, "passwd is not shadow_t: the shadow rules must miss"
+        assert all(ev.failed_match for ev in misses)
+
+    def test_fast_path_trace_has_no_chain_walk(self):
+        world, firewall, tracer, shell = _traced_world()
+        world.sys.getpid(shell)
+        trace = tracer.last()
+        assert STAGE_FAST_PATH in trace.stages or trace.chains == []
+        assert trace.verdict == "ALLOW"
+
+    def test_as_dict_is_json_ready_and_complete(self):
+        world, firewall, tracer, shell = _traced_world()
+        with pytest.raises(errors.PFDenied):
+            world.sys.open(shell, "/etc/shadow")
+        data = tracer.last().as_dict()
+        json.dumps(data)
+        for key in ("seq", "op", "pid", "comm", "label", "path", "stages",
+                    "decision_cache", "context", "chains", "verdict", "rule"):
+            assert key in data
+        assert data["stages"][-1] == STAGE_VERDICT
+
+    def test_render_mentions_drop_rule_and_stages(self):
+        world, firewall, tracer, shell = _traced_world()
+        with pytest.raises(errors.PFDenied):
+            world.sys.open(shell, "/etc/shadow")
+        text = tracer.last().render()
+        assert "DROPPED by: " + RULES[1] in text
+        assert STAGE_CHAIN_WALK in text
+        assert STAGE_CONTEXT in text
+
+    def test_drops_helper_filters(self):
+        world, firewall, tracer, shell = _traced_world()
+        fd = world.sys.open(shell, "/etc/passwd")
+        world.sys.close(shell, fd)
+        with pytest.raises(errors.PFDenied):
+            world.sys.open(shell, "/etc/shadow")
+        drops = tracer.drops()
+        assert len(drops) == 1
+        assert drops[0].path == "/etc/shadow"
+
+
+class TestTracerBounds:
+    def test_capacity_bounds_retained_traces(self):
+        world, firewall, tracer, shell = _traced_world()
+        firewall.disable_tracing()
+        tracer = firewall.enable_tracing(capacity=4)
+        for _ in range(6):
+            world.sys.getpid(shell)
+        assert len(tracer) <= 4
+
+    def test_disable_tracing_stops_recording(self):
+        world, firewall, tracer, shell = _traced_world()
+        firewall.disable_tracing()
+        world.sys.getpid(shell)
+        assert firewall.tracer is None
+        assert len(tracer) == 0  # nothing recorded after disable
+
+    def test_enable_is_idempotent(self):
+        firewall = ProcessFirewall()
+        t1 = firewall.enable_tracing()
+        t2 = firewall.enable_tracing()
+        assert t1 is t2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestDecisionCacheTracing:
+    def test_compiled_hits_show_in_trace(self):
+        # A subject-only rule keeps the default-allow verdict
+        # memoizable (no resource-dependent context consulted).
+        world, firewall, tracer, shell = _traced_world(
+            EngineConfig.compiled(),
+            rules=["pftables -A input -o FILE_OPEN -s sshd_t -j DROP"])
+        for _ in range(3):
+            fd = world.sys.open(shell, "/etc/passwd")
+            world.sys.close(shell, fd)
+        outcomes = [t.decision_cache for t in tracer.for_op("FILE_OPEN")]
+        assert "miss" in outcomes
+        assert any(o.startswith("hit") for o in outcomes)
+        hit_trace = [t for t in tracer.for_op("FILE_OPEN")
+                     if t.decision_cache.startswith("hit")][-1]
+        assert STAGE_DECISION_CACHE in hit_trace.stages
+        assert hit_trace.chains == []  # the walk was skipped
+
+    def test_uninstrumented_configs_report_off(self):
+        world, firewall, tracer, shell = _traced_world()
+        fd = world.sys.open(shell, "/etc/passwd")
+        world.sys.close(shell, fd)
+        assert all(t.decision_cache == "off" for t in tracer)

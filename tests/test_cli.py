@@ -95,6 +95,72 @@ class TestAudit:
         assert "E1" in out
 
 
+@pytest.fixture
+def shadow_rules_file(tmp_path):
+    """Rules that drop (and first log) any open of shadow_t files."""
+    path = tmp_path / "shadow.pf"
+    path.write_text(
+        "pftables -A input -o FILE_OPEN -d shadow_t -j LOG --prefix shadow\n"
+        "pftables -A input -o FILE_OPEN -d shadow_t -j DROP\n"
+    )
+    return str(path)
+
+
+class TestCounters:
+    def test_listing_shows_live_counters(self, shadow_rules_file, capsys):
+        assert main(["counters", shadow_rules_file]) == 0
+        out = capsys.readouterr().out
+        # The -L -v shape with metrics upgrades: traversals on the
+        # chain header, hit and drop columns on the rules.
+        assert "Chain input" in out and "traversals]" in out
+        assert "hits]" in out and "drops]" in out
+        assert "mediations:" in out and "dropped: 1" in out
+
+    def test_json_export(self, shadow_rules_file, capsys):
+        import json
+
+        assert main(["counters", shadow_rules_file, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        names = {row["name"] for row in data["counters"]}
+        assert "pf_mediations_total" in names
+        assert "pf_rule_drops_total" in names
+        assert data["phases"]  # phase timers recorded
+
+    def test_prometheus_export_round_trips(self, shadow_rules_file, capsys):
+        from repro.obs import registry_from_prometheus
+
+        assert main(["counters", shadow_rules_file, "--prometheus"]) == 0
+        text = capsys.readouterr().out
+        rebuilt = registry_from_prometheus(text)
+        assert rebuilt.to_prometheus() == text
+        assert rebuilt.value("pf_verdicts_total", {"verdict": "drop"}) == 1
+
+
+class TestExplain:
+    def test_explain_open_names_dropping_rule(self, shadow_rules_file, capsys):
+        assert main(["explain", shadow_rules_file, "--open", "/etc/shadow"]) == 0
+        out = capsys.readouterr().out
+        assert "DROPPED by: pftables -A input -o FILE_OPEN -d shadow_t -j DROP" in out
+        assert "chain filter/input" in out
+        assert "OBJECT_LABEL=collected" in out
+
+    def test_explain_open_allowed_path(self, shadow_rules_file, capsys):
+        assert main(["explain", shadow_rules_file, "--open", "/etc/passwd"]) == 0
+        out = capsys.readouterr().out
+        assert "allowed (verdict: ALLOW)" in out
+        assert "DROPPED by" not in out
+
+    def test_explain_exploit_end_to_end(self, e_rules_file, capsys):
+        assert main(["explain", e_rules_file, "--exploit", "E3"]) == 0
+        out = capsys.readouterr().out
+        assert "E3" in out and "blocked" in out
+        assert "DROPPED by:" in out
+
+    def test_explain_unknown_exploit(self, e_rules_file, capsys):
+        assert main(["explain", e_rules_file, "--exploit", "E42"]) == 1
+        assert "unknown exploit" in capsys.readouterr().err
+
+
 class TestSuggest:
     def test_suggest_from_json_trace(self, tmp_path, capsys):
         from repro.firewall.engine import ProcessFirewall
