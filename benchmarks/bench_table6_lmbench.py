@@ -3,46 +3,67 @@
 Columns: DISABLED (baseline), BASE (enabled, empty rules), FULL (1218
 rules, no optimizations), CONCACHE (+context caching), LAZYCON (+lazy
 retrieval), EPTSPC (+entrypoint chains), COMPILED (+compiled dispatch
-and the negative-decision cache), TRACED (COMPILED with the full
+and the negative-decision cache), JITTED (COMPILED + per-rule codegen
+and the resource-context cache), TRACED (COMPILED with the full
 observability layer on: decision tracing + metrics registry — its
 distance from COMPILED is the published tracing-overhead number, and
 COMPILED itself must stay within noise of its pre-observability
 numbers, pinning the disabled path).  Shape expectations follow the paper:
 BASE ≈ DISABLED, FULL is the blow-up (worst on ``stat``/``open``), each
 optimization column recovers cost with EPTSPC landing within a few
-percent on most rows — and COMPILED must never lose to EPTSPC, winning
-outright on the path-walking rows the decision cache short-circuits.
+percent on most rows — COMPILED must never lose to EPTSPC, winning
+outright on the path-walking rows the decision cache short-circuits,
+and JITTED must never lose to COMPILED, with a sub-1.0 geomean.
 
 ``PF_TABLE6_ITERS`` overrides the grid's iteration count; small values
 (< 200, e.g. the CI smoke run) skip the timing-shape assertions, which
-need steady-state numbers to be meaningful.
+need steady-state numbers to be meaningful.  ``test_jitted_perf_smoke``
+is the CI perf gate: a quick COMPILED-vs-JITTED run (iteration budget
+``PF_PERF_SMOKE_ITERS``) that fails when JITTED regresses beyond
+tolerance on the ``null``/``read``/``stat`` rows.
 
 The grid also writes ``benchmarks/BENCH_hotpath.json`` — the committed
-perf-trajectory artifact comparing EPTSPC and COMPILED per syscall row.
+perf-trajectory artifact comparing EPTSPC, COMPILED and JITTED per
+syscall row, with per-row standard deviations as error bars.
 """
 
 import json
 import os
 import platform
+import statistics
 
 import pytest
 
 from repro.analysis.tables import format_table, overhead_pct
 from repro.workloads.lmbench import LMBENCH_OPS, LmbenchSuite, TABLE6_COLUMNS, run_table6
 
-COLUMNS = ["DISABLED", "BASE", "FULL", "CONCACHE", "LAZYCON", "EPTSPC", "COMPILED", "TRACED"]
+COLUMNS = ["DISABLED", "BASE", "FULL", "CONCACHE", "LAZYCON", "EPTSPC", "COMPILED", "JITTED", "TRACED"]
 
 HOTPATH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_hotpath.json")
 
-#: Timing-noise allowance for the "COMPILED never loses to EPTSPC"
-#: sweep: rows the decision cache cannot help (e.g. ``null``, whose
-#: only rule reads syscall args) should tie, and a tie under a noisy
+#: Timing-noise allowance for the "COMPILED never loses to EPTSPC" and
+#: "JITTED never loses to COMPILED" sweeps: rows where two
+#: configurations do the same work should tie, and a tie under a noisy
 #: scheduler can wobble either way.
 NOISE_TOLERANCE = 1.25
+
+#: Perf-smoke gate tolerance: looser than the steady-state sweep
+#: because the smoke budget is deliberately small.
+SMOKE_TOLERANCE = 1.35
+
+#: Rows the CI perf-smoke gate checks (the acceptance rows).
+SMOKE_ROWS = ("null", "read", "stat")
 
 
 def _grid_iterations(default=1500):
     return int(os.environ.get("PF_TABLE6_ITERS", default))
+
+
+def _geomean(values):
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
 
 
 @pytest.mark.parametrize("column", COLUMNS)
@@ -57,26 +78,38 @@ def test_open_close_per_column(benchmark, column):
     benchmark(suite.op_open_close)
 
 
-def _emit_hotpath_json(results, iterations):
-    """Persist the EPTSPC-vs-COMPILED trajectory artifact."""
+def _stdev_fields(samples, op):
+    """Per-column sample standard deviations for one syscall row."""
+    out = {}
+    for column, values in sorted((samples or {}).get(op, {}).items()):
+        out[column] = round(statistics.stdev(values), 3) if len(values) >= 2 else 0.0
+    return out
+
+
+def _emit_hotpath_json(results, iterations, samples=None):
+    """Persist the EPTSPC/COMPILED/JITTED trajectory artifact."""
     rows = {}
     for op in LMBENCH_OPS:
         eptspc = results[op]["EPTSPC"]
         compiled = results[op]["COMPILED"]
+        jitted = results[op]["JITTED"]
         traced = results[op]["TRACED"]
         rows[op] = {
             "disabled_us": round(results[op]["DISABLED"], 3),
             "eptspc_us": round(eptspc, 3),
             "compiled_us": round(compiled, 3),
+            "jitted_us": round(jitted, 3),
             "traced_us": round(traced, 3),
             "compiled_vs_eptspc": round(compiled / eptspc, 3) if eptspc else None,
+            "jitted_vs_compiled": round(jitted / compiled, 3) if compiled else None,
             "traced_vs_compiled": round(traced / compiled, 3) if compiled else None,
+            "stdev_us": _stdev_fields(samples, op),
         }
     payload = {
         "benchmark": "table6_lmbench_hotpath",
         "iterations": iterations,
         "python": platform.python_version(),
-        "columns_compared": ["EPTSPC", "COMPILED", "TRACED"],
+        "columns_compared": ["EPTSPC", "COMPILED", "JITTED", "TRACED"],
         "rows": rows,
     }
     rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
@@ -90,7 +123,8 @@ def _emit_hotpath_json(results, iterations):
 
 def test_table6_grid(run_once, emit):
     iterations = _grid_iterations()
-    results = run_once(run_table6, iterations=iterations)
+    samples = {}
+    results = run_once(run_table6, iterations=iterations, samples_out=samples)
     rows = []
     for op in LMBENCH_OPS:
         base = results[op]["DISABLED"]
@@ -106,7 +140,7 @@ def test_table6_grid(run_once, emit):
             title="Table 6: lmbench-style microbenchmarks (us, % vs DISABLED)",
         )
     )
-    _emit_hotpath_json(results, iterations)
+    _emit_hotpath_json(results, iterations, samples)
 
     if iterations < 200:
         pytest.skip("PF_TABLE6_ITERS too small for stable timing-shape assertions")
@@ -141,3 +175,48 @@ def test_table6_grid(run_once, emit):
         )
     assert results["stat"]["COMPILED"] < results["stat"]["EPTSPC"]
     assert results["open+close"]["COMPILED"] < results["open+close"]["EPTSPC"]
+
+    # JITTED extends the ladder once more: per-rule codegen flattens
+    # every chain into one generated function, so no row may regress
+    # past noise and the geomean across all nine rows must show a net
+    # win.  Strict wins are demanded where the per-syscall walk cost
+    # the codegen removes dominates the row (`null`: nothing but the
+    # syscallbegin walk; `stat`: path-walk mediation fan-out); the
+    # fork rows are process construction, not mediation, so they only
+    # get the tolerance bound.
+    ratios = []
+    for op in LMBENCH_OPS:
+        jitted = results[op]["JITTED"]
+        compiled = results[op]["COMPILED"]
+        ratios.append(jitted / compiled)
+        assert jitted <= compiled * NOISE_TOLERANCE, (
+            "JITTED regressed on {}: {:.2f}us vs COMPILED {:.2f}us".format(op, jitted, compiled)
+        )
+    assert _geomean(ratios) < 1.0, "JITTED geomean vs COMPILED: {:.3f}".format(_geomean(ratios))
+    assert results["null"]["JITTED"] < results["null"]["COMPILED"]
+    assert results["stat"]["JITTED"] < results["stat"]["COMPILED"]
+
+
+def test_jitted_perf_smoke(emit):
+    """CI perf gate: JITTED must not lose to COMPILED on the hot rows.
+
+    Runs only the two columns over a small iteration budget
+    (``PF_PERF_SMOKE_ITERS``, default 400) so it is cheap enough for
+    every CI run, and uses the looser :data:`SMOKE_TOLERANCE` to absorb
+    short-run scheduler noise on the checked ``null``/``read``/``stat``
+    rows.
+    """
+    iterations = int(os.environ.get("PF_PERF_SMOKE_ITERS", 400))
+    results = run_table6(iterations=iterations, columns=["COMPILED", "JITTED"])
+    for op in SMOKE_ROWS:
+        jitted = results[op]["JITTED"]
+        compiled = results[op]["COMPILED"]
+        emit(
+            "perf-smoke {}: COMPILED {:.2f}us JITTED {:.2f}us (ratio {:.3f})".format(
+                op, compiled, jitted, jitted / compiled if compiled else float("nan")
+            )
+        )
+        assert jitted <= compiled * SMOKE_TOLERANCE, (
+            "JITTED perf-smoke regression on {}: {:.2f}us vs COMPILED {:.2f}us "
+            "(tolerance x{})".format(op, jitted, compiled, SMOKE_TOLERANCE)
+        )

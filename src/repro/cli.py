@@ -17,7 +17,8 @@ files:
   registry instead).
 - ``explain`` — the ``pf-trace`` front end: mediate one access (or one
   of the E1–E9 exploits) with decision tracing on and print why each
-  mediation was allowed or dropped.
+  mediation was allowed or dropped; ``--codegen`` instead prints the
+  JITTED engine's generated per-chain decision functions for the file.
 
 Usage::
 
@@ -33,7 +34,7 @@ import argparse
 import sys
 
 from repro import errors
-from repro.firewall.engine import ProcessFirewall
+from repro.firewall.engine import EngineConfig, ProcessFirewall
 from repro.firewall.persist import list_rules, save_rules
 from repro.firewall.pftables import parse_rule, pftables
 
@@ -170,7 +171,10 @@ def cmd_counters(args):
     from repro.world import build_world, spawn_root_shell
 
     world = build_world()
-    firewall = ProcessFirewall()
+    # Resource-context caching is decision-identical, so turning it on
+    # here costs nothing and lets the counters view surface the
+    # pf_rescache_total{result=...} family alongside the chain counters.
+    firewall = ProcessFirewall(EngineConfig(resource_cache=True))
     world.attach_firewall(firewall)
     for line in read_rule_lines(args.file):
         pftables(firewall, line)
@@ -191,10 +195,24 @@ def cmd_counters(args):
         firewall.stats.drops,
         firewall.metrics.value("pf_fast_path_total"),
     ))
+    print("rescache: hits={}  misses={}  invalidations={}".format(
+        firewall.metrics.value("pf_rescache_total", {"result": "hit"}),
+        firewall.metrics.value("pf_rescache_total", {"result": "miss"}),
+        firewall.metrics.value("pf_rescache_total", {"result": "invalidate"}),
+    ))
     return 0
 
 
 def cmd_explain(args):
+    if getattr(args, "codegen", False):
+        from repro.firewall.codegen import dump_codegen
+
+        firewall = ProcessFirewall(EngineConfig.jitted())
+        for line in read_rule_lines(args.file):
+            pftables(firewall, line)
+        print(dump_codegen(firewall))
+        return 0
+
     if args.exploit:
         from repro.attacks.exploits import EXPLOITS
 
@@ -300,6 +318,9 @@ def build_parser():
                        help="trace opening PATH in the standard world")
     group.add_argument("--exploit", metavar="EID",
                        help="trace one of the E1-E9 exploits (e.g. E3)")
+    group.add_argument("--codegen", action="store_true",
+                       help="print the JITTED engine's generated per-chain "
+                            "decision functions for this rule file")
     p.set_defaults(func=cmd_explain)
     return parser
 

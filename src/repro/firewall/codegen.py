@@ -1,0 +1,470 @@
+"""Rule codegen: specialize chains into flat Python decision functions.
+
+The COMPILED column removed per-mediation list merging and op compares
+by walking one precomputed tuple per ``(op, entrypoint)`` traversal
+shape (``Chain.dispatch``).  What remains on that path is *interpretive*
+overhead: a virtual ``matches()`` dispatch per predicate, a
+``LabelSpec.member`` call per label test, and attribute traffic
+(``self.spec``, ``engine.stats``, ``rule.target``) re-resolved on every
+evaluation.  This module removes that layer the way SFIP flattens
+security automata: at first use, each dispatch tuple is compiled —
+via ``compile()``/``exec`` of *generated source* — into one closure
+whose free variables are the rule constants themselves.
+
+Specialization decisions, pinned by the differential suites:
+
+- Label sets, entrypoint keys, rule and target objects are bound as
+  closure cells of the generated function (``_factory`` parameters), so
+  a predicate is a ``LOAD_DEREF`` + ``in``/``!=`` — no dict lookups, no
+  method dispatch.
+- Predicates are emitted **in rule-match order** with the same early
+  exit (a ``while True:``/``break`` block per rule), so lazy context
+  collection happens in exactly the interpreted order and
+  ``stats.context_collections`` stays byte-identical.
+- Context fields are read through ``engine.ensure`` exactly once per
+  mediation (memoized in a sentinel-guarded local): repeat ``ensure``
+  calls are observably idempotent, so hoisting repeats changes no
+  counter.
+- ``-o`` predicates vanish: ``Chain.dispatch`` already op-filtered the
+  tuple (the interpreted walk evaluates them too, but they are
+  side-effect-free and always true there).
+- Match modules without a specialized emitter (``STATE``, ``COMPARE``,
+  ``SIGNAL_MATCH``, ``SYSCALL_ARGS``, ``SCRIPT``, and any subclass)
+  fall back to a bound ``match.matches`` call — correct by
+  construction, just not flattened.
+- ``JUMP`` targets re-enter the engine's interpreted
+  ``_walk_chain`` at depth 1: user chains are cold by definition here,
+  and reusing the walker keeps depth limiting and RETURN semantics in
+  one place.
+
+A :class:`JitProgram` caches compiled functions per ``(op, entrypoint)``
+step and is keyed to one ``RuleBase.stamp`` identity — any rule
+mutation orphans the whole program (the engine rebuilds on next use),
+so stale code can never run.  Traced or metered mediations never enter
+generated code at all: the engine falls back to the interpreted walker,
+which is the only place per-rule trace records and phase timers exist.
+
+Generated source is kept (``JitProgram.sources``) and dumpable via
+:func:`dump_codegen` / ``pfctl explain --codegen``.
+"""
+
+from __future__ import annotations
+
+from repro.firewall import targets as tg
+from repro.firewall.context import ContextField
+from repro.firewall.matches import (
+    AdversaryMatch,
+    EntrypointMatch,
+    ObjectMatch,
+    OpMatch,
+    ProgramMatch,
+    SubjectMatch,
+    SyscallArgsMatch,
+)
+from repro.firewall.rule import _op_accepts
+from repro.security.lsm import Op
+
+#: Sentinel marking a context-field local as not yet ensured.
+_UNSET = object()
+
+#: Context-field locals: one per specializable lazy field.
+_FIELD_LOCALS = {
+    ContextField.SUBJECT_LABEL: "_sub",
+    ContextField.OBJECT_LABEL: "_obj",
+    ContextField.ENTRYPOINT: "_ept",
+    ContextField.PROGRAM: "_prog",
+    ContextField.ADV_WRITABLE: "_advw",
+    ContextField.ADV_READABLE: "_advr",
+    ContextField.SYSCALL_ARGS: "_args",
+}
+
+
+class _ConstPool:
+    """Constants bound into the generated closure, by identity."""
+
+    __slots__ = ("names", "values", "_index")
+
+    def __init__(self, fixed):
+        self.names = [name for name, _ in fixed]
+        self.values = [value for _, value in fixed]
+        self._index = {}
+
+    def bind(self, value):
+        """Return the parameter name holding ``value`` (interned by id)."""
+        key = id(value)
+        name = self._index.get(key)
+        if name is None:
+            name = "_k{}".format(len(self.names))
+            self._index[key] = name
+            self.names.append(name)
+            self.values.append(value)
+        return name
+
+
+class _Emitter:
+    """Accumulates generated source for one chain function."""
+
+    def __init__(self, pool):
+        self.pool = pool
+        self.body = []
+        self.locals_used = []
+
+    def line(self, indent, text):
+        self.body.append(" " * indent + text)
+
+    def use_local(self, name):
+        if name not in self.locals_used:
+            self.locals_used.append(name)
+
+    def lazy_field(self, indent, field):
+        """Emit the sentinel-guarded ensure for ``field``; return its local."""
+        local = _FIELD_LOCALS[field]
+        self.use_local(local)
+        fname = self.pool.bind(field)
+        self.line(indent, "if {} is _UNSET:".format(local))
+        self.line(indent + 4, "{} = _ens({}, operation, frame)".format(local, fname))
+        return local
+
+    def lazy_tcb(self, indent, subjects):
+        """Emit the lazy TCB-set fetch; return its local name."""
+        local = "_ts" if subjects else "_to"
+        getter = "_tcbs" if subjects else "_tcbo"
+        self.use_local(local)
+        self.line(indent, "if {} is _UNSET:".format(local))
+        self.line(indent + 4, "{} = {}()".format(local, getter))
+        return local
+
+
+def _membership_fail_expr(emitter, indent, spec, value_var, subjects):
+    """Expression true when ``spec.member(value, tcb)`` is False."""
+    parts = []
+    if spec.labels:
+        parts.append("{} in {}".format(value_var, emitter.pool.bind(spec.labels)))
+    if spec.syshigh:
+        tcb_local = emitter.lazy_tcb(indent, subjects)
+        parts.append("{} in {}".format(value_var, tcb_local))
+    inside = " or ".join(parts) if parts else "False"
+    if spec.negated:
+        return inside if len(parts) <= 1 else "({})".format(inside)
+    return "not ({})".format(inside)
+
+
+def _emit_predicate(emitter, indent, match, op):
+    """Emit the fail-fast test(s) for one match module.
+
+    Each emitted test ``break``s out of the rule block on failure,
+    mirroring ``_rule_matches``'s early exit; emission order follows
+    ``rule.matches`` order so context collection is interpreted-order.
+    """
+    kind = type(match)
+    if kind is OpMatch:
+        # Chain.dispatch already filtered on op; the predicate is a
+        # compile-time constant here.
+        if not _op_accepts(match.op, op):
+            emitter.line(indent, "break")
+        return
+    if kind is SubjectMatch:
+        local = emitter.lazy_field(indent, ContextField.SUBJECT_LABEL)
+        fail = _membership_fail_expr(emitter, indent, match.spec, local, True)
+        emitter.line(indent, "if {}:".format(fail))
+        emitter.line(indent + 4, "break")
+        return
+    if kind is ObjectMatch:
+        local = emitter.lazy_field(indent, ContextField.OBJECT_LABEL)
+        emitter.line(indent, "if {} is None:".format(local))
+        emitter.line(indent + 4, "break")
+        fail = _membership_fail_expr(emitter, indent, match.spec, local, False)
+        emitter.line(indent, "if {}:".format(fail))
+        emitter.line(indent + 4, "break")
+        return
+    if kind is EntrypointMatch:
+        local = emitter.lazy_field(indent, ContextField.ENTRYPOINT)
+        key = emitter.pool.bind(match.chain_key())
+        emitter.line(indent, "if not {}:".format(local))
+        emitter.line(indent + 4, "break")
+        emitter.line(indent, "if {}[0] != {}:".format(local, key))
+        emitter.line(indent + 4, "break")
+        return
+    if kind is ProgramMatch:
+        local = emitter.lazy_field(indent, ContextField.PROGRAM)
+        emitter.line(indent, "if {} != {!r}:".format(local, match.program))
+        emitter.line(indent + 4, "break")
+        return
+    if kind is AdversaryMatch:
+        if match.writable is not None:
+            local = emitter.lazy_field(indent, ContextField.ADV_WRITABLE)
+            emitter.line(indent, "if {} != {!r}:".format(local, match.writable))
+            emitter.line(indent + 4, "break")
+        if match.readable is not None:
+            local = emitter.lazy_field(indent, ContextField.ADV_READABLE)
+            emitter.line(indent, "if {} != {!r}:".format(local, match.readable))
+            emitter.line(indent + 4, "break")
+        return
+    if kind is SyscallArgsMatch and match.value.atom is None:
+        # Literal operand: hoist Value.resolve and the NR_ strip to
+        # compile time (atom-valued operands need frame context and
+        # take the fallback below).
+        local = emitter.lazy_field(indent, ContextField.SYSCALL_ARGS)
+        expected = match.value.literal
+        if isinstance(expected, str) and expected.startswith("NR_"):
+            expected = expected[3:]
+        emitter.line(
+            indent, "if {} is None or {} >= len({}):".format(local, match.arg_index, local)
+        )
+        emitter.line(indent + 4, "break")
+        comparison = "!=" if match.equal else "=="
+        emitter.line(
+            indent,
+            "if {}[{}] {} {!r}:".format(local, match.arg_index, comparison, expected),
+        )
+        emitter.line(indent + 4, "break")
+        return
+    # Unspecialized module (STATE/COMPARE/SIGNAL_MATCH/SCRIPT,
+    # atom-valued SYSCALL_ARGS, or any subclass): bound-method fallback.
+    name = emitter.pool.bind(match.matches)
+    emitter.line(indent, "if not {}(_eng, operation, frame):".format(name))
+    emitter.line(indent + 4, "break")
+
+
+def _emit_rule(emitter, index, rule, op):
+    """Emit one rule's ``while True:`` block (predicates + target)."""
+    rname = emitter.pool.bind(rule)
+    tname = emitter.pool.bind(rule.target.execute)
+    text = (rule.text or "<anonymous>").replace("\n", " ")
+    emitter.line(8, "# rule {}: {}".format(index, text))
+    emitter.line(8, "while True:")
+    emitter.line(12, "_stats.rules_evaluated += 1")
+    for match in rule.matches:
+        _emit_predicate(emitter, 12, match, op)
+    emitter.line(12, "{}.hits += 1".format(rname))
+    emitter.line(12, "frame.rule_matched = True")
+    emitter.line(12, "_v, _a = {}(_eng, operation, frame)".format(tname))
+    emitter.line(12, "if _v == {!r} or _v == {!r}:".format(tg.DROP, tg.ACCEPT))
+    emitter.line(16, "return (_v, {})".format(rname))
+    emitter.line(12, "if _v == {!r}:".format(tg.RETURN))
+    emitter.line(16, "return ({!r}, None)".format(tg.CONTINUE))
+    emitter.line(12, "if _v == {!r}:".format(tg.JUMP))
+    emitter.line(16, "_sv, _sr = _walk(_tbl, _tchain(_a, True), operation, frame, 1)")
+    emitter.line(16, "if _sv == {!r} or _sv == {!r}:".format(tg.DROP, tg.ACCEPT))
+    emitter.line(20, "return (_sv, _sr)")
+    emitter.line(12, "break")
+
+
+def compile_chain(engine, table, chain, op, ept_key):
+    """Compile one ``(op, entrypoint)`` dispatch tuple of ``chain``.
+
+    Returns ``(fn, source)``: ``fn(operation, frame)`` evaluates the
+    flat rule sequence exactly as the interpreted
+    ``ProcessFirewall._walk_chain`` would at depth 0 with compiled
+    dispatch, returning the same ``(verdict, rule)`` pairs and feeding
+    the same ``stats`` counters.  ``source`` is the generated text,
+    retained for ``pfctl explain --codegen``.
+    """
+    rules = chain.dispatch(op, ept_key)
+    pool = _ConstPool(
+        [
+            ("_UNSET", _UNSET),
+            ("_ens", engine.ensure),
+            ("_eng", engine),
+            ("_stats", engine.stats),
+            ("_walk", engine._walk_chain),
+            ("_tbl", table),
+            ("_tchain", table.chain),
+            ("_tcbs", engine.tcb_subjects),
+            ("_tcbo", engine.tcb_objects),
+        ]
+    )
+    emitter = _Emitter(pool)
+    for index, rule in enumerate(rules):
+        _emit_rule(emitter, index, rule, op)
+
+    ept_text = "-" if ept_key is None else "{}+{:#x}".format(ept_key[0], ept_key[1])
+    lines = [
+        "# pf-jit: table={} chain={} op={} ept={}".format(
+            table.name, chain.name, op.value, ept_text
+        ),
+        "def _factory({}):".format(", ".join(pool.names)),
+        "    def _chain(operation, frame):",
+    ]
+    for local in emitter.locals_used:
+        lines.append("        {} = _UNSET".format(local))
+    lines.extend(emitter.body)
+    lines.append("        return ({!r}, None)".format(tg.CONTINUE))
+    lines.append("    return _chain")
+    source = "\n".join(lines) + "\n"
+
+    filename = "<pf-jit:{}/{}:{}:{}>".format(table.name, chain.name, op.value, ept_text)
+    namespace = {}
+    exec(compile(source, filename, "exec"), namespace)
+    fn = namespace["_factory"](*pool.values)
+    return fn, source
+
+
+class _ChainStep:
+    """One chain visit in a traversal plan; compiles per entrypoint key."""
+
+    __slots__ = ("program", "table", "chain", "op", "is_mangle", "chain_name", "wanted", "fns")
+
+    def __init__(self, program, table, chain, op, is_mangle):
+        self.program = program
+        self.table = table
+        self.chain = chain
+        self.op = op
+        self.is_mangle = is_mangle
+        self.chain_name = chain.name
+        wanted = False
+        if chain.by_entrypoint:
+            ept_ops = chain.ept_ops
+            wanted = (
+                ept_ops is None
+                or op in ept_ops
+                or (op is Op.LINK_READ and Op.LNK_FILE_READ in ept_ops)
+            )
+        #: Whether this (chain, op) can ever select an entrypoint
+        #: bucket — mirrors the interpreted walk's unwind gate.
+        self.wanted = wanted
+        self.fns = {}
+
+    def function(self, operation, frame):
+        """The compiled function for this mediation's entrypoint key.
+
+        Resolves the entrypoint through ``engine.ensure`` only when some
+        bucket rule could handle this op (same gate, same bookkeeping —
+        ``frame.used_entrypoint`` — as the interpreted walk).
+        """
+        ept_key = None
+        if self.wanted:
+            engine = self.program.firewall
+            entries = engine.ensure(ContextField.ENTRYPOINT, operation, frame)
+            if entries and entries[0] in self.chain.by_entrypoint:
+                ept_key = entries[0]
+        fn = self.fns.get(ept_key)
+        if fn is None:
+            fn = self.compile(ept_key)
+        return fn
+
+    def compile(self, ept_key):
+        """Compile (and memoize) the function for one entrypoint key."""
+        fn, source = compile_chain(
+            self.program.firewall, self.table, self.chain, self.op, ept_key
+        )
+        self.fns[ept_key] = fn
+        self.program.sources[(self.table.name, self.chain_name, self.op, ept_key)] = source
+        return fn
+
+
+class _TraversalPlan:
+    """The ordered chain steps one operation walks, mangle then filter."""
+
+    __slots__ = ("steps", "filter_start")
+
+    def __init__(self, steps, filter_start):
+        self.steps = steps
+        #: Index of the first filter-table step: a mangle ``ACCEPT``
+        #: jumps here (stop mangle, proceed to filter).
+        self.filter_start = filter_start
+
+
+class JitProgram:
+    """Compiled decision functions for one rule-base stamp.
+
+    Built lazily by :meth:`ProcessFirewall.jit_program`; discarded
+    whole when ``rules.stamp`` changes identity (install, remove,
+    flush, atomic restore), so generated code can never outlive the
+    rules it inlines.  Per-``op`` traversal plans and per-``(op,
+    entrypoint)`` functions compile at first use, like the dispatch
+    memo they wrap.
+    """
+
+    __slots__ = ("firewall", "stamp", "sources", "_plans")
+
+    def __init__(self, firewall):
+        self.firewall = firewall
+        #: The rule-base identity this program was compiled against.
+        self.stamp = firewall.rules.stamp
+        #: (table, chain, op, ept_key) -> generated source text.
+        self.sources = {}
+        self._plans = {}
+
+    def plan(self, op):
+        """The (memoized) traversal plan for one operation kind."""
+        plan = self._plans.get(op)
+        if plan is None:
+            plan = self._plans[op] = self._build_plan(op)
+        return plan
+
+    def _build_plan(self, op):
+        firewall = self.firewall
+        steps = []
+        filter_start = 0
+        for table_name in ("mangle", "filter"):
+            table = firewall.rules.tables[table_name]
+            if table_name == "filter":
+                filter_start = len(steps)
+            for chain_name in firewall._chains_for(op):
+                chain = table.chains.get(chain_name)
+                if chain is None or not len(chain):
+                    continue
+                relevant = chain.relevant_ops
+                if (
+                    relevant is not None
+                    and op not in relevant
+                    and not (op is Op.LINK_READ and Op.LNK_FILE_READ in relevant)
+                ):
+                    continue
+                steps.append(_ChainStep(self, table, chain, op, table_name == "mangle"))
+        return _TraversalPlan(tuple(steps), filter_start)
+
+    def traverse(self, operation, frame):
+        """Drop-in for ``ProcessFirewall._traverse`` on the jitted path.
+
+        Same chain order, same per-process traversal bookkeeping, same
+        ``(verdict, rule)`` protocol — but each chain body is a
+        compiled flat function instead of the interpreted rule loop.
+        """
+        plan = self.plan(operation.op)
+        steps = plan.steps
+        proc = operation.proc
+        i = 0
+        n = len(steps)
+        while i < n:
+            step = steps[i]
+            i += 1
+            if proc is not None:
+                proc.pf_traversal.append(step.chain_name)
+            try:
+                verdict, rule = step.function(operation, frame)(operation, frame)
+            finally:
+                if proc is not None:
+                    proc.pf_traversal.pop()
+            if verdict == tg.DROP:
+                return (verdict, rule)
+            if verdict == tg.ACCEPT:
+                if not step.is_mangle:
+                    return (verdict, rule)
+                i = plan.filter_start
+        return (tg.CONTINUE, None)
+
+
+def dump_codegen(firewall, ops=None):
+    """Force-compile every reachable traversal shape; return the source.
+
+    Compiles the ``(op, entrypoint)`` grid for every operation in
+    ``ops`` (default: all LSM operations) whose plan is non-empty —
+    the entrypoint-independent shape plus one per installed bucket key
+    — and returns the concatenated generated source, stably ordered.
+    Backs ``pfctl explain --codegen``.
+    """
+    program = firewall.jit_program()
+    if ops is None:
+        ops = list(Op)
+    for op in ops:
+        for step in program.plan(op).steps:
+            keys = [None]
+            if step.wanted:
+                keys.extend(sorted(step.chain.by_entrypoint))
+            for key in keys:
+                if key not in step.fns:
+                    step.compile(key)
+    chunks = [program.sources[key] for key in sorted(program.sources, key=repr)]
+    return "\n".join(chunks)

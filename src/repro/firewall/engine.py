@@ -18,6 +18,7 @@ CONCACHE              ``EngineConfig.concache()``
 LAZYCON               ``EngineConfig.lazycon()``
 EPTSPC                ``EngineConfig.optimized()`` (the default)
 COMPILED              ``EngineConfig.compiled()``
+JITTED                ``EngineConfig.jitted()``
 ====================  ==========================================
 
 (BASE vs FULL differ by rule-base size, not engine configuration.)
@@ -27,6 +28,15 @@ per-``(op, entrypoint)`` dispatch tuples at first use (invalidated on
 every rule mutation), and a per-process **negative-decision cache**
 memoizes default-allow verdicts whose traversal consulted nothing
 resource- or call-dependent — see ``docs/INTERNALS.md``.
+
+The JITTED rung goes one further: the dispatch tuples are compiled
+into flat Python decision functions with rule constants bound in the
+closure (:mod:`repro.firewall.codegen`), and expensive per-inode
+context fields (object label, adversary accessibility) are memoized in
+a VFS-invalidated resource-context cache
+(:mod:`repro.firewall.rescache`).  Traced or metered mediations fall
+back to the interpreted walker, so observability semantics are
+unchanged.
 
 The engine also hosts the :mod:`repro.obs` observability layer:
 decision traces (opt-in via :meth:`ProcessFirewall.enable_tracing`),
@@ -46,7 +56,14 @@ from typing import Dict
 from repro import errors
 from repro.firewall import targets as tg
 from repro.firewall.context import _DECISION_STABLE_INT, ContextField, ContextFrame
+from repro.firewall.codegen import JitProgram
 from repro.firewall.modules.registry import collect_field
+from repro.firewall.rescache import (
+    _RESCACHE_FIELDS_INT,
+    HIT as RESCACHE_HIT,
+    INVALIDATE as RESCACHE_INVALIDATE,
+    ResourceContextCache,
+)
 from repro.firewall.rule import RuleBase, _op_accepts
 from repro.obs.audit import WARNING, AuditRing
 from repro.obs.metrics import (
@@ -80,6 +97,8 @@ class EngineConfig:
         "compiled_dispatch",
         "decision_cache",
         "global_traversal_state",
+        "jit_codegen",
+        "resource_cache",
     )
 
     def __init__(
@@ -91,6 +110,8 @@ class EngineConfig:
         compiled_dispatch=False,
         decision_cache=False,
         global_traversal_state=False,
+        jit_codegen=False,
+        resource_cache=False,
     ):
         self.enabled = enabled
         self.context_cache = context_cache
@@ -107,6 +128,15 @@ class EngineConfig:
         #: (counted in ``stats.irq_disables``) instead of the paper's
         #: per-process state (§5.1).
         self.global_traversal_state = global_traversal_state
+        #: Walk chains through generated flat decision functions
+        #: (:mod:`repro.firewall.codegen`).  Requires (and the preset
+        #: sets) ``entrypoint_chains`` + ``compiled_dispatch``; traced
+        #: or metered mediations fall back to the interpreted walker.
+        self.jit_codegen = jit_codegen
+        #: Memoize expensive per-inode context fields in the
+        #: VFS-invalidated resource-context cache
+        #: (:mod:`repro.firewall.rescache`).
+        self.resource_cache = resource_cache
 
     # ---- Table 6 column presets ----
 
@@ -140,6 +170,16 @@ class EngineConfig:
         """COMPILED: EPTSPC + compiled dispatch + decision cache."""
         return cls(compiled_dispatch=True, decision_cache=True)
 
+    @classmethod
+    def jitted(cls):
+        """JITTED: COMPILED + rule codegen + resource-context cache."""
+        return cls(
+            compiled_dispatch=True,
+            decision_cache=True,
+            jit_codegen=True,
+            resource_cache=True,
+        )
+
     def clone(self, **overrides):
         """Copy this configuration, overriding selected switches."""
         values = {name: getattr(self, name) for name in self.__slots__}
@@ -169,6 +209,12 @@ class EngineStats:
         #: Whole traversals short-circuited by the negative-decision
         #: cache (COMPILED configurations only).
         self.decision_cache_hits = 0
+        #: Resource-context cache outcomes (JITTED configurations
+        #: only): collections avoided, collections performed through
+        #: the cache, and entries discarded on a validity mismatch.
+        self.rescache_hits = 0
+        self.rescache_misses = 0
+        self.rescache_invalidations = 0
         self.irq_disables = 0
 
     def reset(self):
@@ -210,6 +256,12 @@ class ProcessFirewall:
         #: Shared traversal stack used only in the iptables-emulation
         #: ablation (global_traversal_state).
         self._shared_traversal = []
+        #: Compiled rule program (jit_codegen); rebuilt whenever the
+        #: rule-base stamp identity changes.
+        self._jit = None
+        #: VFS-invalidated memo of per-inode context fields
+        #: (resource_cache configurations only).
+        self._rescache = ResourceContextCache() if self.config.resource_cache else None
         #: Memo of relevant top-level chains per op, keyed by rule-base
         #: stamp (hot-path optimization for the op-index skip).  The
         #: stamp, not the bare version, so an atomically swapped rule
@@ -261,6 +313,22 @@ class ProcessFirewall:
             self.tracer.clear()
         self._chain_memo = {}
         self._chain_memo_stamp = None
+        self._jit = None
+        if self._rescache is not None:
+            self._rescache.clear()
+
+    def jit_program(self):
+        """The compiled rule program for the current rule base.
+
+        Lazily (re)built: a :class:`repro.firewall.codegen.JitProgram`
+        is pinned to one ``RuleBase.stamp`` identity, so any rule
+        mutation — including an atomically swapped restore — orphans
+        the old program along with the generated code it holds.
+        """
+        jit = self._jit
+        if jit is None or jit.stamp is not self.rules.stamp:
+            jit = self._jit = JitProgram(self)
+        return jit
 
     # ------------------------------------------------------------------
     # observability plumbing
@@ -335,6 +403,39 @@ class ProcessFirewall:
                         "pf_context_cache_hits_total", {"field": field.name}
                     )
             return frame.get(field)
+        rescache = self._rescache
+        if rescache is not None and bits & _RESCACHE_FIELDS_INT:
+            obj = operation.obj
+            if (
+                obj is not None
+                and self.kernel is not None
+                and getattr(obj, "ino", None) is not None
+            ):
+                outcome, value = rescache.fetch(field, operation, self)
+                metered = self.metrics.enabled
+                if outcome == RESCACHE_HIT:
+                    self.stats.rescache_hits += 1
+                    frame.put(field, value)
+                    trace = frame.trace
+                    if trace is not None:
+                        trace.note_field(field.name, FIELD_CACHED)
+                    if metered:
+                        self.metrics.inc("pf_rescache_total", {"result": outcome})
+                    return value
+                if outcome == RESCACHE_INVALIDATE:
+                    self.stats.rescache_invalidations += 1
+                else:
+                    self.stats.rescache_misses += 1
+                if metered:
+                    self.metrics.inc("pf_rescache_total", {"result": outcome})
+                value = self._collect_checked(field, operation, frame)
+                rescache.store(field, operation, self, value)
+                return value
+        return self._collect_checked(field, operation, frame)
+
+    def _collect_checked(self, field, operation, frame):
+        """Collect one field with trace/metrics bookkeeping and the
+        EFAULT degrade-to-``None`` discipline of :meth:`ensure`."""
         trace = frame.trace
         if trace is not None:
             trace.note_field(field.name, FIELD_COLLECTED)
@@ -394,9 +495,24 @@ class ProcessFirewall:
         if self.config.global_traversal_state:
             # iptables-style: traversal state is global, so the walk
             # must run with "interrupts disabled" (counted, not real).
+            # The push/pop pair brackets the whole slow path in
+            # try/finally: a DROP (PFDenied) or a mid-walk error must
+            # not leak an entry in the shared stack.
             self.stats.irq_disables += 1
             self._shared_traversal.append(operation)
+            try:
+                return self._mediate_slow(operation, trace, metrics, metered)
+            finally:
+                self._shared_traversal.pop()
+        return self._mediate_slow(operation, trace, metrics, metered)
 
+    def _mediate_slow(self, operation, trace, metrics, metered):
+        """Post-fast-path mediation: cache probe, context, walk, verdict.
+
+        Factored out of :meth:`mediate` so the shared-traversal push of
+        the ``global_traversal_state`` ablation brackets every exit —
+        including the ``PFDenied`` raise — with its balancing pop.
+        """
         frame = None
         proc = operation.proc
         seq = operation.extra.get("syscall_seq")
@@ -434,8 +550,6 @@ class ProcessFirewall:
                             )
                             metrics.inc("pf_decision_cache_total", {"result": "hit"})
                             metrics.inc("pf_verdicts_total", {"verdict": "allow"})
-                        if self.config.global_traversal_state:
-                            self._shared_traversal.pop()
                         return
                     frame = self._new_frame(proc, seq, trace)
                     entries = self.ensure(ContextField.ENTRYPOINT, operation, frame)
@@ -452,8 +566,6 @@ class ProcessFirewall:
                             metrics.inc("pf_decision_cache_total", {"result": "hit"})
                             metrics.inc("pf_verdicts_total", {"verdict": "allow"})
                         self._writeback_context(proc, seq, frame)
-                        if self.config.global_traversal_state:
-                            self._shared_traversal.pop()
                         return
             if trace is not None:
                 trace.decision_cache = "miss"
@@ -497,13 +609,17 @@ class ProcessFirewall:
 
         walk_started = perf_counter() if metered else 0.0
         try:
-            verdict, rule = self._traverse(operation, frame)
+            if self.config.jit_codegen and trace is None and not metered:
+                # JITTED: flat generated decision functions.  Traced or
+                # metered mediations take the interpreted walker below,
+                # where per-rule trace records and phase timers live.
+                verdict, rule = self.jit_program().traverse(operation, frame)
+            else:
+                verdict, rule = self._traverse(operation, frame)
         finally:
             if metered:
                 metrics.observe_phase(PHASE_CHAIN_WALK, perf_counter() - walk_started)
             self._writeback_context(proc, seq, frame)
-            if self.config.global_traversal_state:
-                self._shared_traversal.pop()
 
         if verdict == tg.DROP:
             self.stats.drops += 1

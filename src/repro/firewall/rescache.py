@@ -1,0 +1,140 @@
+"""Resource-context cache: memoized per-inode context fields.
+
+Adversary accessibility (``ADV_WRITABLE`` / ``ADV_READABLE``) is the
+most expensive resource context the engine collects: every lookup walks
+the DAC adversary population *and* the MAC policy's permission tables
+(:class:`repro.security.adversary.AdversaryModel`).  Yet for a fixed
+inode, a fixed caller identity, and a fixed system state the answer
+never changes — mediating ``stat("/etc/passwd")`` ten thousand times
+recomputes the same conjunction ten thousand times.
+
+This module memoizes those fields (plus the resource's label) per
+``(device, ino)`` in a per-firewall cache.  Correctness comes from an
+explicit *validity tuple* captured at store time and recomputed at
+fetch time:
+
+- ``inode.generation`` — inode-number recycling (the cryogenic-sleep
+  path) can never serve a prior tenant's entry;
+- ``inode.meta_gen`` — bumped by every metadata mutation routed through
+  :mod:`repro.vfs` (chmod / chown / relabel / unlink / rename);
+- ``AdversaryModel.epoch`` — bumped when the known-UID population
+  grows (a new user is a new potential adversary for everyone);
+- ``FileSystem.mount_generation`` — bumped by mount-table changes;
+- the rule base ``stamp`` — rule mutations drop every entry, keeping
+  cache lifetime aligned with the engine's other memos.
+
+Per-process inputs (the caller's EUID and subject label) are part of
+the *sub-key*, not the validity tuple, so processes with different
+identities share one entry per inode without aliasing each other's
+answers.  The engine counts outcomes into ``stats.rescache_*`` and the
+``pf_rescache_total{result=hit|miss|invalidate}`` metric family.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.firewall.context import ContextField
+
+#: Fields this cache may serve (plain-int mask for the hot-path test).
+RESCACHE_FIELDS = (
+    ContextField.OBJECT_LABEL | ContextField.ADV_WRITABLE | ContextField.ADV_READABLE
+)
+
+#: Plain-int view of :data:`RESCACHE_FIELDS` for ``mask & bits`` tests.
+_RESCACHE_FIELDS_INT = int(RESCACHE_FIELDS)
+
+#: Fields whose value depends on the calling process's identity, keyed
+#: per ``(euid, subject label)`` inside an entry.
+_PER_PROCESS_FIELDS = frozenset(
+    (ContextField.ADV_WRITABLE, ContextField.ADV_READABLE)
+)
+
+#: Fetch outcomes, also used as the ``result`` metric label.
+HIT = "hit"
+MISS = "miss"
+INVALIDATE = "invalidate"
+
+_MISSING = object()
+
+
+class ResourceContextCache:
+    """Per-firewall memo of expensive per-inode context fields.
+
+    One entry per ``(device, ino)``; each entry is a validity tuple
+    plus a value map.  The cache never *pushes* invalidations — every
+    fetch recomputes the validity tuple from live state and discards
+    the entry on mismatch (reported as :data:`INVALIDATE` so the
+    engine can count it).  Eviction is wholesale: when ``capacity``
+    distinct inodes are cached, the next insert clears everything —
+    the steady-state working set of a mediation-heavy workload is tiny
+    compared to any sane capacity, so precision is not worth per-entry
+    LRU bookkeeping on this path.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity=4096):
+        self.capacity = capacity
+        #: (device, ino) -> [validity_tuple, {sub_key: value}]
+        self._entries = {}  # type: Dict[Tuple[int, int], list]
+
+    def __len__(self):
+        return len(self._entries)
+
+    def clear(self):
+        """Drop every entry (rule flush / explicit reset)."""
+        self._entries.clear()
+
+    @staticmethod
+    def _validity(inode, engine):
+        """The live validity tuple for ``inode`` under ``engine``."""
+        kernel = engine.kernel
+        return (
+            inode.generation,
+            inode.meta_gen,
+            kernel.adversaries.epoch,
+            kernel.fs.mount_generation,
+            engine.rules.stamp,
+        )
+
+    @staticmethod
+    def _sub_key(field, proc):
+        """Entry-internal key: per-process for adversary fields."""
+        if field in _PER_PROCESS_FIELDS:
+            return (field, proc.creds.euid, proc.label)
+        return field
+
+    def fetch(self, field, operation, engine):
+        """Probe the cache; returns ``(outcome, value)``.
+
+        ``outcome`` is :data:`HIT` (``value`` is the memoized answer),
+        :data:`MISS` (no entry, or entry lacks this field/identity), or
+        :data:`INVALIDATE` (an entry existed but its validity tuple no
+        longer matches live state; it has been discarded).  On MISS and
+        INVALIDATE the caller collects normally and calls :meth:`store`.
+        """
+        inode = operation.obj
+        key = (inode.device, inode.ino)
+        entry = self._entries.get(key)
+        if entry is None:
+            return (MISS, None)
+        if entry[0] != self._validity(inode, engine):
+            del self._entries[key]
+            return (INVALIDATE, None)
+        value = entry[1].get(self._sub_key(field, operation.proc), _MISSING)
+        if value is _MISSING:
+            return (MISS, None)
+        return (HIT, value)
+
+    def store(self, field, operation, engine, value):
+        """Record a freshly collected value under the live validity."""
+        inode = operation.obj
+        key = (inode.device, inode.ino)
+        validity = self._validity(inode, engine)
+        entry = self._entries.get(key)
+        if entry is None or entry[0] != validity:
+            if entry is None and len(self._entries) >= self.capacity:
+                self._entries.clear()
+            entry = self._entries[key] = [validity, {}]
+        entry[1][self._sub_key(field, operation.proc)] = value

@@ -252,8 +252,8 @@ class Kernel:
         if isinstance(data, str):
             data = data.encode("utf-8")
         inode.data = data
-        if label is not None:
-            inode.label = label
+        if label is not None and inode.label != label:
+            self.fs.relabel(inode, label)
         return inode
 
     def add_symlink(self, path, target, uid=0, gid=None, label=None):

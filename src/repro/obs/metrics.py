@@ -8,6 +8,10 @@ with a single ``registry.enabled`` attribute check, so the cost of the
 disabled path is one boolean test per site (measured in the Table 6
 grid's TRACED column against COMPILED — see ``docs/OBSERVABILITY.md``).
 
+Families of note: ``pf_rescache_total{result=hit|miss|invalidate}``
+counts resource-context cache outcomes (JITTED configurations; surfaced
+by ``pfctl counters`` and described in ``docs/OBSERVABILITY.md``).
+
 Counter identity is ``(name, labels)`` where ``labels`` is a sorted
 tuple of ``(key, value)`` string pairs — the same shape Prometheus
 uses, so the text exporter is a direct rendering and

@@ -32,9 +32,16 @@ class AdversaryModel:
         self.policy = policy
         #: The system's user population for DAC reasoning.
         self.known_uids = set(known_uids or {0})
+        #: Bumped whenever the adversary population grows: a new user
+        #: is a new potential adversary for every process, so every
+        #: cached accessibility answer (the engine's resource-context
+        #: cache) must be recomputed.
+        self.epoch = 0
 
     def register_uid(self, uid):
-        self.known_uids.add(uid)
+        if uid not in self.known_uids:
+            self.known_uids.add(uid)
+            self.epoch += 1
 
     # ------------------------------------------------------------------
     # DAC view

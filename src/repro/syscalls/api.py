@@ -354,8 +354,7 @@ class SyscallAPI:
             raise errors.EPERM("chmod by non-owner")
         op = Op.SOCKET_SETATTR if inode.itype is FileType.SOCK else Op.FILE_SETATTR
         self._final_op(proc, op, inode, resolved.path, "chmod", seq, args=(path, mode))
-        inode.mode = (inode.mode & ~0o7777) | (mode & 0o7777)
-        return inode
+        return self.kernel.fs.chmod(inode, mode)
 
     def chown(self, proc, path, uid, gid=None):
         seq = self.kernel.begin_syscall(proc, "chown", (path, uid))
@@ -363,10 +362,7 @@ class SyscallAPI:
         if proc.creds.euid != 0:
             raise errors.EPERM("chown requires root")
         self._final_op(proc, Op.FILE_SETATTR, resolved.inode, resolved.path, "chown", seq, args=(path, uid))
-        resolved.inode.uid = uid
-        if gid is not None:
-            resolved.inode.gid = gid
-        return resolved.inode
+        return self.kernel.fs.chown(resolved.inode, uid, gid)
 
     def listdir(self, proc, path):
         seq = self.kernel.begin_syscall(proc, "getdents", (path,))

@@ -23,6 +23,11 @@ class FileSystem:
         self.root = self.inodes.alloc(FileType.DIR, uid=0, gid=0, mode=0o755, label=root_label)
         self.inodes.link_added(self.root)  # "/" references itself
         self._clock = clock
+        #: Mount-table generation: bumped by every (re)mount-style
+        #: namespace change.  Part of the resource-context cache's
+        #: validity tuple — a mount can place any object under new
+        #: ancestry, so every cached access answer is suspect after one.
+        self.mount_generation = 0
 
     # ------------------------------------------------------------------
     # directory-level primitives
@@ -109,6 +114,7 @@ class FileSystem:
         if child.is_dir:
             raise errors.EISDIR("unlink on a directory; use rmdir")
         del dir_inode.children[name]
+        child.bump_meta()
         self.inodes.link_removed(child)
         self._touch(dir_inode)
         return child
@@ -120,6 +126,7 @@ class FileSystem:
         if child.children:
             raise errors.ENOTEMPTY("directory {!r} not empty".format(name))
         del dir_inode.children[name]
+        child.bump_meta()
         self.inodes.link_removed(child)
         self._touch(dir_inode)
         return child
@@ -144,9 +151,11 @@ class FileSystem:
             if existing.is_dir and existing.children:
                 raise errors.ENOTEMPTY("rename target directory not empty")
             del dst_dir.children[dst_name]
+            existing.bump_meta()
             self.inodes.link_removed(existing)
         del src_dir.children[src_name]
         dst_dir.children[dst_name] = child.ino
+        child.bump_meta()
         self._touch(src_dir)
         self._touch(dst_dir)
         return child
@@ -165,6 +174,50 @@ class FileSystem:
             for ino in node.children.values():
                 stack.append(self.inodes.get(ino))
         return False
+
+    # ------------------------------------------------------------------
+    # security-metadata mutation (setattr-style)
+    # ------------------------------------------------------------------
+    #
+    # These are the canonical mutation points for inode security
+    # metadata.  Each bumps the inode's ``meta_gen`` so any cached
+    # conclusion about who may access the object (the engine's
+    # resource-context cache) is invalidated on next use.  Callers that
+    # mutate ``mode``/``uid``/``label`` directly bypass invalidation —
+    # the syscall layer and the kernel route through these.
+
+    def chmod(self, inode, mode):
+        """Replace the permission bits of ``inode`` (mode & 07777)."""
+        inode.mode = (inode.mode & ~0o7777) | (mode & 0o7777)
+        inode.bump_meta()
+        self._touch(inode)
+        return inode
+
+    def chown(self, inode, uid, gid=None):
+        """Change the owner (and optionally group) of ``inode``."""
+        inode.uid = uid
+        if gid is not None:
+            inode.gid = gid
+        inode.bump_meta()
+        self._touch(inode)
+        return inode
+
+    def relabel(self, inode, label):
+        """Replace the MAC label of ``inode`` (setfattr/restorecon)."""
+        inode.label = label
+        inode.bump_meta()
+        self._touch(inode)
+        return inode
+
+    def remount(self):
+        """Record a mount-table change (mount/umount/bind).
+
+        The reproduction has no true mount namespace; what matters for
+        the engine is the *signal*: bumping ``mount_generation``
+        invalidates every cached resource-context answer at once.
+        """
+        self.mount_generation += 1
+        return self.mount_generation
 
     # ------------------------------------------------------------------
     # helpers

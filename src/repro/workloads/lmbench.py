@@ -28,6 +28,7 @@ TABLE6_COLUMNS = {
     "LAZYCON": ("lazycon", True, False),
     "EPTSPC": ("optimized", True, False),
     "COMPILED": ("compiled", True, False),
+    "JITTED": ("jitted", True, False),
     "TRACED": ("compiled", True, True),
 }
 
@@ -122,17 +123,30 @@ LMBENCH_OPS = [name for name, _fn in LmbenchSuite("DISABLED").operations()]
 
 
 def time_operation(fn, iterations=2000, warmup=50):
-    """Average microseconds per call (simple steady-state timing)."""
+    """Average microseconds per call (steady-state, GC-quiesced).
+
+    The warmup pass populates every lazy memo (dispatch tuples,
+    generated code, context caches) before the clock starts, and the
+    collector is disabled around the timed loop so a GC cycle landing
+    inside one cell's measurement cannot masquerade as an engine
+    effect.  The caller's GC state is restored afterwards.
+    """
     for _ in range(warmup):
         fn()
-    start = time.perf_counter()
-    for _ in range(iterations):
-        fn()
-    elapsed = time.perf_counter() - start
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        elapsed = time.perf_counter() - start
+    finally:
+        if was_enabled:
+            gc.enable()
     return elapsed / iterations * 1e6
 
 
-def run_table6(iterations=2000, columns=None, rule_count=None, repeats=5):
+def run_table6(iterations=2000, columns=None, rule_count=None, repeats=7, samples_out=None):
     """Measure every (operation, column) cell.
 
     The grid is timed in ``repeats`` interleaved passes over the
@@ -140,6 +154,11 @@ def run_table6(iterations=2000, columns=None, rule_count=None, repeats=5):
     sweep lets allocator/GC drift over the run masquerade as an effect
     of whichever columns happen to be measured last.  ``iterations`` is
     the total per-cell budget, split across the passes.
+
+    When ``samples_out`` is a dict, every per-pass sample is appended
+    into ``samples_out[op_name][column]`` so callers can compute error
+    bars (per-row stdev in ``BENCH_hotpath.json``) alongside the
+    best-of-N point estimates.
 
     Returns ``{op_name: {column: microseconds}}``.
     """
@@ -152,6 +171,8 @@ def run_table6(iterations=2000, columns=None, rule_count=None, repeats=5):
             gc.collect()
             for name, fn in suites[column].operations():
                 sample = time_operation(fn, iterations=per_pass)
+                if samples_out is not None:
+                    samples_out.setdefault(name, {}).setdefault(column, []).append(sample)
                 best = results[name].get(column)
                 if best is None or sample < best:
                     results[name][column] = sample

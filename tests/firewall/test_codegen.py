@@ -1,0 +1,145 @@
+"""Unit tests for the JITTED engine's per-rule codegen.
+
+The differential harnesses pin JITTED's observable behavior to the
+interpreted rungs; these tests aim at the generator itself — source
+readability, specialization choices, rebuild-on-mutation, the traced
+fallback, and the control-flow targets (JUMP / RETURN) that the flat
+generated functions must re-encode.
+"""
+
+import pytest
+
+from repro import errors
+from repro.cli import main as pfctl
+from repro.firewall.codegen import dump_codegen
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.world import build_world, spawn_root_shell
+
+LABEL_DROP = "pftables -A input -o FILE_OPEN -d shadow_t -j DROP"
+SIGRETURN_STATE = (
+    "pftables -A syscallbegin -m SYSCALL_ARGS --arg 0 --equal NR_sigreturn "
+    "-j STATE --set --key sig --value 0"
+)
+
+
+def make_jitted(*rules):
+    world = build_world()
+    pf = ProcessFirewall(EngineConfig.jitted())
+    world.attach_firewall(pf)
+    for rule in rules:
+        pf.install(rule)
+    return world, pf
+
+
+class TestGeneratedSource:
+    def test_dump_is_readable_annotated_python(self):
+        _world, pf = make_jitted(LABEL_DROP, SIGRETURN_STATE)
+        source = dump_codegen(pf)
+        assert "# pf-jit:" in source  # per-chain provenance headers
+        assert "def _chain(operation, frame):" in source
+        # Every rule is annotated with its pftables text.
+        assert "-d shadow_t -j DROP" in source
+        # The dump is genuinely compilable Python.
+        compile(source, "<dump>", "exec")
+
+    def test_syscall_args_literal_comparison_is_inlined(self):
+        """A ``--equal NR_x`` match compiles to a direct tuple-index
+        comparison: no Value.resolve call, no NR_ strip at run time."""
+        _world, pf = make_jitted(SIGRETURN_STATE)
+        source = dump_codegen(pf)
+        assert "_args[0] != 'sigreturn'" in source
+
+    def test_membership_tests_are_inlined_sets(self):
+        _world, pf = make_jitted(LABEL_DROP)
+        source = dump_codegen(pf)
+        # ObjectMatch lowers to a bound-constant membership test, not a
+        # call back into the interpreted match module.
+        assert "_obj in " in source
+
+
+class TestProgramLifecycle:
+    def test_rule_mutation_rebuilds_the_program(self):
+        world, pf = make_jitted(LABEL_DROP)
+        root = spawn_root_shell(world)
+        world.sys.open(root, "/etc/passwd")
+        first = pf.jit_program()
+        pf.install("pftables -A input -o FILE_OPEN -d etc_t -j DROP")
+        with pytest.raises(errors.PFDenied):
+            world.sys.open(root, "/etc/passwd")
+        assert pf.jit_program() is not first
+
+    def test_flush_discards_the_program(self):
+        world, pf = make_jitted(LABEL_DROP)
+        root = spawn_root_shell(world)
+        world.sys.open(root, "/etc/passwd")
+        assert pf._jit is not None
+        pf.flush()
+        assert pf._jit is None
+
+    def test_traced_mediations_never_touch_generated_code(self):
+        """Tracing wants the interpreted walker's rich per-rule events,
+        so a traced firewall must not even build the program."""
+        world, pf = make_jitted(LABEL_DROP)
+        pf.enable_tracing()
+        root = spawn_root_shell(world)
+        world.sys.open(root, "/etc/passwd")
+        with pytest.raises(errors.PFDenied):
+            world.sys.open(root, "/etc/shadow")
+        assert pf._jit is None
+        assert pf.tracer.drops()  # and the traces are actually there
+
+
+class TestControlFlow:
+    """JUMP and RETURN re-encoded in the flat generated functions."""
+
+    RULES = [
+        "pftables -A input -o FILE_OPEN -d etc_t -j screen",
+        "pftables -A screen -s unconfined_t -j RETURN",
+        "pftables -A screen -j DROP",
+        "pftables -A input -o FILE_OPEN -d shadow_t -j DROP",
+    ]
+
+    def _verdicts(self, config):
+        world = build_world()
+        pf = ProcessFirewall(config())
+        world.attach_firewall(pf)
+        for rule in self.RULES:
+            pf.install(rule)
+        root = spawn_root_shell(world)
+        out = []
+        for path in ("/etc/passwd", "/etc/shadow", "/etc/passwd"):
+            try:
+                fd = world.sys.open(root, path)
+                world.sys.close(root, fd)
+                out.append("allow")
+            except errors.PFDenied:
+                out.append("drop")
+        return out, pf
+
+    def test_jump_then_return_resumes_the_caller_chain(self):
+        verdicts, pf = self._verdicts(EngineConfig.jitted)
+        # /etc/passwd: jump into `screen`, RETURN for unconfined_t,
+        # resume `input`, no shadow_t match -> allow.  /etc/shadow: the
+        # trailing input rule drops.
+        assert verdicts == ["allow", "drop", "allow"]
+        assert pf._jit is not None and pf._jit.sources
+
+    def test_control_flow_matches_interpreted_walker(self):
+        assert self._verdicts(EngineConfig.jitted)[0] == self._verdicts(EngineConfig.optimized)[0]
+
+    def test_jump_to_dropping_chain_drops(self):
+        world, pf = make_jitted(
+            "pftables -A input -o FILE_OPEN -d etc_t -j vet",
+            "pftables -A vet -m ADVERSARY --readable -j DROP",
+        )
+        root = spawn_root_shell(world)
+        with pytest.raises(errors.PFDenied):
+            world.sys.open(root, "/etc/passwd")  # world-readable /etc file
+
+
+def test_cli_explain_codegen(tmp_path, capsys):
+    rules = tmp_path / "rules.pf"
+    rules.write_text("-A input -o FILE_OPEN -d shadow_t -j DROP\n")
+    assert pfctl(["explain", str(rules), "--codegen"]) == 0
+    out = capsys.readouterr().out
+    assert "# pf-jit:" in out and "def _chain" in out

@@ -403,6 +403,21 @@ class TestReentrancy:
         world.sys.open(root, "/etc/passwd")
         assert pf.stats.irq_disables > 0
 
+    def test_denied_mediation_unwinds_shared_traversal_state(self):
+        """Regression: a DROP must pop the iptables-style shared
+        traversal entry on the way out — PFDenied used to propagate
+        past the pop, leaving a phantom in-flight walk behind."""
+        config = EngineConfig.optimized().clone(global_traversal_state=True)
+        world, pf = make_world(config=config, rules=["pftables -A input -o FILE_OPEN -d shadow_t -j DROP"])
+        root = spawn_root_shell(world)
+        with pytest.raises(errors.PFDenied):
+            world.sys.open(root, "/etc/shadow")
+        assert pf._shared_traversal == []
+        # The state machine still works after the denial: allowed
+        # accesses go through and also leave the shared list empty.
+        world.sys.open(root, "/etc/passwd")
+        assert pf._shared_traversal == []
+
 
 class TestMaliciousProcesses:
     def test_forged_stack_only_hurts_the_forger(self):

@@ -1,0 +1,195 @@
+"""Resource-context cache: invalidation correctness (the S4 suite).
+
+Every test follows the same shape: mediate once so the JITTED engine
+caches an expensive per-inode answer (adversary accessibility or the
+object label), mutate system state through the VFS, and assert the next
+mediation sees the *new* answer — a stale cache here is not a perf bug
+but a security hole (the firewall would keep trusting a resource an
+adversary just gained access to).
+"""
+
+import pytest
+
+from repro import errors
+from repro.firewall.context import ContextField
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.firewall.rescache import HIT, INVALIDATE, MISS, ResourceContextCache
+from repro.security.lsm import Op, Operation
+from repro.world import build_world, spawn_root_shell
+
+WRITABLE_DROP = "pftables -A input -o FILE_OPEN -m ADVERSARY --writable -j DROP"
+TMP_LABEL_DROP = "pftables -A input -o FILE_OPEN -d tmp_t -j DROP"
+
+
+def make_jitted(*rules):
+    world = build_world()
+    pf = ProcessFirewall(EngineConfig.jitted())
+    world.attach_firewall(pf)
+    for rule in rules:
+        pf.install(rule)
+    root = spawn_root_shell(world)
+    return world, pf, root
+
+
+def attempt_open(world, proc, path):
+    """One mediated open; returns "allow" or "drop"."""
+    try:
+        fd = world.sys.open(proc, path)
+        world.sys.close(proc, fd)
+        return "allow"
+    except errors.PFDenied:
+        return "drop"
+
+
+class TestInvalidationFlips:
+    """Each VFS mutation must flip the cached answer it affects."""
+
+    def _adversarial_world(self):
+        """World with one non-root user (the DAC adversary)."""
+        world, pf, root = make_jitted(WRITABLE_DROP)
+        world.spawn("adv", uid=1000, label="user_t", binary_path="/bin/sh")
+        return world, pf, root
+
+    def test_repeat_access_is_a_cache_hit(self):
+        world, pf, root = self._adversarial_world()
+        world.add_file("/tmp/victim", b"x", uid=0, mode=0o666, label="tmp_t")
+        assert attempt_open(world, root, "/tmp/victim") == "drop"
+        misses = pf.stats.rescache_misses
+        assert misses > 0
+        assert attempt_open(world, root, "/tmp/victim") == "drop"
+        assert pf.stats.rescache_hits > 0
+        assert pf.stats.rescache_misses == misses  # no re-collection
+
+    def test_chmod_flips_adversary_writable(self):
+        world, pf, root = self._adversarial_world()
+        victim = world.add_file("/tmp/victim", b"x", uid=0, mode=0o666, label="tmp_t")
+        assert attempt_open(world, root, "/tmp/victim") == "drop"
+        world.fs.chmod(victim, 0o600)  # root-only: no adversary writers
+        assert attempt_open(world, root, "/tmp/victim") == "allow"
+        assert pf.stats.rescache_invalidations > 0
+
+    def test_chown_flips_adversary_writable(self):
+        world, pf, root = self._adversarial_world()
+        victim = world.add_file("/tmp/victim", b"x", uid=0, mode=0o644, label="tmp_t")
+        assert attempt_open(world, root, "/tmp/victim") == "allow"
+        world.fs.chown(victim, 1000)  # owner write bit now an adversary's
+        assert attempt_open(world, root, "/tmp/victim") == "drop"
+        assert pf.stats.rescache_invalidations > 0
+
+    def test_relabel_flips_object_label(self):
+        world, pf, root = make_jitted(TMP_LABEL_DROP)
+        victim = world.add_file("/tmp/victim", b"x", uid=0, mode=0o644, label="tmp_t")
+        assert attempt_open(world, root, "/tmp/victim") == "drop"
+        world.fs.relabel(victim, "etc_t")
+        assert attempt_open(world, root, "/tmp/victim") == "allow"
+        assert pf.stats.rescache_invalidations > 0
+
+    def test_rename_replacement_flips_answer(self):
+        """An adversary renaming their file over a trusted path must not
+        inherit the trusted inode's cached accessibility."""
+        world, pf, root = self._adversarial_world()
+        world.add_file("/etc/target", b"x", uid=0, mode=0o600, label="etc_t")
+        evil = world.add_file("/tmp/evil", b"y", uid=1000, mode=0o666, label="tmp_t")
+        assert attempt_open(world, root, "/etc/target") == "allow"
+        assert attempt_open(world, root, "/tmp/evil") == "drop"  # caches evil's inode
+        world.fs.rename(world.lookup("/tmp"), "evil", world.lookup("/etc"), "target")
+        assert world.lookup("/etc/target") is evil
+        assert attempt_open(world, root, "/etc/target") == "drop"
+        assert pf.stats.rescache_invalidations > 0  # moved inode's meta_gen bumped
+
+    def test_unlink_then_recycled_inode_is_not_stale(self):
+        """The cryogenic-sleep shape: the inode *number* comes back but
+        the generation differs, so the prior tenant's entry is dead."""
+        world, pf, root = make_jitted(TMP_LABEL_DROP)
+        victim = world.add_file("/tmp/victim", b"x", uid=0, mode=0o644, label="tmp_t")
+        assert attempt_open(world, root, "/tmp/victim") == "drop"
+        world.sys.unlink(root, "/tmp/victim")
+        fresh = world.add_file("/tmp/victim", b"y", uid=0, mode=0o644, label="etc_t")
+        assert fresh.ino == victim.ino  # number recycled ...
+        assert fresh.generation != victim.generation  # ... tenant changed
+        assert attempt_open(world, root, "/tmp/victim") == "allow"
+        assert pf.stats.rescache_invalidations > 0
+
+    def test_remount_invalidates(self):
+        world, pf, root = self._adversarial_world()
+        world.add_file("/tmp/victim", b"x", uid=0, mode=0o666, label="tmp_t")
+        assert attempt_open(world, root, "/tmp/victim") == "drop"
+        world.fs.remount()
+        assert attempt_open(world, root, "/tmp/victim") == "drop"
+        assert pf.stats.rescache_invalidations > 0
+
+    def test_new_uid_bumps_epoch_and_flips(self):
+        """A user added *after* the answer was cached is a brand-new
+        adversary; the cached "nobody can write this" must not survive."""
+        world, pf, root = make_jitted(WRITABLE_DROP)
+        # Owner uid 2000 is not in the known-UID population yet, so the
+        # owner-writable file has no adversary writers.
+        world.add_file("/tmp/victim", b"x", uid=2000, mode=0o600, label="tmp_t")
+        assert attempt_open(world, root, "/tmp/victim") == "allow"
+        world.spawn("adv", uid=2000, label="user_t", binary_path="/bin/sh")
+        assert attempt_open(world, root, "/tmp/victim") == "drop"
+        assert pf.stats.rescache_invalidations > 0
+
+    def test_rule_base_stamp_invalidates(self):
+        world, pf, root = self._adversarial_world()
+        world.add_file("/tmp/victim", b"x", uid=0, mode=0o666, label="tmp_t")
+        assert attempt_open(world, root, "/tmp/victim") == "drop"
+        invalidations = pf.stats.rescache_invalidations
+        pf.install(TMP_LABEL_DROP)  # any rule mutation moves the stamp
+        assert attempt_open(world, root, "/tmp/victim") == "drop"
+        assert pf.stats.rescache_invalidations > invalidations
+
+
+class TestCacheUnit:
+    """Direct fetch/store outcome checks on the cache object."""
+
+    def _operation(self, world, proc, path):
+        return Operation(proc, Op.FILE_OPEN, obj=world.lookup(path), path=path)
+
+    def test_fetch_store_outcome_cycle(self):
+        world, pf, root = make_jitted(TMP_LABEL_DROP)
+        world.add_file("/tmp/victim", b"x", uid=0, mode=0o644, label="tmp_t")
+        cache = ResourceContextCache()
+        op = self._operation(world, root, "/tmp/victim")
+        field = ContextField.OBJECT_LABEL
+        assert cache.fetch(field, op, pf) == (MISS, None)
+        cache.store(field, op, pf, "tmp_t")
+        assert cache.fetch(field, op, pf) == (HIT, "tmp_t")
+        op.obj.bump_meta()
+        assert cache.fetch(field, op, pf) == (INVALIDATE, None)
+        # The invalidated entry is gone, so the next probe is a miss.
+        assert cache.fetch(field, op, pf) == (MISS, None)
+
+    def test_adversary_fields_are_keyed_per_identity(self):
+        world, pf, root = make_jitted(TMP_LABEL_DROP)
+        other = world.spawn("adv", uid=1000, label="user_t", binary_path="/bin/sh")
+        world.add_file("/tmp/victim", b"x", uid=0, mode=0o644, label="tmp_t")
+        cache = ResourceContextCache()
+        field = ContextField.ADV_WRITABLE
+        op_root = self._operation(world, root, "/tmp/victim")
+        op_other = self._operation(world, other, "/tmp/victim")
+        cache.store(field, op_root, pf, False)
+        # Same inode, different caller identity: no aliasing.
+        assert cache.fetch(field, op_other, pf) == (MISS, None)
+        assert cache.fetch(field, op_root, pf) == (HIT, False)
+
+    def test_capacity_eviction_is_wholesale(self):
+        world, pf, root = make_jitted(TMP_LABEL_DROP)
+        paths = []
+        for i in range(3):
+            path = "/tmp/f{}".format(i)
+            world.add_file(path, b"x", uid=0, mode=0o644, label="tmp_t")
+            paths.append(path)
+        cache = ResourceContextCache(capacity=2)
+        field = ContextField.OBJECT_LABEL
+        for path in paths:
+            cache.store(field, self._operation(world, root, path), pf, "tmp_t")
+        assert len(cache) == 1  # third insert cleared the full cache
+
+    def test_flush_clears_resource_cache(self):
+        world, pf, root = make_jitted(WRITABLE_DROP)
+        world.spawn("adv", uid=1000, label="user_t", binary_path="/bin/sh")
+        world.add_file("/tmp/victim", b"x", uid=0, mode=0o666, label="tmp_t")
+        assert attempt_open(world, root, "/tmp/victim") == "drop"
+        pf.flush()
+        assert len(pf._rescache) == 0

@@ -39,6 +39,9 @@ def _stats_tuple(stats):
         stats.drops,
         stats.cache_hits,
         stats.decision_cache_hits,
+        stats.rescache_hits,
+        stats.rescache_misses,
+        stats.rescache_invalidations,
         dict(stats.context_collections),
     )
 
@@ -61,7 +64,8 @@ def _scenario_observables(scenario_cls, config, instrument):
 
 @pytest.mark.parametrize("config_name,config",
                          [("EPTSPC", EngineConfig.optimized),
-                          ("COMPILED", EngineConfig.compiled)])
+                          ("COMPILED", EngineConfig.compiled),
+                          ("JITTED", EngineConfig.jitted)])
 @pytest.mark.parametrize("eid", sorted(EXPLOITS))
 def test_exploits_identical_with_observability_on(eid, config_name, config):
     bare = _scenario_observables(EXPLOITS[eid], config, instrument=None)

@@ -31,6 +31,8 @@ CHECKED_MODULES = [
     "repro.obs.metrics",
     "repro.obs.trace",
     "repro.firewall.engine",
+    "repro.firewall.codegen",
+    "repro.firewall.rescache",
 ]
 
 
