@@ -85,6 +85,45 @@ from repro.security.lsm import Op
 #: Maximum user-chain jump depth, like iptables' traversal limits.
 MAX_CHAIN_DEPTH = 16
 
+#: Syscall names whose execution mutates VFS or adversary-visible state.
+#: :meth:`ProcessFirewall.mediate_batch` never amortizes across a record
+#: of one of these: the record is mediated individually and acts as a
+#: run barrier, so any verdict the batch pre-proved before the mutation
+#: is never reused after it (``docs/INTERNALS.md`` "Batched mediation").
+MUTATING_SYSCALLS = frozenset((
+    "bind", "chdir", "chmod", "chown", "connect", "execve", "exit",
+    "fork", "kill", "link", "mkdir", "mmap", "relabel", "remount",
+    "rename", "rmdir", "seteuid", "setuid", "sigaction", "sigprocmask",
+    "sigreturn", "symlink", "unlink", "write",
+))
+
+#: ``open(2)`` flag bits that make an open record mutating (create,
+#: truncate, or any write mode).
+_OPEN_WRITE_BITS = 0x1 | 0x2 | 0x40 | 0x200 | 0x400  # WRONLY|RDWR|CREAT|TRUNC|APPEND
+
+
+def record_mutates(operation):
+    """Whether a mediated record's *syscall* mutates shared state.
+
+    Used by :meth:`ProcessFirewall.mediate_batch` to bound its
+    amortization runs: mediation itself never writes to the VFS, but
+    the syscall a record belongs to may, and a batch caller interleaves
+    execution with mediation.  Conservative by construction — read-only
+    opens are recognized by their flag bits; everything in
+    :data:`MUTATING_SYSCALLS` (and any ``FILE_CREATE`` operation)
+    counts as mutating.
+    """
+    syscall = operation.syscall
+    if syscall in MUTATING_SYSCALLS:
+        return True
+    if operation.op is Op.FILE_CREATE:
+        return True
+    if syscall == "open":
+        for arg in operation.args:
+            if isinstance(arg, int) and arg & _OPEN_WRITE_BITS:
+                return True
+    return False
+
 
 class EngineConfig:
     """Feature switches for the engine optimizations (paper §4.2-4.3)."""
@@ -180,6 +219,31 @@ class EngineConfig:
             resource_cache=True,
         )
 
+    @classmethod
+    def preset(cls, name):
+        """Resolve a Table 6 column name to its configuration.
+
+        Accepts the column spellings used across the benchmarks and the
+        parallel-replay driver (``"JITTED"``, ``"compiled"``, ...);
+        raises ``ValueError`` for unknown names so a typo in a worker
+        payload fails loudly instead of silently running EPTSPC.
+        """
+        presets = {
+            "DISABLED": cls.disabled,
+            "FULL": cls.unoptimized,
+            "BASE": cls.unoptimized,
+            "CONCACHE": cls.concache,
+            "LAZYCON": cls.lazycon,
+            "EPTSPC": cls.optimized,
+            "COMPILED": cls.compiled,
+            "JITTED": cls.jitted,
+        }
+        factory = presets.get(str(name).upper())
+        if factory is None:
+            raise ValueError("unknown engine preset {!r} (expected one of {})".format(
+                name, "/".join(sorted(presets))))
+        return factory()
+
     def clone(self, **overrides):
         """Copy this configuration, overriding selected switches."""
         values = {name: getattr(self, name) for name in self.__slots__}
@@ -217,11 +281,64 @@ class EngineStats:
         self.rescache_invalidations = 0
         self.irq_disables = 0
 
+    #: Scalar counters, in declaration order; ``context_collections``
+    #: (a per-field dict) is handled separately by the snapshot/merge
+    #: helpers below.
+    SCALAR_FIELDS = (
+        "invocations",
+        "rules_evaluated",
+        "drops",
+        "accepts",
+        "context_cost",
+        "cache_hits",
+        "decision_cache_hits",
+        "rescache_hits",
+        "rescache_misses",
+        "rescache_invalidations",
+        "irq_disables",
+    )
+
     def reset(self):
         """Zero every counter (the engine's other memos are untouched —
         resetting statistics must not change decisions, and the memos
         are invalidated by rule-base stamps, not by this method)."""
         self.__init__()
+
+    def as_dict(self):
+        """JSON-ready snapshot of every counter.
+
+        The transport format for crossing a process boundary (the
+        parallel replay workers ship these back to the driver);
+        :meth:`from_dict` inverts it and :meth:`merge` folds snapshots
+        together.
+        """
+        out = {name: getattr(self, name) for name in self.SCALAR_FIELDS}
+        out["context_collections"] = dict(self.context_collections)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a stats object from an :meth:`as_dict` snapshot."""
+        stats = cls()
+        for name in cls.SCALAR_FIELDS:
+            setattr(stats, name, payload.get(name, 0))
+        stats.context_collections = dict(payload.get("context_collections", {}))
+        return stats
+
+    def merge(self, other):
+        """Fold another stats object (or snapshot dict) into this one.
+
+        Pure counter addition, so the operation is associative and
+        commutative: merging per-shard stats in any order yields the
+        same totals.  Returns ``self`` for chaining.
+        """
+        if isinstance(other, dict):
+            other = EngineStats.from_dict(other)
+        for name in self.SCALAR_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for field, count in other.context_collections.items():
+            self.context_collections[field] = self.context_collections.get(field, 0) + count
+        return self
 
 
 class ProcessFirewall:
@@ -505,6 +622,178 @@ class ProcessFirewall:
             finally:
                 self._shared_traversal.pop()
         return self._mediate_slow(operation, trace, metrics, metered)
+
+    def mediate_batch(self, operations):
+        """Mediate a sequence of operations; returns per-record verdicts.
+
+        The batched single-worker fast path used by the parallel replay
+        driver (:mod:`repro.parallel.batch`).  The contract is strict:
+        calling this must be *observably identical* to the per-call
+        loop — ``mediate(op)`` catching :class:`~repro.errors.PFDenied`
+        for each record — in verdicts, :class:`EngineStats`, audit
+        records, metrics, and every cache the engine maintains.  The
+        returned list holds ``"allow"`` or ``"drop"`` per record, in
+        order; nothing is raised.
+
+        Amortization applies only to **runs**: maximal stretches of
+        consecutive records sharing ``(op kind, subject process)`` in
+        which no record's syscall mutates VFS or adversary state
+        (:func:`record_mutates`).  Two run shapes skip the per-record
+        engine prologue:
+
+        - *fast-path runs* — no installed chain is relevant to the op
+          kind, so one chain-memo probe proves the default allow for
+          the whole run;
+        - *decision-cached runs* — the subject's negative-decision
+          cache already holds an unconditional (subject-keyed) allow
+          for ``(op, subject label)`` under the current rule-base
+          stamp, so one probe covers the run.
+
+        Runs that miss both probes still amortize per **syscall-seq
+        group** (records emitted by one syscall invocation): the first
+        record of each group is mediated per-call — the one
+        context-collection prologue — and when that mediation resolves
+        to a decision-cache hit, the group's remaining records are
+        proven to repeat it exactly (same subject, same stack, same
+        per-seq context-cache frame), so their counters are applied
+        without re-running the prologue
+        (:meth:`_mediate_run_cached`).  Everything else — traced or
+        metered mediations, the global-traversal ablation,
+        configurations without entrypoint chains or the context cache,
+        and every mutating record — falls back to ``mediate()`` record
+        by record (see ``docs/INTERNALS.md`` "Batched mediation" for
+        the invalidation rules).
+        """
+        verdicts = []
+        config = self.config
+        if not config.enabled:
+            # mediate() is a no-op when the engine is disabled.
+            return ["allow"] * len(operations)
+        batchable = (
+            self.tracer is None
+            and not self.metrics.enabled
+            and not config.global_traversal_state
+            and config.entrypoint_chains
+        )
+        stats = self.stats
+        n = len(operations)
+        i = 0
+        while i < n:
+            operation = operations[i]
+            if batchable and not record_mutates(operation):
+                kind = operation.op
+                proc = operation.proc
+                j = i + 1
+                while (
+                    j < n
+                    and operations[j].op is kind
+                    and operations[j].proc is proc
+                    and not record_mutates(operations[j])
+                ):
+                    j += 1
+                k = j - i
+                if k >= 2:
+                    if not self._relevant_chains(kind):
+                        # One op-index probe proves the whole run.
+                        stats.invocations += k
+                        stats.accepts += k
+                        verdicts.extend(["allow"] * k)
+                        i = j
+                        continue
+                    if config.decision_cache and proc is not None:
+                        dcache = proc.pf_decision_cache
+                        if (
+                            dcache is not None
+                            and dcache[0] is self.rules.stamp
+                            and dcache[1].get((kind, proc.label)) is True
+                        ):
+                            # One cache probe proves the whole run.
+                            stats.invocations += k
+                            stats.decision_cache_hits += k
+                            stats.accepts += k
+                            verdicts.extend(["allow"] * k)
+                            i = j
+                            continue
+                        if config.context_cache:
+                            self._mediate_run_cached(operations, i, j, verdicts)
+                            i = j
+                            continue
+            try:
+                self.mediate(operation)
+            except errors.PFDenied:
+                verdicts.append("drop")
+            else:
+                verdicts.append("allow")
+            i += 1
+        return verdicts
+
+    def _mediate_run_cached(self, operations, start, end, verdicts):
+        """Mediate one non-mutating run, amortizing decision-cache hits.
+
+        Called by :meth:`mediate_batch` for a run (same op kind, same
+        subject, no mutating syscalls) under a decision-cache +
+        context-cache configuration.  The run is processed in
+        **syscall-seq groups**: records sharing ``syscall_seq`` were
+        emitted by the same syscall invocation, so between them the
+        subject's stack, label, and per-seq context-cache frame cannot
+        change.  The group's first record runs through ``mediate()``
+        untouched; if exactly one decision-cache hit resulted and the
+        cache entry for ``(op, label)`` is still present under the
+        current stamp, every remaining record in the group would
+        retrace that hit verbatim, so its counters are applied
+        directly:
+
+        - subject-keyed entry (``True``): probe, hit, allow — no frame;
+        - entrypoint-keyed entry (head set): frame rebuilt from the
+          per-seq context cache (one absorbed ``ENTRYPOINT`` read →
+          ``cache_hits``), same head, same membership, allow.
+
+        Any other outcome — a drop, a full walk, a stale cache — keeps
+        mediating per-call, so behavior stays byte-identical to the
+        per-call loop (pinned by the batch differential suite).
+        """
+        stats = self.stats
+        idx = start
+        while idx < end:
+            operation = operations[idx]
+            seq = operation.extra.get("syscall_seq")
+            group_end = idx + 1
+            if seq is not None:
+                while (
+                    group_end < end
+                    and operations[group_end].extra.get("syscall_seq") == seq
+                ):
+                    group_end += 1
+            hits_before = stats.decision_cache_hits
+            try:
+                self.mediate(operation)
+            except errors.PFDenied:
+                verdicts.append("drop")
+                idx += 1
+                continue
+            verdicts.append("allow")
+            idx += 1
+            rest = group_end - idx
+            if rest <= 0 or stats.decision_cache_hits != hits_before + 1:
+                continue
+            proc = operation.proc
+            dcache = proc.pf_decision_cache
+            if dcache is None or dcache[0] is not self.rules.stamp:
+                continue
+            known = dcache[1].get((operation.op, proc.label))
+            if known is True:
+                stats.invocations += rest
+                stats.decision_cache_hits += rest
+                stats.accepts += rest
+                verdicts.extend(["allow"] * rest)
+                idx = group_end
+            elif isinstance(known, (set, frozenset)):
+                stats.invocations += rest
+                stats.cache_hits += rest
+                stats.decision_cache_hits += rest
+                stats.accepts += rest
+                verdicts.extend(["allow"] * rest)
+                idx = group_end
 
     def _mediate_slow(self, operation, trace, metrics, metered):
         """Post-fast-path mediation: cache probe, context, walk, verdict.

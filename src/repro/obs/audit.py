@@ -128,6 +128,34 @@ class AuditRing:
         """Like :meth:`entries` but returning only the payload dicts."""
         return [entry.record for entry in self.entries(min_severity, kind)]
 
+    def next_seq(self):
+        """The sequence number the *next* emitted entry will get.
+
+        A cheap high-water mark: callers bracketing a unit of work can
+        diff two ``next_seq()`` readings to learn how many records the
+        work emitted, then fetch exactly those via :meth:`tail` — the
+        parallel replay workers do this per trace entry to tag records
+        with a logical clock.
+        """
+        return self._next_seq
+
+    def tail(self, count):
+        """The most recent ``count`` entries, oldest first.
+
+        Costs O(``count``), not O(ring) — it walks the deque from the
+        right — so per-entry bracketing stays cheap even with a large
+        ring.  Asking for more entries than the ring retains returns
+        what is left (eviction may have discarded the rest).
+        """
+        if count <= 0:
+            return []
+        out = []
+        it = reversed(self._entries)
+        for _ in range(min(count, len(self._entries))):
+            out.append(next(it))
+        out.reverse()
+        return out
+
     def clear(self):
         """Discard every buffered entry (the sequence counter keeps going)."""
         self._entries.clear()

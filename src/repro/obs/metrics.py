@@ -100,6 +100,46 @@ class MetricsRegistry:
         bucket[1] += 1
 
     # ------------------------------------------------------------------
+    # combination (sharded / multi-worker runs)
+    # ------------------------------------------------------------------
+
+    def merge(self, other):
+        """Fold another registry's counters and timers into this one.
+
+        Pure addition on ``(name, labels)`` series and phase buckets,
+        so the operation is **associative and commutative**: merging
+        per-shard registries in any order — or any grouping — yields
+        the same totals as one registry that counted everything
+        (pinned by the property test in
+        ``tests/obs/test_metrics_merge.py``).  Nothing is lost: every
+        counter series and both halves of every phase bucket (seconds
+        *and* entries) participate.  The other registry is not
+        modified; returns ``self`` for chaining.
+        """
+        for name, series in other._counters.items():
+            mine = self._counters.setdefault(name, {})
+            for key, value in series.items():
+                mine[key] = mine.get(key, 0) + value
+        for phase, bucket in other._phases.items():
+            target = self._phases.setdefault(phase, [0.0, 0])
+            target[0] += bucket[0]
+            target[1] += bucket[1]
+        return self
+
+    def snapshot(self):
+        """A detached copy of this registry (values frozen at call time).
+
+        The copy shares no mutable state with the original, so a worker
+        can keep counting while the driver merges the snapshot — and
+        merging snapshots is exactly as associative as merging live
+        registries.  The ``enabled`` flag is copied as-is.
+        """
+        copy = MetricsRegistry(enabled=self.enabled)
+        copy._counters = {name: dict(series) for name, series in self._counters.items()}
+        copy._phases = {phase: list(bucket) for phase, bucket in self._phases.items()}
+        return copy
+
+    # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
 

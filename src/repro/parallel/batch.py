@@ -1,0 +1,92 @@
+"""In-process helpers feeding recorded mediation streams to the engine.
+
+``engine.mediate_batch`` wants a list of :class:`Operation` objects,
+but operations hold live processes and inodes — they cannot cross a
+process boundary.  So the batched fast path is exercised in-process:
+:func:`record_mediations` captures the exact operation stream a
+workload pushes through a firewall (verdicts included, denials
+re-raised untouched), and :func:`replay_mediations` re-runs a captured
+stream through either the per-call loop or ``mediate_batch`` — the
+differential suite asserts the two are byte-identical, and the scale
+benchmark times them against each other.
+
+:func:`reset_mediation_state` zeroes the observable and cached
+per-run state (stats, audit, metrics, per-process firewall caches) so
+back-to-back passes over the same live world start from the same
+place; without it the second pass would inherit the first pass's warm
+decision cache and diverge in stats.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro import errors
+
+
+@contextlib.contextmanager
+def record_mediations(firewall):
+    """Capture every operation mediated by ``firewall`` inside the block.
+
+    Yields the list the operations accumulate into, in mediation
+    order.  Denied operations are captured too (the denial re-raises
+    to the caller unchanged — recording must not alter behavior).
+    Shadows the instance's ``mediate`` attribute and restores the
+    previous state on exit, so nesting and pre-shadowed instances are
+    handled.
+    """
+    captured = []
+    previous = firewall.__dict__.get("mediate")
+    original = firewall.mediate
+
+    def recording_mediate(operation):
+        captured.append(operation)
+        return original(operation)
+
+    firewall.mediate = recording_mediate
+    try:
+        yield captured
+    finally:
+        if previous is None:
+            del firewall.mediate
+        else:
+            firewall.mediate = previous
+
+
+def reset_mediation_state(firewall):
+    """Reset observable state and per-process caches before a re-run.
+
+    Clears the firewall's stats, audit ring, and metrics values, and
+    drops every process's firewall-private caches (context cache,
+    decision cache) in the attached kernel — rule state, VFS state,
+    and process credentials are untouched, so a captured operation
+    stream replays against the same inputs the original run saw.
+    """
+    firewall.stats.reset()
+    firewall.audit.clear()
+    firewall.metrics.reset()
+    if firewall.kernel is not None:
+        for proc in firewall.kernel.processes.values():
+            proc.pf_context_cache = None
+            proc.pf_decision_cache = None
+
+
+def replay_mediations(firewall, operations, batched=True):
+    """Push a captured operation stream back through ``firewall``.
+
+    Returns the verdict list (``"allow"``/``"drop"`` per operation).
+    ``batched=True`` routes through ``mediate_batch``; ``False`` runs
+    the reference per-call loop whose observable behavior
+    ``mediate_batch`` must reproduce exactly.
+    """
+    if batched:
+        return firewall.mediate_batch(operations)
+    verdicts = []
+    for operation in operations:
+        try:
+            firewall.mediate(operation)
+        except errors.PFDenied:
+            verdicts.append("drop")
+        else:
+            verdicts.append("allow")
+    return verdicts

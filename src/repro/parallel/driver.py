@@ -1,0 +1,146 @@
+"""The sharded-replay orchestrator: serial reference and N-worker runs.
+
+:func:`replay_serial` and :func:`replay_sharded` both route every
+entry through :func:`repro.parallel.worker.run_shard`, so the serial
+reference is literally the one-shard case of the same code — any
+verdict divergence between them is a sharding bug, not a harness
+artifact.  Sharded runs support two execution modes:
+
+- ``inline=True`` — shards run sequentially in this process (fast,
+  exercises sharding + merge logic; what most tests use);
+- ``inline=False`` — one OS process per non-empty shard under the
+  ``multiprocessing`` **spawn** context, rule base shipped as
+  ``firewall/persist`` text in the payload (the production path; the
+  CI smoke job and benchmark run this for real).
+
+Scaling numbers report two bases: ``throughput_wall`` (records over
+the slowest worker's replay-loop wall time) and ``throughput_cpu``
+(sum over workers of records / per-worker **CPU** time, measured by
+``time.process_time`` around the replay loop only).  On a
+many-core host the two track each other; on a core-starved host only
+the CPU basis reflects the per-worker efficiency the sharding buys,
+so ``BENCH_macro_scale.json`` labels every figure with its basis.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.parallel.merge import merge_snapshots
+from repro.parallel.shard import plan_shards
+from repro.parallel.worker import run_shard, worker_entry
+
+
+def _payload(trace_json, shard, worker_id, rules_text, config, world,
+             metered, collect_audit):
+    return {
+        "trace_json": trace_json,
+        "indices": shard["indices"],
+        "roots": shard["roots"],
+        "rules_text": rules_text,
+        "config": config,
+        "world": world,
+        "worker_id": worker_id,
+        "metered": metered,
+        "collect_audit": collect_audit,
+    }
+
+
+def _aggregate(snapshots):
+    """Throughput figures for one run, on both timing bases."""
+    records = sum(snap["entries"] for snap in snapshots)
+    wall = max((snap["wall_s"] for snap in snapshots), default=0.0)
+    cpu_throughput = sum(
+        snap["entries"] / max(snap["cpu_s"], 1e-9) for snap in snapshots
+    )
+    return {
+        "records": records,
+        "wall_s": wall,
+        "cpu_s": sum(snap["cpu_s"] for snap in snapshots),
+        "setup_s": sum(snap["setup_s"] for snap in snapshots),
+        "throughput_wall": records / max(wall, 1e-9),
+        "throughput_cpu": cpu_throughput,
+    }
+
+
+def replay_serial(trace, rules_text, config="JITTED", metered=False,
+                  collect_audit=True, world=("standard", {})):
+    """Replay the whole trace as one inline shard (the reference run).
+
+    Returns the same result shape as :func:`replay_sharded` with
+    ``workers == 1``: ``{"merged", "snapshots", "aggregate", "mode"}``.
+    """
+    shard = {
+        "indices": list(range(len(trace.entries))),
+        "roots": sorted(spec["pid"] for spec in trace.spawns),
+    }
+    snapshot = run_shard(_payload(
+        trace.to_json(), shard, 0, rules_text, config, world,
+        metered, collect_audit))
+    return {
+        "mode": "serial",
+        "snapshots": [snapshot],
+        "merged": merge_snapshots([snapshot]),
+        "aggregate": _aggregate([snapshot]),
+        "plan": None,
+    }
+
+
+def replay_sharded(trace, rules_text, workers=2, config="JITTED",
+                   inline=False, metered=False, collect_audit=True,
+                   world=("standard", {}), strategy="greedy"):
+    """Replay the trace sharded across ``workers`` worker processes.
+
+    Empty shards (more workers than lineage groups) are skipped.
+    Worker failures in spawn mode raise ``RuntimeError`` carrying the
+    child traceback.  Returns ``{"mode", "plan", "snapshots",
+    "merged", "aggregate"}`` where ``merged`` is the
+    :func:`~repro.parallel.merge.merge_snapshots` serial-shaped view.
+    """
+    plan = plan_shards(trace, workers, strategy=strategy)
+    trace_json = trace.to_json()
+    payloads = [
+        _payload(trace_json, shard, worker_id, rules_text, config, world,
+                 metered, collect_audit)
+        for worker_id, shard in enumerate(plan.shards)
+        if shard["indices"]
+    ]
+    if inline:
+        snapshots = [run_shard(payload) for payload in payloads]
+    else:
+        snapshots = _run_spawned(payloads)
+    return {
+        "mode": "inline" if inline else "spawn",
+        "plan": plan.manifest(),
+        "snapshots": snapshots,
+        "merged": merge_snapshots(snapshots),
+        "aggregate": _aggregate(snapshots),
+    }
+
+
+def _run_spawned(payloads):
+    """Run one spawn-context OS process per payload; gather snapshots."""
+    ctx = multiprocessing.get_context("spawn")
+    children = []
+    for payload in payloads:
+        receiver, sender = ctx.Pipe(duplex=False)
+        process = ctx.Process(target=worker_entry, args=(sender, payload))
+        process.start()
+        sender.close()  # keep only the child's handle to the send end
+        children.append((process, receiver, payload["worker_id"]))
+    snapshots = []
+    errors = []
+    for process, receiver, worker_id in children:
+        try:
+            kind, value = receiver.recv()
+        except EOFError:
+            kind, value = "error", "worker {} exited without reporting".format(worker_id)
+        process.join()
+        receiver.close()
+        if kind == "ok":
+            snapshots.append(value)
+        else:
+            errors.append("worker {}:\n{}".format(worker_id, value))
+    if errors:
+        raise RuntimeError("sharded replay worker failure\n" + "\n".join(errors))
+    return snapshots

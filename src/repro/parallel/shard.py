@@ -1,0 +1,196 @@
+"""Fork-lineage sharding of recorded syscall traces.
+
+A shard must be replayable in isolation, so the partition unit is the
+**lineage group**: a root process (recorded via ``trace.spawns``) plus
+every descendant it forks, plus any lineage it touches through a
+pid-carrying syscall (``kill``).  Grouping is a union-find over
+recorded pids; assignment of groups to shards is deterministic (greedy
+longest-group-first by default), and the resulting :class:`ShardPlan`
+renders as a JSON manifest with a sha256 digest — two runs over the
+same trace must produce identical manifests (pinned by the benchmark
+harness's reproducibility test).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.workloads.replay import _PID_ARGS
+
+#: Group-to-shard assignment strategies accepted by :func:`plan_shards`.
+STRATEGIES = ("greedy", "round_robin")
+
+
+class _UnionFind:
+    """Minimal union-find over recorded pids."""
+
+    def __init__(self):
+        self._parent = {}
+
+    def find(self, pid):
+        parent = self._parent
+        root = parent.setdefault(pid, pid)
+        while root != parent[root]:
+            root = parent[root]
+        while parent[pid] != root:  # path compression
+            pid, parent[pid] = parent[pid], root
+        return root
+
+    def union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Deterministic orientation: smaller pid wins the root slot.
+            if rb < ra:
+                ra, rb = rb, ra
+            self._parent[rb] = ra
+
+
+def lineage_groups(trace):
+    """Partition a trace into independent fork-lineage groups.
+
+    Returns groups in first-appearance order, each a dict with:
+
+    - ``"pids"`` — every recorded pid in the lineage (sorted);
+    - ``"roots"`` — the subset that appears in ``trace.spawns``
+      (sorted), i.e. what :func:`repro.workloads.replay.spawn_recorded`
+      must spawn for the group to replay;
+    - ``"indices"`` — global entry indices belonging to the group
+      (ascending), preserving the serial relative order within it.
+
+    ``fork`` entries join child to parent; pid-carrying syscalls
+    (``kill``) join sender to target, so a signal never crosses a
+    shard boundary.
+    """
+    uf = _UnionFind()
+    root_pids = [spec["pid"] for spec in trace.spawns]
+    for pid in root_pids:
+        uf.find(pid)
+    for pid, method, args, _kwargs, child_pid in trace.entries:
+        uf.find(pid)
+        if method == "fork" and child_pid is not None:
+            uf.union(pid, child_pid)
+        pid_index = _PID_ARGS.get(method)
+        if pid_index is not None and pid_index < len(args):
+            uf.union(pid, args[pid_index])
+    by_root = {}
+    order = []
+
+    def bucket(pid):
+        root = uf.find(pid)
+        group = by_root.get(root)
+        if group is None:
+            group = by_root[root] = {"pids": set(), "roots": [], "indices": []}
+            order.append(root)
+        group["pids"].add(pid)
+        return group
+
+    for pid in root_pids:
+        bucket(pid)["roots"].append(pid)
+    for index, entry in enumerate(trace.entries):
+        group = bucket(entry[0])
+        group["indices"].append(index)
+        if entry[1] == "fork" and entry[4] is not None:
+            group["pids"].add(entry[4])
+    return [
+        {
+            "pids": sorted(by_root[root]["pids"]),
+            "roots": sorted(by_root[root]["roots"]),
+            "indices": by_root[root]["indices"],
+        }
+        for root in order
+    ]
+
+
+class ShardPlan:
+    """A deterministic assignment of lineage groups to worker shards.
+
+    ``shards`` is a list (one slot per worker, possibly empty) of
+    dicts carrying the union of the assigned groups' ``pids`` /
+    ``roots`` / ``indices``.  The plan's :meth:`manifest` is the
+    reproducibility contract: it contains everything needed to audit
+    which worker replayed what, plus a sha256 :meth:`digest` over the
+    canonical JSON rendering.
+    """
+
+    def __init__(self, workers, strategy, shards, total_entries):
+        self.workers = workers
+        self.strategy = strategy
+        self.shards = shards
+        self.total_entries = total_entries
+
+    def manifest(self):
+        """JSON-ready description of the plan, digest included."""
+        body = {
+            "workers": self.workers,
+            "strategy": self.strategy,
+            "total_entries": self.total_entries,
+            "shards": [
+                {
+                    "worker": index,
+                    "roots": shard["roots"],
+                    "pids": shard["pids"],
+                    "entries": len(shard["indices"]),
+                    "first_index": shard["indices"][0] if shard["indices"] else None,
+                }
+                for index, shard in enumerate(self.shards)
+            ],
+        }
+        body["digest"] = _digest(body)
+        return body
+
+    def digest(self):
+        """sha256 hex digest of the canonical manifest body."""
+        return self.manifest()["digest"]
+
+
+def _digest(body):
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def plan_shards(trace, workers, strategy="greedy"):
+    """Assign a trace's lineage groups to ``workers`` shards.
+
+    Strategies (both deterministic for a given trace):
+
+    - ``"greedy"`` — groups sorted by descending entry count (ties by
+      first appearance) land on the currently lightest shard: balanced
+      load, the benchmarking default;
+    - ``"round_robin"`` — groups in appearance order, shard ``i %
+      workers``: predictable placement for tests.
+
+    Groups are never split; ``workers`` may exceed the group count, in
+    which case the surplus shards stay empty (and the driver skips
+    spawning workers for them).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if strategy not in STRATEGIES:
+        raise ValueError("unknown shard strategy {!r} (expected one of {})".format(
+            strategy, "/".join(STRATEGIES)))
+    groups = lineage_groups(trace)
+    shards = [{"pids": set(), "roots": [], "indices": []} for _ in range(workers)]
+    loads = [0] * workers
+    if strategy == "round_robin":
+        assignment = [(i % workers, group) for i, group in enumerate(groups)]
+    else:
+        ordered = sorted(
+            enumerate(groups),
+            key=lambda item: (-len(item[1]["indices"]), item[0]),
+        )
+        assignment = []
+        for _, group in ordered:
+            target = min(range(workers), key=lambda w: (loads[w], w))
+            loads[target] += len(group["indices"])
+            assignment.append((target, group))
+    for target, group in assignment:
+        shard = shards[target]
+        shard["pids"].update(group["pids"])
+        shard["roots"].extend(group["roots"])
+        shard["indices"].extend(group["indices"])
+    for shard in shards:
+        shard["pids"] = sorted(shard["pids"])
+        shard["roots"] = sorted(shard["roots"])
+        shard["indices"].sort()
+    return ShardPlan(workers, strategy, shards, len(trace.entries))

@@ -1,0 +1,195 @@
+"""Shard-replay worker: the code that runs inside each OS process.
+
+Everything here is importable at module level because workers start
+under the ``multiprocessing`` **spawn** context (a fresh interpreter
+that re-imports the entry point by name — closures and ``__main__``
+lambdas would not survive the trip).  A worker receives one picklable
+payload dict, rebuilds its world from the registered builder, restores
+the firewall from serialized rule text (``firewall/persist``), spawns
+its shard's recorded root processes, and replays the shard's entries
+through :func:`repro.workloads.replay.apply_entry` — the exact
+per-entry semantics of a serial :func:`~repro.workloads.replay.replay`.
+
+The returned snapshot is fully picklable: verdict stream keyed by
+**global** entry index, ``EngineStats`` as a dict, metrics as
+Prometheus text, and audit records tagged ``(worker, lclock, sub)``
+where ``lclock`` is the global trace index of the entry that emitted
+them — the merge step interleaves shards back into serial order by
+that logical clock.  Timing separates ``setup_s`` (world build, rule
+restore, spawns) from the replay loop's ``wall_s``/``cpu_s``; scaling
+efficiency is computed from the loop only.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import traceback
+
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.firewall.persist import load_rules, save_rules
+from repro.obs.audit import severity_name
+from repro.workloads.macro import build_scale_world
+from repro.workloads.replay import Trace, apply_entry, spawn_recorded
+from repro.world import build_world
+
+
+def _standard_world():
+    """The default E-scenario world, kernel-level audit off (the
+    firewall's own audit ring is unaffected and stays comparable)."""
+    kernel = build_world()
+    kernel.audit_enabled = False
+    return kernel
+
+
+#: World builders a payload may name: ``payload["world"]`` is
+#: ``(name, kwargs)``.  Registered by name (not by callable) because
+#: the payload must pickle across the spawn boundary.
+WORLD_BUILDERS = {
+    "standard": _standard_world,
+    "macro_scale": build_scale_world,
+}
+
+
+def _normalize_pid(record, live_to_recorded):
+    """Copy an audit payload, rewriting the live pid to the recorded
+    one so records are comparable across worlds with different pid
+    assignment.  Unknown pids (none expected) pass through unchanged."""
+    out = dict(record)
+    pid = out.get("pid")
+    if pid in live_to_recorded:
+        out["pid"] = live_to_recorded[pid]
+    return out
+
+
+def run_shard(payload):
+    """Replay one shard; returns the picklable result snapshot.
+
+    Payload keys: ``trace_json``, ``indices`` (global entry indices,
+    ascending), ``roots`` (recorded root pids to spawn), ``rules_text``
+    (``save_rules`` output), ``config`` (engine preset name),
+    ``world`` = ``(builder name, kwargs)``, ``worker_id``, ``metered``
+    (enable the metrics registry), ``collect_audit``.
+
+    Runs inline in the calling process when the driver is in inline
+    mode — the OS-process path (:func:`worker_entry`) is the same code.
+    """
+    setup_start = time.perf_counter()
+    world_name, world_kwargs = payload.get("world", ("standard", {}))
+    builder = WORLD_BUILDERS.get(world_name)
+    if builder is None:
+        raise ValueError("unknown world builder {!r} (expected one of {})".format(
+            world_name, "/".join(sorted(WORLD_BUILDERS))))
+    kernel = builder(**dict(world_kwargs))
+    firewall = ProcessFirewall(EngineConfig.preset(payload.get("config", "JITTED")))
+    kernel.attach_firewall(firewall)
+    load_rules(firewall, payload["rules_text"])
+    if payload.get("metered"):
+        firewall.metrics.enable()
+    trace = Trace.from_json(payload["trace_json"])
+    entries = trace.entries
+    indices = payload["indices"]
+    proc_map = spawn_recorded(kernel, trace, pids=set(payload["roots"]))
+    live_to_recorded = {proc.pid: rpid for rpid, proc in proc_map.items()}
+    setup_s = time.perf_counter() - setup_start
+
+    worker_id = payload.get("worker_id", 0)
+    collect_audit = payload.get("collect_audit", True)
+    ring = firewall.audit
+    verdicts = []
+    audit = []
+    executed = 0
+    failures = []
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    for gidx in indices:
+        entry = entries[gidx]
+        before = ring.next_seq()
+        status, value = apply_entry(kernel, proc_map, entry)
+        if status == "ok":
+            executed += 1
+            if entry[1] == "fork" and entry[4] is not None:
+                live_to_recorded[value.pid] = entry[4]
+        elif status != "skipped":
+            failures.append((gidx, entry[1], status))
+        verdicts.append((gidx, entry[1], status))
+        emitted = ring.next_seq() - before
+        if collect_audit and emitted:
+            for sub, audit_entry in enumerate(ring.tail(emitted)):
+                audit.append({
+                    "worker": worker_id,
+                    "lclock": gidx,
+                    "sub": sub,
+                    "severity": severity_name(audit_entry.severity),
+                    "kind": audit_entry.kind,
+                    "record": _normalize_pid(audit_entry.record, live_to_recorded),
+                })
+    cpu_s = time.process_time() - cpu_start
+    wall_s = time.perf_counter() - wall_start
+    return {
+        "worker_id": worker_id,
+        "entries": len(indices),
+        "executed": executed,
+        "failures": failures,
+        "verdicts": verdicts,
+        "stats": firewall.stats.as_dict(),
+        "metrics_prom": firewall.metrics.to_prometheus() if payload.get("metered") else None,
+        "audit": audit,
+        "setup_s": setup_s,
+        "wall_s": wall_s,
+        "cpu_s": cpu_s,
+    }
+
+
+def worker_entry(conn, payload):
+    """OS-process entry point: run the shard, ship the result back.
+
+    Sends ``("ok", snapshot)`` or ``("error", traceback text)`` over
+    ``conn`` and closes it — the driver re-raises worker errors with
+    the child traceback attached.
+    """
+    try:
+        result = ("ok", run_shard(payload))
+    except BaseException:
+        result = ("error", traceback.format_exc())
+    try:
+        conn.send(result)
+    finally:
+        conn.close()
+
+
+def describe_rules_in_child(conn, payload):
+    """Spawn-boundary probe used by the persistence round-trip tests.
+
+    Reconstructs a firewall in the child from ``payload`` — either
+    ``pickled_rules`` (a pickled ``RuleBase``) or ``rules_text``
+    (``save_rules`` output) — and reports what the child actually
+    sees: the rule-base stamp, per-table chain order with rendered
+    rule text, the re-serialized ``save_rules`` text, and whether JIT
+    codegen rebuilds cleanly against the transported rules.
+    """
+    try:
+        firewall = ProcessFirewall(EngineConfig.preset(payload.get("config", "JITTED")))
+        if payload.get("pickled_rules") is not None:
+            firewall.rules = pickle.loads(payload["pickled_rules"])
+        else:
+            load_rules(firewall, payload["rules_text"])
+        chains = {}
+        for table_name, table in firewall.rules.tables.items():
+            chains[table_name] = [
+                (chain_name, [rule.render() for rule in table.chains[chain_name]])
+                for chain_name in table.chains
+            ]
+        jit = firewall.jit_program()
+        result = ("ok", {
+            "stamp": tuple(firewall.rules.stamp),
+            "chains": chains,
+            "rules_text": save_rules(firewall),
+            "jit_rebuilt": jit is not None and jit.stamp is firewall.rules.stamp,
+        })
+    except BaseException:
+        result = ("error", traceback.format_exc())
+    try:
+        conn.send(result)
+    finally:
+        conn.close()

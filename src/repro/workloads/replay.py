@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import base64
 import contextlib
+import inspect
 import json
 from typing import Dict, List
 
@@ -51,14 +52,27 @@ def _decode_value(value):
 
 
 class Trace:
-    """A recorded syscall stream."""
+    """A recorded syscall stream, plus the root-process spawn specs.
 
-    def __init__(self, entries=None):
+    ``spawns`` holds one JSON-ready dict per ``kernel.spawn`` call made
+    while recording (``pid`` plus the spawn keyword arguments) — enough
+    for a replay target, including a worker in another OS process, to
+    reconstruct every recorded root process without out-of-band
+    ``proc_map`` plumbing (:func:`spawn_recorded`).
+    """
+
+    def __init__(self, entries=None, spawns=None):
         #: Entries: (pid, method, args, kwargs, child_pid_or_None)
         self.entries = list(entries or [])
+        #: Root-process specs: {"pid": recorded pid, **spawn kwargs}.
+        self.spawns = list(spawns or [])
 
     def append(self, pid, method, args, kwargs, child_pid=None):
         self.entries.append((pid, method, list(args), dict(kwargs), child_pid))
+
+    def append_spawn(self, spec):
+        """Record one root-process spawn spec (must carry ``"pid"``)."""
+        self.spawns.append(dict(spec))
 
     def __len__(self):
         return len(self.entries)
@@ -66,7 +80,7 @@ class Trace:
     # ---- persistence --------------------------------------------------
 
     def to_json(self):
-        payload = [
+        entries = [
             {
                 "pid": pid,
                 "method": method,
@@ -76,12 +90,20 @@ class Trace:
             }
             for pid, method, args, kwargs, child in self.entries
         ]
+        payload = {"version": 2, "spawns": self.spawns, "entries": entries}
         return json.dumps(payload, indent=None, separators=(",", ":"))
 
     @classmethod
     def from_json(cls, text):
-        trace = cls()
-        for item in json.loads(text):
+        """Parse either format: the v1 bare entry list, or the v2
+        ``{"version": 2, "spawns": [...], "entries": [...]}`` object."""
+        payload = json.loads(text)
+        if isinstance(payload, list):  # v1: entries only
+            items, spawns = payload, []
+        else:
+            items, spawns = payload["entries"], payload.get("spawns", [])
+        trace = cls(spawns=spawns)
+        for item in items:
             trace.append(
                 item["pid"],
                 item["method"],
@@ -129,15 +151,34 @@ def record_syscalls(kernel):
     """Context manager: record every ``kernel.sys`` call made inside.
 
     Only *successful* calls are recorded (a failed call changed
-    nothing, so replaying it adds noise, not state).
+    nothing, so replaying it adds noise, not state).  ``kernel.spawn``
+    calls made inside the block are recorded too, as spawn specs on
+    ``trace.spawns`` — the replay side reconstructs the same root
+    processes with :func:`spawn_recorded`, which is what lets a shard
+    of the trace replay inside a freshly built world in another OS
+    process.
     """
     trace = Trace()
     original = kernel.sys
+    original_spawn = kernel.spawn
+    spawn_signature = inspect.signature(original_spawn)
+
+    def recording_spawn(*args, **kwargs):
+        proc = original_spawn(*args, **kwargs)
+        bound = spawn_signature.bind(*args, **kwargs)
+        bound.apply_defaults()
+        spec = dict(bound.arguments)
+        spec["pid"] = proc.pid
+        trace.append_spawn(spec)
+        return proc
+
     kernel.sys = _RecordingSyscalls(original, trace)
+    kernel.spawn = recording_spawn
     try:
         yield trace
     finally:
         kernel.sys = original
+        kernel.spawn = original_spawn
 
 
 class ReplayResult:
@@ -152,6 +193,58 @@ class ReplayResult:
         return len(self.failures)
 
 
+def spawn_recorded(kernel, trace, pids=None):
+    """Spawn the trace's recorded root processes into ``kernel``.
+
+    Returns a ``proc_map`` (recorded pid -> live process) ready for
+    :func:`replay`.  ``pids`` restricts spawning to a subset of the
+    recorded pids — the sharded replay driver passes each worker only
+    the roots its shard needs.  Specs are applied in recorded order, so
+    pid assignment inside the target world is deterministic.
+    """
+    proc_map = {}
+    for spec in trace.spawns:
+        recorded_pid = spec["pid"]
+        if pids is not None and recorded_pid not in pids:
+            continue
+        kwargs = {key: value for key, value in spec.items() if key != "pid"}
+        proc_map[recorded_pid] = kernel.spawn(**kwargs)
+    return proc_map
+
+
+def apply_entry(kernel, proc_map, entry):
+    """Apply one recorded entry against ``kernel``; never raises.
+
+    The single source of truth for replay semantics: :func:`replay`
+    and the parallel replay workers both route every entry through
+    here, so a sharded run applies *exactly* the per-entry behavior of
+    a serial one.  Returns ``(status, value)`` where status is
+    ``"skipped"`` (no live process for the recorded pid, or an
+    untranslatable pid argument), ``"ok"``, or the symbolic errno name
+    of the kernel denial; ``value`` is the syscall's return value on
+    success and the raised exception on failure.  ``proc_map`` is
+    extended in place at successful ``fork`` entries.
+    """
+    pid, method, args, kwargs, child_pid = entry
+    proc = proc_map.get(pid)
+    if proc is None or not proc.alive:
+        return ("skipped", None)
+    call_args = list(args)
+    pid_index = _PID_ARGS.get(method)
+    if pid_index is not None and pid_index < len(call_args):
+        target = proc_map.get(call_args[pid_index])
+        if target is None:
+            return ("skipped", None)
+        call_args[pid_index] = target.pid
+    try:
+        value = getattr(kernel.sys, method)(proc, *call_args, **kwargs)
+    except errors.KernelError as exc:
+        return (exc.errno_name, exc)
+    if method == "fork" and child_pid is not None:
+        proc_map[child_pid] = value
+    return ("ok", value)
+
+
 def replay(kernel, trace, proc_map, tolerate_failures=True):
     """Re-execute a trace against ``kernel``.
 
@@ -159,7 +252,8 @@ def replay(kernel, trace, proc_map, tolerate_failures=True):
         kernel: the target world (configure its firewall first).
         trace: a :class:`Trace`.
         proc_map: recorded pid -> live :class:`Process` in ``kernel``;
-            extended automatically at ``fork`` entries.
+            extended automatically at ``fork`` entries.  Build one from
+            the trace's own spawn records with :func:`spawn_recorded`.
         tolerate_failures: collect denials instead of raising — the
             expected mode when replaying against stricter rules.
 
@@ -167,24 +261,12 @@ def replay(kernel, trace, proc_map, tolerate_failures=True):
     """
     result = ReplayResult()
     proc_map = dict(proc_map)
-    for index, (pid, method, args, kwargs, child_pid) in enumerate(trace.entries):
-        proc = proc_map.get(pid)
-        if proc is None or not proc.alive:
-            continue
-        call_args = list(args)
-        pid_index = _PID_ARGS.get(method)
-        if pid_index is not None and pid_index < len(call_args):
-            target = proc_map.get(call_args[pid_index])
-            if target is None:
-                continue
-            call_args[pid_index] = target.pid
-        try:
-            value = getattr(kernel.sys, method)(proc, *call_args, **kwargs)
+    for index, entry in enumerate(trace.entries):
+        status, value = apply_entry(kernel, proc_map, entry)
+        if status == "ok":
             result.executed += 1
-            if method == "fork" and child_pid is not None:
-                proc_map[child_pid] = value
-        except errors.KernelError as exc:
+        elif status != "skipped":
             if not tolerate_failures:
-                raise
-            result.failures.append((index, method, exc.errno_name))
+                raise value
+            result.failures.append((index, entry[1], status))
     return result

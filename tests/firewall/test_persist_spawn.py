@@ -1,0 +1,94 @@
+"""Rule-base transport across a real ``multiprocessing`` spawn boundary.
+
+The parallel replay driver ships rules to workers as ``save_rules``
+text; a pickled ``RuleBase`` must survive the same trip (it is what a
+worker's snapshot ultimately derives from).  Both transports are
+probed with an actual spawned child process — not a fork — because
+spawn re-imports everything and is the context the driver uses.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.firewall.persist import save_rules
+from repro.parallel.worker import describe_rules_in_child
+from repro.rulesets.generated import install_full_rulebase
+
+
+def _reference_firewall():
+    firewall = ProcessFirewall(EngineConfig.jitted())
+    install_full_rulebase(firewall)
+    return firewall
+
+
+def _expected_chains(firewall):
+    return {
+        table_name: [
+            (chain_name, [rule.render() for rule in table.chains[chain_name]])
+            for chain_name in table.chains
+        ]
+        for table_name, table in firewall.rules.tables.items()
+    }
+
+
+def _probe_in_children(payloads):
+    """Launch one spawned child per payload, concurrently; collect reports."""
+    ctx = multiprocessing.get_context("spawn")
+    jobs = []
+    for payload in payloads:
+        receiver, sender = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=describe_rules_in_child, args=(sender, payload))
+        proc.start()
+        sender.close()
+        jobs.append((proc, receiver))
+    reports = []
+    for proc, receiver in jobs:
+        status, value = receiver.recv()
+        proc.join()
+        if status != "ok":
+            pytest.fail("child probe failed:\n{}".format(value))
+        reports.append(value)
+    return reports
+
+
+def test_rulebase_survives_spawn_boundary():
+    firewall = _reference_firewall()
+    rules_text = save_rules(firewall)
+    expected_chains = _expected_chains(firewall)
+    via_text, via_pickle = _probe_in_children([
+        {"config": "JITTED", "rules_text": rules_text},
+        {"config": "JITTED", "pickled_rules": pickle.dumps(firewall.rules)},
+    ])
+
+    # Chain order and per-rule text must be preserved verbatim by both
+    # transports, and both must re-serialize to the parent's text.
+    for report in (via_text, via_pickle):
+        assert report["chains"] == expected_chains
+        assert report["rules_text"] == rules_text
+        # The child's JIT program must rebuild against the transported
+        # rules and share their identity stamp (the hot path compares
+        # stamps by ``is``, so a stale program would disable codegen).
+        assert report["jit_rebuilt"] is True
+
+    # A pickled RuleBase keeps its (uid, version) stamp value exactly;
+    # the text restore builds a fresh instance, whose uid must differ
+    # (two rule bases must never collide on memo stamps).
+    assert tuple(via_pickle["stamp"]) == tuple(firewall.rules.stamp)
+    assert tuple(via_text["stamp"]) != tuple(firewall.rules.stamp)
+    assert via_text["stamp"][1] >= firewall.rules.rule_count()
+
+
+def test_text_round_trip_is_stable_in_parent():
+    """Control for the spawn test: the same round-trip inside one
+    process is already exact, so any spawn failure is transport."""
+    firewall = _reference_firewall()
+    text = save_rules(firewall)
+    other = ProcessFirewall(EngineConfig.jitted())
+    from repro.firewall.persist import load_rules
+
+    load_rules(other, text)
+    assert save_rules(other) == text
+    assert _expected_chains(other) == _expected_chains(firewall)

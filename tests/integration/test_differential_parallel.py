@@ -1,0 +1,253 @@
+"""Differential harness: sharded replay and batched mediation are invisible.
+
+Two optimizations ride this PR and both must be observably identical
+to the serial per-call JITTED engine:
+
+1. **Sharded replay** — the macro workload sharded across workers
+   (inline and real ``spawn`` processes) must merge back into the
+   serial verdict stream, stats, metrics, and audit ring.  COMPILED
+   configurations (no resource-context cache) are held to *full*
+   stats/metrics equality; JITTED runs exclude only the rescache
+   counters whose locality legitimately shifts under sharding
+   (``repro.parallel.merge`` documents why).
+2. **Batched mediation** — ``mediate_batch`` over the operation
+   streams of every Table 4 exploit (attack *and* benign arms) and
+   over randomized mutation-heavy batches must match a per-call
+   ``mediate`` loop byte for byte: verdicts, stats, log records,
+   audit entries.
+"""
+
+import contextlib
+import random
+
+import pytest
+
+from repro import errors
+from repro.attacks.exploits import EXPLOITS
+from repro.firewall.engine import EngineConfig, ProcessFirewall, record_mutates
+from repro.firewall.persist import save_rules
+from repro.parallel.batch import (
+    record_mediations,
+    replay_mediations,
+    reset_mediation_state,
+)
+from repro.parallel.driver import replay_serial, replay_sharded
+from repro.parallel.merge import (
+    SHARD_VARIANT_METRIC_PREFIXES,
+    SHARD_VARIANT_STATS,
+    comparable_metrics,
+    comparable_stats,
+    strip_volatile,
+)
+from repro.rulesets.generated import install_full_rulebase
+from repro.vfs.file import OpenFlags
+from repro.workloads.macro import record_scale_trace
+from repro.world import build_world, spawn_root_shell
+
+SESSIONS = 3
+WORLD = ("macro_scale", {"sessions": SESSIONS})
+
+#: Extra rules for the audit-interleave probe: a LOG rule the workload
+#: trips on every config-file stat and a DROP on the session data
+#: opens, so both audit kinds appear mid-trace on every lineage.
+AUDIT_RULES = (
+    "pftables -A input -o FILE_GETATTR -d etc_t -j LOG",
+    "pftables -A input -o FILE_OPEN -d var_t -j DROP",
+)
+
+
+def _rules_text(extra_rules=()):
+    firewall = ProcessFirewall(EngineConfig.jitted())
+    install_full_rulebase(firewall)
+    if extra_rules:
+        firewall.install_all(list(extra_rules))
+    return save_rules(firewall)
+
+
+def _audit_key(rows):
+    return [
+        (row["lclock"], row["sub"], row["kind"], row["severity"],
+         strip_volatile(row["record"]))
+        for row in rows
+    ]
+
+
+@pytest.fixture(scope="module")
+def scale_trace():
+    return record_scale_trace(sessions=SESSIONS, loops=10, profile="mixed")
+
+
+# ---------------------------------------------------------------------------
+# sharded replay vs serial
+# ---------------------------------------------------------------------------
+
+
+def test_compiled_metered_sharded_full_equality(scale_trace):
+    """COMPILED has no rescache, so *every* counter must survive
+    sharding: stats dict equality and full metric-series equality
+    (phase timers excepted — they are wall-clock by construction)."""
+    rules = _rules_text()
+    serial = replay_serial(scale_trace, rules, config="COMPILED",
+                           metered=True, world=WORLD)
+    sharded = replay_sharded(scale_trace, rules, workers=3, config="COMPILED",
+                             inline=True, metered=True, world=WORLD)
+    assert sharded["merged"]["verdicts"] == serial["merged"]["verdicts"]
+    assert sharded["merged"]["failures"] == serial["merged"]["failures"]
+    assert sharded["merged"]["stats"] == serial["merged"]["stats"]
+    assert _audit_key(sharded["merged"]["audit"]) == _audit_key(serial["merged"]["audit"])
+    assert comparable_metrics(sharded["merged"]["metrics_prom"],
+                              exclude_prefixes=("pf_phase_",)) == \
+        comparable_metrics(serial["merged"]["metrics_prom"],
+                           exclude_prefixes=("pf_phase_",))
+
+
+def test_jitted_metered_sharded_filtered_equality(scale_trace):
+    rules = _rules_text()
+    serial = replay_serial(scale_trace, rules, metered=True, world=WORLD)
+    sharded = replay_sharded(scale_trace, rules, workers=2,
+                             inline=True, metered=True, world=WORLD)
+    assert sharded["merged"]["verdicts"] == serial["merged"]["verdicts"]
+    assert comparable_stats(sharded["merged"]["stats"], SHARD_VARIANT_STATS) == \
+        comparable_stats(serial["merged"]["stats"], SHARD_VARIANT_STATS)
+    assert comparable_metrics(sharded["merged"]["metrics_prom"],
+                              SHARD_VARIANT_METRIC_PREFIXES) == \
+        comparable_metrics(serial["merged"]["metrics_prom"],
+                           SHARD_VARIANT_METRIC_PREFIXES)
+
+
+def test_audit_interleaves_by_logical_clock(scale_trace):
+    rules = _rules_text(AUDIT_RULES)
+    serial = replay_serial(scale_trace, rules, world=WORLD)
+    sharded = replay_sharded(scale_trace, rules, workers=3,
+                             inline=True, world=WORLD)
+    merged = sharded["merged"]["audit"]
+    assert _audit_key(merged) == _audit_key(serial["merged"]["audit"])
+    # The probe is not vacuous: both audit kinds fired, from more than
+    # one worker, and the merge really interleaved (monotone lclock).
+    kinds = {row["kind"] for row in merged}
+    assert {"log", "drop"} <= kinds
+    workers = {row["worker"] for row in merged}
+    assert len(workers) >= 2
+    lclocks = [row["lclock"] for row in merged]
+    assert lclocks == sorted(lclocks)
+    # Records from non-zero workers carry *recorded* pids: their worker
+    # worlds spawned only their own roots (different live pids), so a
+    # match against serial is only possible through pid normalization.
+    assert any(row["worker"] != 0 and "pid" in row["record"] for row in merged)
+
+
+def test_spawn_two_workers_match_serial():
+    """The production path: real spawn-context OS worker processes."""
+    trace = record_scale_trace(sessions=2, loops=6, profile="null")
+    rules = _rules_text()
+    world = ("macro_scale", {"sessions": 2})
+    serial = replay_serial(trace, rules, world=world)
+    sharded = replay_sharded(trace, rules, workers=2, inline=False, world=world)
+    assert sharded["mode"] == "spawn"
+    assert len(sharded["snapshots"]) == 2
+    assert sharded["merged"]["verdicts"] == serial["merged"]["verdicts"]
+    assert comparable_stats(sharded["merged"]["stats"], SHARD_VARIANT_STATS) == \
+        comparable_stats(serial["merged"]["stats"], SHARD_VARIANT_STATS)
+    assert _audit_key(sharded["merged"]["audit"]) == _audit_key(serial["merged"]["audit"])
+
+
+# ---------------------------------------------------------------------------
+# batched mediation vs per-call
+# ---------------------------------------------------------------------------
+
+
+def _strip_times(records):
+    return [{k: v for k, v in rec.items() if k != "time"} for rec in records]
+
+
+def _batch_observables(firewall):
+    return (
+        firewall.stats.as_dict(),
+        _strip_times([dict(r) for r in firewall.log_records]),
+        [(e.kind, e.severity, strip_volatile(e.record, ("time",)))
+         for e in firewall.audit.entries()],
+    )
+
+
+def _assert_batched_identical(firewall, operations):
+    reset_mediation_state(firewall)
+    percall = replay_mediations(firewall, operations, batched=False)
+    percall_obs = _batch_observables(firewall)
+    reset_mediation_state(firewall)
+    batched = replay_mediations(firewall, operations, batched=True)
+    assert batched == percall
+    assert _batch_observables(firewall) == percall_obs
+    return percall
+
+
+def _captured_scenario_stream(scenario, mode):
+    """Run one scenario arm under JITTED, capturing its operation
+    stream through the instrument hook; returns (firewall, ops)."""
+    holder = {}
+    with contextlib.ExitStack() as stack:
+        def instrument(firewall):
+            holder["firewall"] = firewall
+            holder["ops"] = stack.enter_context(record_mediations(firewall))
+
+        getattr(scenario, mode)(with_firewall=True,
+                                config=EngineConfig.jitted(),
+                                instrument=instrument)
+    return holder["firewall"], holder["ops"]
+
+
+@pytest.mark.parametrize("eid", sorted(EXPLOITS))
+@pytest.mark.parametrize("mode", ["run", "run_benign"])
+def test_exploit_streams_batched_identical(eid, mode):
+    firewall, operations = _captured_scenario_stream(EXPLOITS[eid](), mode)
+    assert operations, "scenario produced no mediations to batch"
+    _assert_batched_identical(firewall, operations)
+
+
+def _mutation_workload(kernel, proc, rng):
+    """Read-heavy stream with chmod/rename/unlink/create churn mixed in
+    at random — every mutation forces the batched path to fall back."""
+    sys = kernel.sys
+    created = []
+    serial = [0]
+
+    def create():
+        path = "/tmp/mut{}".format(serial[0])
+        serial[0] += 1
+        fd = sys.open(proc, path, flags=OpenFlags.O_CREAT | OpenFlags.O_WRONLY)
+        sys.write(proc, fd, b"x")
+        sys.close(proc, fd)
+        created.append(path)
+
+    actions = [
+        lambda: sys.stat(proc, "/etc/passwd"),
+        lambda: sys.access(proc, "/etc/passwd"),
+        lambda: sys.getpid(proc),
+        create,
+        lambda: created and sys.chmod(proc, rng.choice(created), 0o640),
+        lambda: created and sys.rename(proc, created[-1], created[-1] + ".r")
+        and None,
+        lambda: created and sys.unlink(proc, created.pop()),
+    ]
+    weights = [5, 3, 3, 2, 1, 1, 1]
+    for _ in range(150):
+        action = rng.choices(actions, weights=weights)[0]
+        try:
+            action()
+        except errors.KernelError:
+            pass  # denials/noise are part of the stream
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_randomized_mutation_batches_identical(seed):
+    kernel = build_world()
+    kernel.audit_enabled = False
+    firewall = ProcessFirewall(EngineConfig.jitted())
+    kernel.attach_firewall(firewall)
+    install_full_rulebase(firewall)
+    shell = spawn_root_shell(kernel)
+    rng = random.Random(seed)
+    with record_mediations(firewall) as operations:
+        _mutation_workload(kernel, shell, rng)
+    assert any(record_mutates(op) for op in operations)
+    assert any(not record_mutates(op) for op in operations)
+    _assert_batched_identical(firewall, operations)

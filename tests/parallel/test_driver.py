@@ -1,0 +1,102 @@
+"""Driver-level parity: sharded inline replay versus the serial run.
+
+Everything here runs shards inline (sequentially, in-process) — the
+spawn path shares all of this code and gets its own OS-process
+exercise in the integration differential suite and the CI smoke job.
+"""
+
+import random
+
+import pytest
+
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.firewall.persist import save_rules
+from repro.parallel.driver import replay_serial, replay_sharded
+from repro.parallel.merge import (
+    SHARD_VARIANT_STATS,
+    comparable_stats,
+    merge_snapshots,
+    strip_volatile,
+)
+from repro.rulesets.generated import install_full_rulebase
+from repro.workloads.macro import record_scale_trace
+
+SESSIONS = 3
+WORLD = ("macro_scale", {"sessions": SESSIONS})
+
+
+@pytest.fixture(scope="module")
+def scale_setup():
+    trace = record_scale_trace(sessions=SESSIONS, loops=8, profile="mixed")
+    firewall = ProcessFirewall(EngineConfig.jitted())
+    install_full_rulebase(firewall)
+    return trace, save_rules(firewall)
+
+
+@pytest.fixture(scope="module")
+def serial_run(scale_setup):
+    trace, rules_text = scale_setup
+    return replay_serial(trace, rules_text, world=WORLD)
+
+
+def _comparable(merged):
+    return (
+        merged["verdicts"],
+        merged["executed"],
+        merged["failures"],
+        comparable_stats(merged["stats"], exclude=SHARD_VARIANT_STATS),
+        [
+            (row["lclock"], row["sub"], row["kind"], row["severity"],
+             strip_volatile(row["record"]))
+            for row in merged["audit"]
+        ],
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+@pytest.mark.parametrize("strategy", ["greedy", "round_robin"])
+def test_inline_sharded_matches_serial(scale_setup, serial_run, workers, strategy):
+    trace, rules_text = scale_setup
+    sharded = replay_sharded(
+        trace, rules_text, workers=workers, inline=True,
+        world=WORLD, strategy=strategy)
+    assert _comparable(sharded["merged"]) == _comparable(serial_run["merged"])
+    assert sharded["plan"]["digest"]
+
+
+def test_more_workers_than_groups(scale_setup, serial_run):
+    trace, rules_text = scale_setup
+    sharded = replay_sharded(
+        trace, rules_text, workers=SESSIONS + 4, inline=True, world=WORLD)
+    # Only one snapshot per populated shard — empty shards are skipped.
+    assert len(sharded["snapshots"]) <= SESSIONS
+    assert _comparable(sharded["merged"]) == _comparable(serial_run["merged"])
+
+
+def test_merge_is_order_independent(scale_setup):
+    trace, rules_text = scale_setup
+    sharded = replay_sharded(
+        trace, rules_text, workers=3, inline=True, world=WORLD)
+    snapshots = list(sharded["snapshots"])
+    rng = random.Random(7)
+    for _ in range(4):
+        rng.shuffle(snapshots)
+        assert merge_snapshots(snapshots) == sharded["merged"]
+
+
+def test_aggregate_shape(serial_run):
+    aggregate = serial_run["aggregate"]
+    assert aggregate["records"] == serial_run["merged"]["executed"] + len(
+        [v for v in serial_run["merged"]["verdicts"] if v[2] != "ok"])
+    assert aggregate["throughput_cpu"] > 0
+    assert aggregate["throughput_wall"] > 0
+    rows = serial_run["merged"]["workers"]
+    assert [row["worker_id"] for row in rows] == [0]
+    assert rows[0]["entries"] == aggregate["records"]
+
+
+def test_verdict_stream_covers_every_entry(scale_setup, serial_run):
+    trace, _rules_text = scale_setup
+    verdicts = serial_run["merged"]["verdicts"]
+    assert [v[0] for v in verdicts] == list(range(len(trace.entries)))
+    assert all(v[1] == trace.entries[v[0]][1] for v in verdicts)

@@ -1,0 +1,129 @@
+"""Lineage sharding over synthetic traces.
+
+These traces are hand-built (``Trace.append`` / ``append_spawn``), so
+every grouping decision is asserted against a known fork/kill graph
+rather than whatever a recorded workload happened to produce.
+"""
+
+import pytest
+
+from repro.parallel.shard import STRATEGIES, lineage_groups, plan_shards
+from repro.workloads.replay import Trace
+
+
+def _trace_three_roots():
+    """Roots 1, 2, 3; root 1 forks 10, which forks 11; root 3 idles."""
+    trace = Trace()
+    for pid in (1, 2, 3):
+        trace.append_spawn({"pid": pid, "name": "p{}".format(pid)})
+    trace.append(1, "getpid", (), {})          # 0
+    trace.append(2, "getpid", (), {})          # 1
+    trace.append(1, "fork", (), {}, child_pid=10)   # 2
+    trace.append(10, "getpid", (), {})         # 3
+    trace.append(10, "fork", (), {}, child_pid=11)  # 4
+    trace.append(11, "getpid", (), {})         # 5
+    trace.append(2, "getpid", (), {})          # 6
+    return trace
+
+
+def test_fork_lineage_stays_in_one_group():
+    groups = lineage_groups(_trace_three_roots())
+    assert [g["roots"] for g in groups] == [[1], [2], [3]]
+    assert groups[0]["pids"] == [1, 10, 11]
+    assert groups[0]["indices"] == [0, 2, 3, 4, 5]
+    assert groups[1]["indices"] == [1, 6]
+    assert groups[2]["indices"] == []  # spawned but silent
+
+
+def test_kill_unions_sender_and_target_lineages():
+    trace = _trace_three_roots()
+    trace.append(3, "kill", (2,), {})  # root 3 signals root 2
+    groups = lineage_groups(trace)
+    assert len(groups) == 2
+    merged = next(g for g in groups if 2 in g["pids"])
+    assert merged["roots"] == [2, 3]
+    assert merged["pids"] == [2, 3]
+    # Group 1's lineage is untouched by the signal.
+    other = next(g for g in groups if 1 in g["pids"])
+    assert other["pids"] == [1, 10, 11]
+
+
+def test_indices_preserve_serial_relative_order():
+    trace = _trace_three_roots()
+    for group in lineage_groups(trace):
+        assert group["indices"] == sorted(group["indices"])
+
+
+def test_round_robin_placement_is_predictable():
+    plan = plan_shards(_trace_three_roots(), workers=2, strategy="round_robin")
+    assert plan.shards[0]["roots"] == [1, 3]  # groups 0 and 2
+    assert plan.shards[1]["roots"] == [2]
+    assert plan.total_entries == 7
+
+
+def test_greedy_balances_by_entry_count():
+    trace = Trace()
+    for pid in (1, 2, 3):
+        trace.append_spawn({"pid": pid})
+    for _ in range(8):
+        trace.append(1, "getpid", (), {})
+    for _ in range(5):
+        trace.append(2, "getpid", (), {})
+    for _ in range(4):
+        trace.append(3, "getpid", (), {})
+    plan = plan_shards(trace, workers=2, strategy="greedy")
+    # Largest group (8) alone; the 5- and 4-entry groups pack together.
+    sizes = sorted(len(s["indices"]) for s in plan.shards)
+    assert sizes == [8, 9]
+
+
+def test_workers_beyond_group_count_leave_empty_shards():
+    plan = plan_shards(_trace_three_roots(), workers=8)
+    populated = [s for s in plan.shards if s["indices"]]
+    assert len(plan.shards) == 8
+    assert len(populated) == 2  # group 3 has no entries
+    manifest = plan.manifest()
+    assert len(manifest["shards"]) == 8
+    assert all(s["first_index"] is None for s in manifest["shards"][3:])
+
+
+def test_groups_are_never_split_across_shards():
+    trace = _trace_three_roots()
+    for workers in (1, 2, 3, 5):
+        for strategy in STRATEGIES:
+            plan = plan_shards(trace, workers, strategy=strategy)
+            seen = {}
+            for widx, shard in enumerate(plan.shards):
+                for pid in shard["pids"]:
+                    assert seen.setdefault(pid, widx) == widx
+            # Fork lineage 1/10/11 always lands together.
+            homes = {seen.get(pid) for pid in (1, 10, 11)}
+            assert len(homes) == 1
+            # Every entry is assigned exactly once.
+            all_indices = sorted(
+                i for shard in plan.shards for i in shard["indices"])
+            assert all_indices == list(range(len(trace.entries)))
+
+
+def test_manifest_digest_is_deterministic_and_sensitive():
+    trace = _trace_three_roots()
+    a = plan_shards(trace, 2).manifest()
+    b = plan_shards(trace, 2).manifest()
+    assert a == b
+    assert a["digest"] == b["digest"]
+    assert plan_shards(trace, 3).digest() != a["digest"]
+    assert plan_shards(trace, 2, strategy="round_robin").digest() != a["digest"]
+
+
+def test_trace_json_round_trip_keeps_plan_identical():
+    trace = _trace_three_roots()
+    rebuilt = Trace.from_json(trace.to_json())
+    assert plan_shards(rebuilt, 2).manifest() == plan_shards(trace, 2).manifest()
+
+
+def test_invalid_arguments_are_rejected():
+    trace = _trace_three_roots()
+    with pytest.raises(ValueError):
+        plan_shards(trace, 0)
+    with pytest.raises(ValueError):
+        plan_shards(trace, 2, strategy="random")

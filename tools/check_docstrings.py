@@ -33,6 +33,12 @@ CHECKED_MODULES = [
     "repro.firewall.engine",
     "repro.firewall.codegen",
     "repro.firewall.rescache",
+    "repro.parallel",
+    "repro.parallel.shard",
+    "repro.parallel.worker",
+    "repro.parallel.merge",
+    "repro.parallel.driver",
+    "repro.parallel.batch",
 ]
 
 
