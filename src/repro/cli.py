@@ -23,6 +23,10 @@ files:
   serially and sharded across N OS workers (``repro.parallel``), and
   print per-point throughput (worker-CPU-time basis) with verdict
   parity checked against the serial run.
+- ``bench-fork`` — fork a warm pre-fork parent at 1k/10k(/100k) live
+  children under eager-copy vs copy-on-write state propagation
+  (``repro.workloads.forkscale``) and print per-fork cost and
+  substrate bytes, with CoW-vs-eager observable parity checked.
 
 Usage::
 
@@ -331,6 +335,52 @@ def cmd_bench_scale(args):
     return 0
 
 
+def cmd_bench_fork(args):
+    """Run the fork-scale eager-vs-CoW sweep from the CLI."""
+    import json as _json
+
+    from repro.workloads.forkscale import fork_parity_observables, measure_fork_point
+
+    points = []
+    for live in args.live:
+        for mode in args.modes:
+            if mode == "eager" and live > args.eager_max:
+                continue
+            points.append(measure_fork_point(
+                mode, live, state_keys=args.state_keys, trace_heap=args.heap))
+    parity_ok = None
+    if not args.no_parity:
+        cow = fork_parity_observables("cow")
+        eager = fork_parity_observables("eager")
+        parity_ok = cow == eager
+        if not parity_ok:
+            print("pfctl: CoW vs eager observables diverged", file=sys.stderr)
+            return 1
+    if args.json:
+        print(_json.dumps({
+            "state_keys": args.state_keys,
+            "parity": parity_ok,
+            "points": points,
+        }, indent=2, sort_keys=True))
+        return 0
+    print("fork scale: warm parent with {} STATE keys".format(args.state_keys))
+    header = "{:>6} {:>8} {:>12} {:>12} {:>12}".format(
+        "mode", "live", "us/fork", "forks/s", "state MiB")
+    if args.heap:
+        header += " {:>12}".format("heap MiB")
+    print(header)
+    for point in points:
+        line = "{:>6} {:>8} {:>12.2f} {:>12.1f} {:>12.2f}".format(
+            point["mode"], point["live"], point["us_per_fork"],
+            point["forks_per_sec"], point["state_bytes"] / 2**20)
+        if args.heap:
+            line += " {:>12.2f}".format(point["heap_bytes"] / 2**20)
+        print(line)
+    if parity_ok is not None:
+        print("CoW vs eager verdict/log/stats parity: OK")
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(prog="pfctl", description=__doc__.split("\n\n")[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -411,6 +461,29 @@ def build_parser():
     p.add_argument("--json", action="store_true",
                    help="emit the sweep as JSON instead of a table")
     p.set_defaults(func=cmd_bench_scale)
+
+    p = sub.add_parser(
+        "bench-fork",
+        help="fork a warm pre-fork parent at scale and report eager-copy "
+             "vs copy-on-write state propagation")
+    p.add_argument("--live", type=lambda s: [int(n) for n in s.split(",")],
+                   default=[1000, 10000], metavar="N[,N...]",
+                   help="live-children scales to sweep (default 1000,10000)")
+    p.add_argument("--modes", type=lambda s: s.split(","), default=["cow", "eager"],
+                   metavar="MODE[,MODE]",
+                   help="fork state modes to measure (default cow,eager)")
+    p.add_argument("--state-keys", type=int, default=8192,
+                   help="warm parent STATE entries (default 8192)")
+    p.add_argument("--eager-max", type=int, default=10000,
+                   help="largest scale to measure eager at (a 100k eager "
+                        "storm holds ~40 GB of replicas; default 10000)")
+    p.add_argument("--heap", action="store_true",
+                   help="also run the (untimed) tracemalloc heap pass")
+    p.add_argument("--no-parity", action="store_true",
+                   help="skip the CoW-vs-eager observable parity check")
+    p.add_argument("--json", action="store_true",
+                   help="emit the sweep as JSON instead of a table")
+    p.set_defaults(func=cmd_bench_fork)
     return parser
 
 

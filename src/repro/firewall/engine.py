@@ -701,11 +701,10 @@ class ProcessFirewall:
                         i = j
                         continue
                     if config.decision_cache and proc is not None:
-                        dcache = proc.pf_decision_cache
+                        dentries = proc.pf.decision_probe(self.rules.stamp)
                         if (
-                            dcache is not None
-                            and dcache[0] is self.rules.stamp
-                            and dcache[1].get((kind, proc.label)) is True
+                            dentries is not None
+                            and dentries.get((kind, proc.label)) is True
                         ):
                             # One cache probe proves the whole run.
                             stats.invocations += k
@@ -777,10 +776,10 @@ class ProcessFirewall:
             if rest <= 0 or stats.decision_cache_hits != hits_before + 1:
                 continue
             proc = operation.proc
-            dcache = proc.pf_decision_cache
-            if dcache is None or dcache[0] is not self.rules.stamp:
+            dentries = proc.pf.decision_probe(self.rules.stamp)
+            if dentries is None:
                 continue
-            known = dcache[1].get((operation.op, proc.label))
+            known = dentries.get((operation.op, proc.label))
             if known is True:
                 stats.invocations += rest
                 stats.decision_cache_hits += rest
@@ -812,19 +811,20 @@ class ProcessFirewall:
         # else — skip the walk entirely.  An entrypoint-independent hit
         # needs no context frame at all; an entrypoint-keyed one only
         # needs the (per-syscall-cached) stack unwind.
-        dentries = dkey = stamp = None
+        dkey = stamp = None
         if self.config.decision_cache and proc is not None:
             probe_started = perf_counter() if metered else 0.0
             if trace is not None:
                 trace.enter_stage(STAGE_DECISION_CACHE)
             stamp = self.rules.stamp
-            dcache = proc.pf_decision_cache
             dkey = (operation.op, proc.label)
             # A stale or absent cache is not rebuilt here: allocation
             # waits for the first recordable verdict, so uncacheable
             # workloads (and short-lived forks) pay only this probe.
-            if dcache is not None and dcache[0] is stamp:
-                dentries = dcache[1]
+            # The probe view may be fork-shared — reads only; the
+            # memoization below goes through decision_writable().
+            dentries = proc.pf.decision_probe(stamp)
+            if dentries is not None:
                 known = dentries.get(dkey)
                 if known is not None:
                     if known is True:
@@ -945,30 +945,27 @@ class ProcessFirewall:
             # Clean default allow: no rule matched, nothing resource-
             # or call-dependent was consulted.  Memoize, keyed on the
             # entrypoint head only when the traversal looked at it.
-            if dentries is None:
-                # First recordable verdict under this rule-base stamp:
-                # (re)build the per-task cache now (also covers a STATE
-                # target having nulled it mid-traversal — impossible
-                # here, since a fired target sets rule_matched).
-                dentries = {}
-                proc.pf_decision_cache = (stamp, dentries)
+            # decision_writable() allocates on the first recordable
+            # verdict under this stamp and breaks any fork share, so
+            # the mutation below never leaks into a relative.
+            wentries = proc.pf.decision_writable(stamp)
             if frame.used_entrypoint:
                 entries = frame.get(ContextField.ENTRYPOINT)
                 head = entries[0] if entries else None
-                known = dentries.get(dkey)
+                known = wentries.get(dkey)
                 if known is None:
-                    dentries[dkey] = {head}
+                    wentries[dkey] = {head}
                 elif known is not True and len(known) < 1024:
                     known.add(head)
             else:
-                dentries[dkey] = True
+                wentries[dkey] = True
 
     def _new_frame(self, proc, seq, trace=None):
         """Fresh context frame, pre-seeded from the per-process cache."""
         frame = ContextFrame()
         frame.trace = trace
         if self.config.context_cache and seq is not None and proc is not None:
-            cache = proc.pf_context_cache
+            cache = proc.pf.context_cache
             if cache is not None and cache[0] == seq:
                 frame.absorb_cached(cache[1])
         return frame
@@ -981,7 +978,10 @@ class ProcessFirewall:
             and proc is not None
             and frame.scoped_dirty
         ):
-            proc.pf_context_cache = (seq, frame.syscall_scoped_values())
+            # Replace-on-write: fork relatives may hold the old tuple,
+            # which stays valid for them (their seq can never collide —
+            # the kernel's syscall seq is monotonic).
+            proc.pf.context_cache = (seq, frame.syscall_scoped_values())
 
     def _chains_for(self, op):
         """Built-in chain names a given operation is routed through."""

@@ -193,9 +193,10 @@ class StateMatch(MatchModule):
         # call), so it must poison the negative-decision cache itself.
         frame.decision_unsafe = True
         key = self.key.resolve(engine, operation, frame)
-        if key not in operation.proc.pf_state:
+        state = operation.proc.pf.state
+        if key not in state:
             return False
-        stored = operation.proc.pf_state[key]
+        stored = state[key]
         current = self.cmp_value.resolve(engine, operation, frame)
         return (stored == current) if self.equal else (stored != current)
 

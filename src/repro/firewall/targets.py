@@ -85,13 +85,15 @@ class StateTarget(Target):
     def execute(self, engine, operation, frame):
         key = self.key.resolve(engine, operation, frame)
         value = self.value.resolve(engine, operation, frame)
-        proc = operation.proc
-        proc.pf_state[key] = value
+        pf = operation.proc.pf
+        # CoW write: a map shared with fork relatives is copied here,
+        # once, and only our side diverges.
+        pf.state[key] = value
         # The process dictionary changed: this traversal is not
         # memoizable, and any verdict this process memoized earlier
         # could now be answered differently by a STATE match.
         frame.decision_unsafe = True
-        proc.pf_decision_cache = None
+        pf.decision_invalidate()
         return (CONTINUE, None)
 
     def render(self):

@@ -87,6 +87,12 @@ class Kernel:
         self.audit_enabled = True
         self.audit_limit = 200000
         self.stats = KernelStats()
+        #: How ``fork`` propagates the per-process firewall state bundle:
+        #: ``"cow"`` (default) shares it structurally with copy-on-first-
+        #: mutation; ``"eager"`` deep-copies at fork time — the measured
+        #: baseline of ``bench_fork_scale`` and the reference side of the
+        #: fork/exec differential suite.
+        self.fork_state_mode = "cow"
         self.sys = SyscallAPI(self)
         #: Monotonic per-kernel syscall sequence; each in-flight syscall
         #: gets one, and firewall context caching keys off it.

@@ -67,8 +67,8 @@ def reset_mediation_state(firewall):
     firewall.metrics.reset()
     if firewall.kernel is not None:
         for proc in firewall.kernel.processes.values():
-            proc.pf_context_cache = None
-            proc.pf_decision_cache = None
+            proc.pf.context_cache = None
+            proc.pf.decision_invalidate()
 
 
 def replay_mediations(firewall, operations, batched=True):

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro import errors
+from repro.firewall.procstate import CowMap, ProcState
 from repro.proc.signals import SignalState
 from repro.proc.stack import BinaryImage, UserStack
 
@@ -81,20 +82,47 @@ class Process:
         self.exit_code = None
 
         # ---- Process Firewall task_struct extensions (paper §5.1) ----
-        #: Backing store for the STATE match/target modules.
-        self.pf_state = {}  # type: Dict[object, object]
+        #: The fork-shareable state bundle: the STATE dictionary, the
+        #: negative-decision cache, and the per-syscall context cache,
+        #: all behind the copy-on-write substrate
+        #: (:class:`repro.firewall.procstate.ProcState`).  ``fork``
+        #: shares it structurally; ``execve`` resets it.
+        self.pf = ProcState()
         #: Per-process rule-traversal state (chain-jump stack), so the
         #: engine is reentrant and the task can be scheduled out mid-walk.
+        #: Always empty at syscall boundaries, hence not fork-inherited.
         self.pf_traversal = []
-        #: Cached firewall context surviving across hook invocations
-        #: within one syscall (context caching, §4.2).
-        self.pf_context_cache = None
-        #: Negative-decision cache (COMPILED engine): ``(rule-base
-        #: stamp, {(op, label): True | {entrypoint heads}})`` of
-        #: default-allow verdicts proven independent of anything but
-        #: the key.  Invalidated on rule mutation (stamp mismatch),
-        #: ``execve``, and STATE-target execution.
-        self.pf_decision_cache = None
+
+    # ------------------------------------------------------------------
+    # firewall state views (historical attribute names)
+    # ------------------------------------------------------------------
+
+    @property
+    def pf_state(self):
+        """The STATE match/target backing map (a fork-shared CowMap)."""
+        return self.pf.state
+
+    @pf_state.setter
+    def pf_state(self, mapping):
+        self.pf.state = mapping if isinstance(mapping, CowMap) else CowMap(mapping)
+
+    @property
+    def pf_context_cache(self):
+        """Per-syscall context cache, ``(syscall_seq, values)`` or None."""
+        return self.pf.context_cache
+
+    @pf_context_cache.setter
+    def pf_context_cache(self, value):
+        self.pf.context_cache = value
+
+    @property
+    def pf_decision_cache(self):
+        """Negative-decision cache as ``(stamp, entries)`` or None."""
+        return self.pf.decision_cache
+
+    @pf_decision_cache.setter
+    def pf_decision_cache(self, value):
+        self.pf.decision_cache = value
 
     # ------------------------------------------------------------------
     # descriptor table

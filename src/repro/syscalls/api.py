@@ -451,23 +451,23 @@ class SyscallAPI:
         for fd, open_file in proc.fds.items():
             child.fds[fd] = open_file.dup()
         child._next_fd = proc._next_fd
-        # fork(2) inheritance: creation mask, handlers, blocked set.
+        # fork(2) inheritance: creation mask, handlers, blocked set
+        # (pending signals are NOT inherited — POSIX clears them).
         child.umask = getattr(proc, "umask", DEFAULT_UMASK)
         child.signals.dispositions = dict(proc.signals.dispositions)
         child.signals.blocked = set(proc.signals.blocked)
-        # Negative-decision cache: memoized allow verdicts are pure
-        # functions of (rule base, label, program, entrypoint), all of
-        # which fork preserves — copy the entries (not the mutable
-        # containers) so parent and child diverge independently.
-        dcache = proc.pf_decision_cache
-        if dcache is not None:
-            child.pf_decision_cache = (
-                dcache[0],
-                {
-                    key: (value if value is True else set(value))
-                    for key, value in dcache[1].items()
-                },
-            )
+        # Firewall state: the whole bundle — STATE dictionary (rule
+        # invariants set by the parent must keep protecting the forked
+        # worker), negative-decision cache (its entries are pure
+        # functions of rule base/label/program/entrypoint, all fork-
+        # preserved), and context cache — inherits through the CoW
+        # substrate: O(1) structural share, first writer on either side
+        # pays the copy.  ``kernel.fork_state_mode = "eager"`` selects
+        # the deep-copy baseline for benchmarks and differential tests.
+        mode = kernel.fork_state_mode
+        if mode not in ("cow", "eager"):
+            raise ValueError("unknown fork_state_mode: {!r}".format(mode))
+        child.pf = proc.pf.fork(eager=(mode == "eager"))
         kernel.processes[child.pid] = child
         return child
 
@@ -486,18 +486,20 @@ class SyscallAPI:
         proc.stack = type(proc.stack)()
         proc.script_stack = None
         # execve(2): caught handlers reset to default; the blocked set
-        # survives the exec.
+        # AND the pending set survive the exec (POSIX: "signals set to
+        # be caught shall be set to the default action ... pending
+        # signals remain pending").
         blocked = set(proc.signals.blocked)
+        pending = list(proc.signals.pending)
         proc.signals = sig.SignalState()
         proc.signals.blocked = blocked
+        proc.signals.pending = pending
         proc.comm = posixpath.basename(resolved.path)
         if argv is not None:
             proc.argv = list(argv)
         if env is not None:
             proc.env = dict(env)
-        proc.pf_state = {}
-        proc.pf_context_cache = None
-        proc.pf_decision_cache = None
+        proc.pf.execve_reset()
         return proc
 
     def exit(self, proc, code=0):

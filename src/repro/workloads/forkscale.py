@@ -1,0 +1,237 @@
+"""Fork-scale workload: the CoW state substrate under pre-fork load.
+
+Models the pre-fork server shape the LSM-overhead analysis identifies
+as the worst case for per-process security state: one long-lived
+parent with a *warm* firewall state bundle — a large ``STATE``
+dictionary (per-resource TOCTTOU check identities, one entry per
+inode the parent has mediated) and a warm negative-decision cache
+(entrypoint head sets accumulated over the parent's lifetime) —
+forking thousands of short-lived workers that mostly never write that
+state.
+
+Two fork modes are measured against each other
+(``kernel.fork_state_mode``):
+
+- ``"eager"`` — the deep-copy baseline: every fork pays the parent's
+  whole state size (one dict copy plus element-wise decision-entry
+  copies with their head sets), and every live child holds a private
+  replica;
+- ``"cow"`` (default) — the :mod:`repro.firewall.procstate`
+  substrate: O(1) structural share at fork, copy deferred to the
+  first mutation on either side — which for write-free workers never
+  comes.
+
+Used by ``benchmarks/bench_fork_scale.py`` (which emits
+``BENCH_fork_scale.json``) and by ``pfctl bench-fork``.  Timings use
+``time.perf_counter`` around the fork loop only; memory is reported
+two ways — :func:`substrate_bytes` (exact unique-storage accounting
+over the live process set, the basis of the sub-linear-growth gate)
+and an optional ``tracemalloc`` pass (whole-heap view, kept out of
+the timed pass because tracing skews the fork loop).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import tracemalloc
+
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.firewall.procstate import reset_substrate_stats, substrate_stats
+from repro.security.lsm import Op
+from repro.world import build_world, spawn_root_shell
+
+#: Default size of the warm parent state: STATE entries model one
+#: recorded TOCTTOU check identity per mediated resource; the decision
+#: cache models ``cache_ops`` operation kinds each memoized for
+#: ``heads_per_op`` distinct entrypoint heads (the engine caps a head
+#: set at 1024).
+DEFAULT_STATE_KEYS = 8192
+DEFAULT_CACHE_OPS = 4
+DEFAULT_HEADS_PER_OP = 512
+
+#: Operation kinds used to shape the warm decision cache.
+_CACHE_OPS = (Op.FILE_GETATTR, Op.FILE_OPEN, Op.DIR_SEARCH, Op.FILE_READ)
+
+
+def build_fork_parent(
+    state_keys=DEFAULT_STATE_KEYS,
+    cache_ops=DEFAULT_CACHE_OPS,
+    heads_per_op=DEFAULT_HEADS_PER_OP,
+):
+    """A kernel plus one parent with a warm firewall state bundle.
+
+    No firewall is attached and audit is off, so the measured fork
+    path is the syscall layer plus the state substrate — the thing
+    under test — not rule evaluation.  The warm state is synthesized
+    directly (values are the resolved scalars a STATE target stores:
+    inode numbers), shaped like a long-lived worker's would be.
+    """
+    kernel = build_world()
+    kernel.audit_enabled = False
+    parent = spawn_root_shell(kernel, comm="prefork-parent")
+    for i in range(state_keys):
+        parent.pf.state[(0xBEEF, i)] = 0x100000 + i
+    ops = _CACHE_OPS[: max(0, min(cache_ops, len(_CACHE_OPS)))]
+    if ops:
+        stamp = object()  # stands in for the rule-base stamp
+        entries = {}
+        for op in ops:
+            entries[(op, parent.label)] = {
+                ("/bin/sh", 0x1000 + j) for j in range(heads_per_op)
+            }
+        parent.pf.decision_cache = (stamp, entries)
+    return kernel, parent
+
+
+def substrate_bytes(processes):
+    """Exact bytes held by the firewall state of ``processes``.
+
+    Counts each distinct backing container once (by identity), which
+    is what makes structural sharing visible: after a CoW fork storm
+    the shared dict is counted once across every relative, while the
+    eager baseline counts one full replica per process.  Covers the
+    STATE backing dicts, decision-entry dicts with their head sets,
+    and context-cache tuples; per-``Process``/``ProcState`` object
+    overhead is excluded (identical across modes).
+    """
+    seen = set()
+    total = 0
+
+    def _add(obj):
+        nonlocal total
+        if obj is None or id(obj) in seen:
+            return
+        seen.add(id(obj))
+        total += sys.getsizeof(obj)
+
+    for proc in processes:
+        pf = proc.pf
+        _add(pf.state._data)
+        dcache = pf.decision_cache
+        if dcache is not None:
+            _add(dcache[1])
+            for value in dcache[1].values():
+                if value is not True:
+                    _add(value)
+        if pf.context_cache is not None:
+            _add(pf.context_cache)
+            _add(pf.context_cache[1])
+    return total
+
+
+def measure_fork_point(
+    mode,
+    live,
+    state_keys=DEFAULT_STATE_KEYS,
+    cache_ops=DEFAULT_CACHE_OPS,
+    heads_per_op=DEFAULT_HEADS_PER_OP,
+    trace_heap=False,
+):
+    """Fork ``live`` children under ``mode`` and measure the storm.
+
+    Returns a dict: ``forks_per_sec`` / ``us_per_fork`` (timed pass),
+    ``state_bytes`` (unique-storage accounting over parent plus live
+    children), the substrate counters for the storm, and — when
+    ``trace_heap`` is set — ``heap_bytes``, the ``tracemalloc`` delta
+    across the loop (run separately from any throughput number you
+    intend to quote: tracing makes every allocation slower).
+    """
+    kernel, parent = build_fork_parent(state_keys, cache_ops, heads_per_op)
+    kernel.fork_state_mode = mode
+    fork = kernel.sys.fork
+    reset_substrate_stats()
+    if trace_heap:
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+    started = time.perf_counter()
+    children = [fork(parent) for _ in range(live)]
+    elapsed = time.perf_counter() - started
+    result = {
+        "mode": mode,
+        "live": live,
+        "state_keys": state_keys,
+        "elapsed_s": round(elapsed, 6),
+        "forks_per_sec": round(live / elapsed, 1) if elapsed else float("inf"),
+        "us_per_fork": round(elapsed / live * 1e6, 3) if live else 0.0,
+        "state_bytes": substrate_bytes([parent] + children),
+        "substrate": substrate_stats(),
+    }
+    if trace_heap:
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        result["heap_bytes"] = after - before
+    return result
+
+
+def fork_parity_observables(mode, workers=16):
+    """Verdict/log/state observables of a fork workload under ``mode``.
+
+    A parent records a STATE invariant (socket inode at bind, the
+    dbus TOCTTOU template), forks ``workers`` children, and every
+    child exercises three verdicts against it: a check that *drops
+    only if the invariant was inherited* (chmod of a decoy socket the
+    recorded inode no longer matches — state loss would read as a
+    missing key, which never matches, i.e. a silent allow), the
+    matching allow on the recorded socket, and a fresh violation
+    after the child overwrites the key with its own bind.  Returns
+    verdict strings, time-stripped drop records, engine counters, and
+    each child's view of the STATE key, for exact comparison between
+    the CoW and eager modes.
+    """
+    kernel = build_world()
+    firewall = ProcessFirewall(EngineConfig.compiled())
+    kernel.attach_firewall(firewall)
+    kernel.fork_state_mode = mode
+    for text in (
+        "pftables -A input -o SOCKET_BIND -j STATE --set --key 0xbeef --value C_INO",
+        "pftables -A input -o SOCKET_SETATTR -m STATE --key 0xbeef --cmp C_INO --nequal -j DROP",
+    ):
+        firewall.install(text)
+    parent = spawn_root_shell(kernel, comm="prefork-parent")
+    kernel.sys.bind(parent, "/tmp/decoy.sock")
+    kernel.sys.bind(parent, "/tmp/parent.sock")  # records this C_INO
+    verdicts = []
+    state_views = []
+    for n in range(workers):
+        child = kernel.sys.fork(parent)
+        state_views.append(dict(child.pf.state))
+        # Inheritance-sensitive: the recorded inode is parent.sock's,
+        # so the decoy mismatches -> DROP.  A child that lost pf_state
+        # would see a missing key (never matches) and sail through.
+        try:
+            kernel.sys.chmod(child, "/tmp/decoy.sock", 0o600)
+            verdicts.append("allow")
+        except Exception as exc:
+            verdicts.append(type(exc).__name__)
+        # The recorded socket itself still matches -> allow.
+        try:
+            kernel.sys.chmod(child, "/tmp/parent.sock", 0o600)
+            verdicts.append("allow")
+        except Exception as exc:
+            verdicts.append(type(exc).__name__)
+        # CoW break: the child's own bind overwrites the key (first
+        # write after fork), after which the parent's socket mismatches.
+        kernel.sys.bind(child, "/tmp/child{}.sock".format(n))
+        try:
+            kernel.sys.chmod(child, "/tmp/parent.sock", 0o600)
+            verdicts.append("allow")
+        except Exception as exc:
+            verdicts.append(type(exc).__name__)
+    drops = [
+        {key: value for key, value in record.items() if key != "time"}
+        for record in firewall.audit.records(kind="drop")
+    ]
+    stats = firewall.stats
+    counters = {
+        "invocations": stats.invocations,
+        "accepts": stats.accepts,
+        "drops": stats.drops,
+        "decision_cache_hits": stats.decision_cache_hits,
+    }
+    return {
+        "verdicts": verdicts,
+        "drops": drops,
+        "counters": counters,
+        "state_views": state_views,
+    }

@@ -358,11 +358,20 @@ class TestDecisionCache:
         assert root.pf_decision_cache is not None
         child = world.sys.fork(root)
         assert child.pf_decision_cache is not None
-        # Independent copies: the child warming new entries must not
-        # leak into the parent (and vice versa).
+        # CoW contract: the entries are structurally shared right after
+        # fork (O(1) inheritance) ...
+        assert child.pf_decision_cache[1] is root.pf_decision_cache[1]
+        before = {k: set(v) if v is not True else True for k, v in root.pf_decision_cache[1].items()}
+        # ... and the first memoization on either side breaks the share:
+        # the child warming a new entrypoint head must not leak into
+        # the parent.
+        child.call(child.binary, 0x1)
+        world.sys.stat(child, "/etc/passwd")
         assert child.pf_decision_cache[1] is not root.pf_decision_cache[1]
+        assert root.pf_decision_cache[1] == before
         world.sys.execve(child, "/bin/sh")
         assert child.pf_decision_cache is None
+        assert root.pf_decision_cache is not None
 
     def test_flush_invalidates_via_stamp(self):
         world, pf, root = self._world()

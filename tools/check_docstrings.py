@@ -33,6 +33,8 @@ CHECKED_MODULES = [
     "repro.firewall.engine",
     "repro.firewall.codegen",
     "repro.firewall.rescache",
+    "repro.firewall.procstate",
+    "repro.workloads.forkscale",
     "repro.parallel",
     "repro.parallel.shard",
     "repro.parallel.worker",
