@@ -26,14 +26,14 @@ import statistics
 import time
 
 from repro.analysis.tables import format_table
-from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.api import Session
 from repro.firewall.persist import save_rules
 from repro.parallel import replay_serial, replay_sharded
 from repro.parallel.batch import record_mediations, replay_mediations, reset_mediation_state
 from repro.parallel.shard import plan_shards
 from repro.rulesets.generated import generate_full_rulebase, install_full_rulebase
 from repro.workloads.macro import record_scale_trace
-from repro.world import build_world, spawn_root_shell
+from repro.world import spawn_root_shell
 
 SCALE_JSON = os.path.join(os.path.dirname(__file__), "BENCH_macro_scale.json")
 
@@ -66,9 +66,7 @@ def _usable_cores():
 
 
 def _rules_text():
-    firewall = ProcessFirewall(EngineConfig.jitted())
-    install_full_rulebase(firewall)
-    return save_rules(firewall)
+    return save_rules(Session(engine="JITTED", rules=install_full_rulebase).firewall)
 
 
 def _mean_stdev(values):
@@ -96,11 +94,8 @@ def _measure_batch_ratio(records=2000, repeats=5):
     from cold per-process caches; verdicts are asserted equal between
     modes before any timing counts.
     """
-    kernel = build_world()
-    kernel.audit_enabled = False
-    firewall = ProcessFirewall(EngineConfig.jitted())
-    kernel.attach_firewall(firewall)
-    install_full_rulebase(firewall)
+    session = Session(engine="JITTED", rules=install_full_rulebase, kernel_audit=False)
+    kernel, firewall = session.kernel, session.firewall
     root = spawn_root_shell(kernel)
     with record_mediations(firewall) as stream:
         for _ in range(max(records // 4, 100)):

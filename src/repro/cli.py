@@ -176,17 +176,18 @@ def _drive_workload(world, shell):
 
 
 def cmd_counters(args):
-    from repro.world import build_world, spawn_root_shell
+    from repro.api import Session
+    from repro.world import spawn_root_shell
 
-    world = build_world()
     # Resource-context caching is decision-identical, so turning it on
     # here costs nothing and lets the counters view surface the
     # pf_rescache_total{result=...} family alongside the chain counters.
-    firewall = ProcessFirewall(EngineConfig(resource_cache=True))
-    world.attach_firewall(firewall)
-    for line in read_rule_lines(args.file):
-        pftables(firewall, line)
-    firewall.metrics.enable()
+    session = Session(
+        engine=EngineConfig(resource_cache=True),
+        rules=read_rule_lines(args.file),
+        metered=True,
+    )
+    world, firewall = session.kernel, session.firewall
     shell = spawn_root_shell(world)
     _drive_workload(world, shell)
     if args.json:
@@ -213,9 +214,10 @@ def cmd_counters(args):
 
 def cmd_explain(args):
     if getattr(args, "codegen", False):
+        from repro.api import resolve_engine
         from repro.firewall.codegen import dump_codegen
 
-        firewall = ProcessFirewall(EngineConfig.jitted())
+        firewall = ProcessFirewall(resolve_engine("JITTED"))
         for line in read_rule_lines(args.file):
             pftables(firewall, line)
         print(dump_codegen(firewall))
@@ -252,13 +254,11 @@ def cmd_explain(args):
             print(trace.render())
         return 0
 
-    from repro.world import build_world, spawn_root_shell
+    from repro.api import Session
+    from repro.world import spawn_root_shell
 
-    world = build_world()
-    firewall = ProcessFirewall()
-    world.attach_firewall(firewall)
-    for line in read_rule_lines(args.file):
-        pftables(firewall, line)
+    session = Session(rules=read_rule_lines(args.file))
+    world, firewall = session.kernel, session.firewall
     tracer = firewall.enable_tracing(capacity=1024)
     shell = spawn_root_shell(world)
     try:
@@ -284,7 +284,7 @@ def cmd_bench_scale(args):
     if args.file:
         firewall = _load_file(args.file)
     else:
-        firewall = ProcessFirewall(EngineConfig.jitted())
+        firewall = ProcessFirewall()
         install_full_rulebase(firewall)
     rules_text = save_rules(firewall)
     trace = record_scale_trace(
@@ -332,6 +332,81 @@ def cmd_bench_scale(args):
             point["workers"], point["throughput_cpu"],
             point["throughput_wall"], point["speedup_cpu"]))
     print("verdict parity vs serial: OK ({} records)".format(len(reference)))
+    return 0
+
+
+def cmd_serve(args):
+    """Run the live mediation service over a generated session stream."""
+    from repro.service import run_service
+    from repro.workloads.generators import generate_stream
+
+    rules_text = None
+    if args.file:
+        from repro.firewall.persist import save_rules as _save
+
+        rules_text = _save(_load_file(args.file))
+    specs = generate_stream(args.sessions, seed=args.seed)
+    result = run_service(
+        specs,
+        rules_text,
+        engine=args.engine,
+        workers=args.workers,
+        processes=not args.inline,
+        mode="open" if args.rate else "closed",
+        offered_rate=args.rate,
+        max_pending=args.max_pending,
+    )
+    counters = result["counters"]
+    throughput = result["throughput"]
+    latency = result["latency"]
+    print("service: {} workers, engine {}, {} mode".format(
+        args.workers, args.engine,
+        "open-loop @ {}/s".format(args.rate) if args.rate else "closed-loop"))
+    print("sessions: {} offered, {} admitted, {} completed, {} rejected".format(
+        args.sessions, counters["admitted"], counters["completed"],
+        counters["rejected"]))
+    print("mediations: {} total, {} dropped; {:.1f}/s wall, {:.1f}/cpu-s".format(
+        throughput["mediations"], result["drops"],
+        throughput["mediations_per_s"], throughput["mediations_per_cpu_s"]))
+    if latency["p50"] is not None:
+        print("mediation latency: p50 {:.1f}us  p99 {:.1f}us".format(
+            latency["p50"] * 1e6, latency["p99"] * 1e6))
+    print("backpressure: queue peak {}, inflight peak {}".format(
+        counters["queue_depth_peak"], counters["inflight_peak"]))
+    return 0
+
+
+def cmd_bench_service(args):
+    """Run the service throughput/latency sweep from the CLI."""
+    import json as _json
+
+    from repro.service.driver import sweep_service
+
+    result = sweep_service(
+        worker_counts=args.workers,
+        load_factors=args.loads,
+        sessions=args.sessions,
+        seed=args.seed,
+        engine=args.engine,
+        processes=not args.inline,
+    )
+    if args.json:
+        print(_json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    print("service sweep: {} sessions/point, engine {}".format(
+        args.sessions, args.engine))
+    print("{:>8} {:>6} {:>12} {:>10} {:>10} {:>10} {:>9}".format(
+        "workers", "load", "offered/s", "done/s", "p50us", "p99us", "rejected"))
+    for row in result["worker_points"]:
+        closed = row["closed_loop"]
+        print("{:>8} {:>6} {:>12} {:>10} {:>10} {:>10} {:>9}".format(
+            row["workers"], "cap", "-", closed["sessions_per_s"],
+            closed["p50_us"], closed["p99_us"], 0))
+        for point in row["load_points"]:
+            print("{:>8} {:>5.1f}x {:>12} {:>10} {:>10} {:>10} {:>9}".format(
+                row["workers"], point["load_factor"], point["offered_rate"],
+                point["sessions_per_s"], point["p50_us"], point["p99_us"],
+                point["rejected"]))
     return 0
 
 
@@ -461,6 +536,53 @@ def build_parser():
     p.add_argument("--json", action="store_true",
                    help="emit the sweep as JSON instead of a table")
     p.set_defaults(func=cmd_bench_scale)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the live mediation service over a generated session "
+             "stream and report throughput, tail latency, and backpressure")
+    p.add_argument("file", nargs="?", default=None,
+                   help="rules file (default: R1-R12 + safe_open)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes (default 2)")
+    p.add_argument("--sessions", type=int, default=100,
+                   help="sessions to generate (default 100)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="open-loop offered load, sessions/s "
+                        "(default: closed loop)")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="open-loop admission queue bound (default 64)")
+    p.add_argument("--seed", type=int, default=0x5EA5,
+                   help="stream seed (default 0x5EA5)")
+    p.add_argument("--engine", default="JITTED",
+                   help="engine preset for every worker (default JITTED)")
+    p.add_argument("--inline", action="store_true",
+                   help="run sessions in-process instead of spawning "
+                        "OS workers (debugging / serial reference)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "bench-service",
+        help="sweep the service over worker counts and offered-load "
+             "factors; report sustained throughput and p50/p99 latency")
+    p.add_argument("--workers", type=lambda s: [int(n) for n in s.split(",")],
+                   default=[1, 2, 4], metavar="N[,N...]",
+                   help="worker counts to sweep (default 1,2,4)")
+    p.add_argument("--loads", type=lambda s: [float(n) for n in s.split(",")],
+                   default=[0.5, 1.0, 2.0], metavar="F[,F...]",
+                   help="open-loop load factors x closed-loop capacity "
+                        "(default 0.5,1.0,2.0)")
+    p.add_argument("--sessions", type=int, default=200,
+                   help="sessions per measurement point (default 200)")
+    p.add_argument("--seed", type=int, default=0x5EA5,
+                   help="stream seed (default 0x5EA5)")
+    p.add_argument("--engine", default="JITTED",
+                   help="engine preset for every worker (default JITTED)")
+    p.add_argument("--inline", action="store_true",
+                   help="inline runners instead of OS workers")
+    p.add_argument("--json", action="store_true",
+                   help="emit the sweep as JSON instead of a table")
+    p.set_defaults(func=cmd_bench_service)
 
     p = sub.add_parser(
         "bench-fork",

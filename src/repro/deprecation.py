@@ -1,0 +1,48 @@
+"""One deprecation path for every compat shim.
+
+Historically each compatibility surface (the ``Process.pf_*``
+attribute views, the engine's ``log_records`` list view) was silent:
+callers could not tell they were on a shim, and the shims could never
+be removed.  This module gives them a single exit ramp:
+
+- :func:`warn_once` emits **one** :class:`DeprecationWarning` per shim
+  per interpreter, always naming the facade-era replacement, so a busy
+  replay loop touching a shim millions of times warns exactly once;
+- the removal schedule lives in ``docs/INTERNALS.md`` ("Compat shims
+  and their removal plan"), not scattered through docstrings.
+
+Tests that assert on the warning call :func:`reset_warned` first so
+the warn-once latch cannot make them order-dependent.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: Shim keys that already warned this interpreter (the warn-once latch).
+_WARNED = set()
+
+
+def warn_once(shim, replacement, stacklevel=3):
+    """Emit one ``DeprecationWarning`` for ``shim``, naming ``replacement``.
+
+    ``shim`` is a stable key (e.g. ``"Process.pf_state"``); repeated
+    calls with the same key are free no-ops, so shims on hot paths pay
+    one set probe after the first hit.  ``stacklevel`` defaults to 3:
+    the caller's caller, which for a property shim is the user code
+    that read the attribute.
+    """
+    if shim in _WARNED:
+        return
+    _WARNED.add(shim)
+    warnings.warn(
+        "{} is deprecated; use {} (see docs/INTERNALS.md, "
+        "'Compat shims and their removal plan')".format(shim, replacement),
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset_warned():
+    """Clear the warn-once latch (test isolation only)."""
+    _WARNED.clear()

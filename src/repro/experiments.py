@@ -128,6 +128,38 @@ def run_baseline_matrix(quick=False):
     )
 
 
+def run_service_experiment(quick=False):
+    """Steady-state service summary (beyond the paper: §6.3 sustained).
+
+    A small closed-loop run through :func:`repro.service.run_service`
+    at 1 and 2 inline workers — throughput, p50/p99 mediation latency,
+    and drop counts over a fixed-seed generated session stream.  The
+    statistically careful sweep lives in ``benchmarks/bench_service.py``.
+    """
+    from repro.service import run_service
+    from repro.workloads.generators import generate_stream
+
+    sessions = 20 if quick else 80
+    specs = generate_stream(sessions, seed=0x5EA5)
+    rows = []
+    for workers in (1, 2):
+        result = run_service(specs, workers=workers, processes=False)
+        latency = result["latency"]
+        rows.append((
+            workers,
+            result["counters"]["completed"],
+            result["drops"],
+            "{:.0f}".format(result["throughput"]["mediations_per_cpu_s"]),
+            "{:.1f}".format(latency["p50"] * 1e6 if latency["p50"] else 0),
+            "{:.1f}".format(latency["p99"] * 1e6 if latency["p99"] else 0),
+        ))
+    return format_table(
+        ["workers", "sessions", "drops", "med/cpu-s", "p50 us", "p99 us"],
+        rows,
+        title="Service (closed-loop, generated sessions; inline workers)",
+    )
+
+
 EXPERIMENTS = {
     "table1": lambda quick: run_table1(),
     "table4": run_table4,
@@ -137,10 +169,14 @@ EXPERIMENTS = {
     "table7": run_table7,
     "table8": run_table8,
     "baselines": run_baseline_matrix,
+    "service": run_service_experiment,
 }
 
-#: Paper presentation order.
-DEFAULT_ORDER = ["table1", "table4", "fig4", "fig5", "table6", "table7", "table8", "baselines"]
+#: Paper presentation order (the beyond-paper service summary last).
+DEFAULT_ORDER = [
+    "table1", "table4", "fig4", "fig5", "table6", "table7", "table8",
+    "baselines", "service",
+]
 
 
 def main(argv=None):

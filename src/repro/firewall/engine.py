@@ -54,6 +54,7 @@ from time import perf_counter
 from typing import Dict
 
 from repro import errors
+from repro.deprecation import warn_once
 from repro.firewall import targets as tg
 from repro.firewall.context import _DECISION_STABLE_INT, ContextField, ContextFrame
 from repro.firewall.codegen import JitProgram
@@ -460,7 +461,12 @@ class ProcessFirewall:
         capacity, unlike the unbounded list it replaces.  Appending to
         the returned list does not store anything; emit through
         :attr:`audit` instead.
+
+        Deprecated (warns once per interpreter): read
+        ``firewall.audit.records(kind="log")`` directly.
         """
+        warn_once("ProcessFirewall.log_records",
+                  'firewall.audit.records(kind="log")')
         return self.audit.records(kind="log")
 
     def enable_tracing(self, capacity=256):

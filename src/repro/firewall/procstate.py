@@ -58,6 +58,7 @@ _STATS = {
     "eager_forks": 0,
     "state_copies": 0,
     "decision_copies": 0,
+    "releases": 0,
 }
 
 
@@ -66,7 +67,8 @@ def substrate_stats():
 
     ``cow_forks`` / ``eager_forks`` count :meth:`ProcState.fork` calls
     by mode; ``state_copies`` counts :class:`CowMap` share breaks;
-    ``decision_copies`` counts decision-cache share breaks.  The
+    ``decision_copies`` counts decision-cache share breaks;
+    ``releases`` counts :meth:`ProcState.release` reaps.  The
     fork-scale benchmark reports these next to its timings so a
     regression to eager copying is visible as numbers, not just as a
     slower curve.
@@ -347,6 +349,23 @@ class ProcState:
         self.state = CowMap()
         self.context_cache = None
         self.decision_invalidate()
+
+    def release(self):
+        """Reap path: drop every reference this bundle holds.
+
+        Called when a process leaves the census for good (session
+        close in service mode, explicit reap).  A shared map or
+        decision cache is simply walked away from — fork relatives
+        keep theirs — so after release this bundle pins no storage
+        regardless of how many relatives once shared it.  Counted in
+        ``substrate_stats()['releases']`` so churn tests can assert
+        reaps actually happened rather than processes merely going
+        out of scope.
+        """
+        self.state = CowMap()
+        self.context_cache = None
+        self.decision_invalidate()
+        _STATS["releases"] += 1
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return "<ProcState state={} decision={}>".format(

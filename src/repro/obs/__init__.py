@@ -10,8 +10,12 @@ Three pieces, all threaded through :class:`repro.firewall.engine.ProcessFirewall
   per-chain / per-table counters and engine phase timers behind a
   near-zero-cost disabled path, exportable as JSON and Prometheus text.
 - :mod:`repro.obs.audit` — a bounded **audit ring buffer** with
-  severity levels, replacing the unbounded ``log_records`` list (which
-  survives as a compatibility view).
+  severity levels, replacing the unbounded ``log_records`` list (now a
+  *deprecated* compatibility view — see ``docs/INTERNALS.md``, "Compat
+  shims and their removal plan").
+- :mod:`repro.obs.service` — **service-mode counters**: admission /
+  completion / rejection tallies, queue and inflight peaks, and a
+  bounded latency reservoir with nearest-rank percentiles.
 
 Schema and overhead numbers: ``docs/OBSERVABILITY.md``.
 """
@@ -32,6 +36,7 @@ from repro.obs.metrics import (
     parse_prometheus,
     registry_from_prometheus,
 )
+from repro.obs.service import ServiceCounters, percentile
 from repro.obs.trace import ChainVisit, DecisionTrace, RuleEval, Tracer
 
 __all__ = [
@@ -45,9 +50,11 @@ __all__ = [
     "MetricsRegistry",
     "RuleEval",
     "SEVERITY_LEVELS",
+    "ServiceCounters",
     "Tracer",
     "WARNING",
     "parse_prometheus",
+    "percentile",
     "registry_from_prometheus",
     "severity_level",
     "severity_name",

@@ -1,0 +1,102 @@
+"""Service-mode observability: admission, backpressure, and tail latency.
+
+The live mediation service (:mod:`repro.service`) is judged on
+*steady-state* behaviour — sustained throughput and the latency tail —
+so its driver keeps one :class:`ServiceCounters` per run: admission
+outcomes (admitted / completed / rejected / errored), high-water marks
+for the pending queue and in-flight window (the backpressure
+signature), and a bounded reservoir of per-mediation latency samples
+from which the p50/p99 the benchmark reports are computed.
+
+The reservoir is *windowed*, not sampled: it keeps the most recent
+``capacity`` samples.  Steady-state percentiles should describe the
+converged regime, and a bounded window both caps memory over unbounded
+streams and naturally forgets cold-start samples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+#: Default bound of the latency reservoir (samples, not sessions).
+DEFAULT_RESERVOIR = 65536
+
+
+def percentile(samples, p):
+    """The ``p``-th percentile of ``samples`` (nearest-rank, p in 0-100).
+
+    Returns ``None`` for an empty sample set — a run that mediated
+    nothing has no latency distribution, and the benchmark emitter
+    treats that as a hole, not a zero.
+    """
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round((p / 100.0) * len(ordered))) - 1))
+    if p <= 0:
+        rank = 0
+    return ordered[rank]
+
+
+class ServiceCounters:
+    """Admission/backpressure counters + a bounded latency reservoir.
+
+    Single-writer by construction (one instance lives in the driver
+    process; workers report latency samples back in their result
+    payloads), so plain attributes suffice.
+    """
+
+    def __init__(self, reservoir=DEFAULT_RESERVOIR):
+        #: Sessions handed to a worker (or inline runner).
+        self.admitted = 0
+        #: Sessions that ran to completion (their result was merged).
+        self.completed = 0
+        #: Sessions refused at admission because the pending queue was
+        #: full — the open-loop backpressure signal.
+        self.rejected = 0
+        #: Sessions that died in a worker (driver re-raises; counted
+        #: so a partial run's snapshot still shows the loss).
+        self.errors = 0
+        #: High-water mark of the arrival (pending) queue.
+        self.queue_depth_peak = 0
+        #: High-water mark of sessions running concurrently in workers.
+        self.inflight_peak = 0
+        self._latencies = deque(maxlen=reservoir)
+
+    def observe_queue(self, depth):
+        """Record the pending-queue depth after an arrival batch."""
+        if depth > self.queue_depth_peak:
+            self.queue_depth_peak = depth
+
+    def observe_inflight(self, depth):
+        """Record the in-flight session count after a submit."""
+        if depth > self.inflight_peak:
+            self.inflight_peak = depth
+
+    def observe_latencies(self, samples):
+        """Fold a completed session's mediation-latency samples in."""
+        self._latencies.extend(samples)
+
+    @property
+    def latency_samples(self):
+        """The retained (windowed) latency samples, oldest first."""
+        return list(self._latencies)
+
+    def latency_percentiles(self, points=(50, 99)):
+        """``{"p50": ..., "p99": ...}`` over the retained window."""
+        samples = sorted(self._latencies)
+        return {"p{}".format(p): percentile(samples, p) for p in points}
+
+    def as_dict(self):
+        """Picklable snapshot (counters + percentiles, not raw samples)."""
+        out = {
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "queue_depth_peak": self.queue_depth_peak,
+            "inflight_peak": self.inflight_peak,
+            "latency_samples_retained": len(self._latencies),
+        }
+        out.update(self.latency_percentiles())
+        return out

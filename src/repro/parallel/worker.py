@@ -4,9 +4,11 @@ Everything here is importable at module level because workers start
 under the ``multiprocessing`` **spawn** context (a fresh interpreter
 that re-imports the entry point by name — closures and ``__main__``
 lambdas would not survive the trip).  A worker receives one picklable
-payload dict, rebuilds its world from the registered builder, restores
-the firewall from serialized rule text (``firewall/persist``), spawns
-its shard's recorded root processes, and replays the shard's entries
+payload dict, assembles its whole mediation stack through the
+:class:`repro.api.Session` facade (world builders resolve by name from
+``repro.api.WORLD_BUILDERS``; rules restore from serialized
+``firewall/persist`` text), spawns its shard's recorded root
+processes, and replays the shard's entries
 through :func:`repro.workloads.replay.apply_entry` — the exact
 per-entry semantics of a serial :func:`~repro.workloads.replay.replay`.
 
@@ -26,29 +28,11 @@ import pickle
 import time
 import traceback
 
-from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.api import Session, resolve_engine
+from repro.firewall.engine import ProcessFirewall
 from repro.firewall.persist import load_rules, save_rules
 from repro.obs.audit import severity_name
-from repro.workloads.macro import build_scale_world
 from repro.workloads.replay import Trace, apply_entry, spawn_recorded
-from repro.world import build_world
-
-
-def _standard_world():
-    """The default E-scenario world, kernel-level audit off (the
-    firewall's own audit ring is unaffected and stays comparable)."""
-    kernel = build_world()
-    kernel.audit_enabled = False
-    return kernel
-
-
-#: World builders a payload may name: ``payload["world"]`` is
-#: ``(name, kwargs)``.  Registered by name (not by callable) because
-#: the payload must pickle across the spawn boundary.
-WORLD_BUILDERS = {
-    "standard": _standard_world,
-    "macro_scale": build_scale_world,
-}
 
 
 def _normalize_pid(record, live_to_recorded):
@@ -75,17 +59,14 @@ def run_shard(payload):
     mode — the OS-process path (:func:`worker_entry`) is the same code.
     """
     setup_start = time.perf_counter()
-    world_name, world_kwargs = payload.get("world", ("standard", {}))
-    builder = WORLD_BUILDERS.get(world_name)
-    if builder is None:
-        raise ValueError("unknown world builder {!r} (expected one of {})".format(
-            world_name, "/".join(sorted(WORLD_BUILDERS))))
-    kernel = builder(**dict(world_kwargs))
-    firewall = ProcessFirewall(EngineConfig.preset(payload.get("config", "JITTED")))
-    kernel.attach_firewall(firewall)
-    load_rules(firewall, payload["rules_text"])
-    if payload.get("metered"):
-        firewall.metrics.enable()
+    session = Session(
+        engine=payload.get("config", "JITTED"),
+        rules=payload["rules_text"],
+        world=payload.get("world", ("standard", {})),
+        metered=bool(payload.get("metered")),
+        kernel_audit=False,
+    )
+    kernel, firewall = session.kernel, session.firewall
     trace = Trace.from_json(payload["trace_json"])
     entries = trace.entries
     indices = payload["indices"]
@@ -169,7 +150,7 @@ def describe_rules_in_child(conn, payload):
     codegen rebuilds cleanly against the transported rules.
     """
     try:
-        firewall = ProcessFirewall(EngineConfig.preset(payload.get("config", "JITTED")))
+        firewall = ProcessFirewall(resolve_engine(payload.get("config", "JITTED")))
         if payload.get("pickled_rules") is not None:
             firewall.rules = pickle.loads(payload["pickled_rules"])
         else:

@@ -34,7 +34,7 @@ def suggest_script_rules(firewall, threshold=20):
     at least ``threshold`` invocations.
     """
     per_script = {}
-    for rec in firewall.log_records:
+    for rec in firewall.audit.records(kind="log"):
         script = rec.get("script")
         if not script:
             continue

@@ -65,13 +65,13 @@ def dump_log_json(firewall):
     """Serialize a firewall's ``LOG`` records to JSON text."""
     import json
 
-    return json.dumps(firewall.log_records)
+    return json.dumps(firewall.audit.records(kind="log"))
 
 
 def records_from_engine(firewall):
     """Convert a firewall's ``LOG`` output into trace records."""
     out = []
-    for rec in firewall.log_records:
+    for rec in firewall.audit.records(kind="log"):
         entrypoint = rec.get("entrypoint")
         out.append(
             TraceRecord(

@@ -1,0 +1,227 @@
+"""Per-worker session execution: admit, run, time, reap.
+
+A :class:`SessionRunner` is the long-lived heart of one service
+worker: it owns a single :class:`repro.api.Session` (world + kernel +
+engine + obs, built once at worker start — the whole point of the
+facade) and executes generated session specs against it one at a
+time.  For each session it:
+
+1. creates the session's private files and adversary trap
+   (:func:`repro.workloads.generators.setup_session_fs` — unmediated,
+   so setup cannot perturb verdicts);
+2. spawns the session's root process and executes the spec's step
+   tuples, timing each mediated syscall with ``perf_counter`` (the
+   latency samples the benchmark's p50/p99 come from) and recording
+   one ``(step index, op, status)`` verdict per step, where status is
+   ``"ok"``, ``"PFDenied"``, or the errno name;
+3. brackets the firewall audit ring around each step, tagging emitted
+   records ``(lclock=sid, sub)`` and rewriting live pids to stable
+   per-session logical ids — the same discipline as
+   :mod:`repro.parallel.worker`, so merged service audit interleaves
+   back to the serial shape;
+4. **reaps** every process the session created
+   (:meth:`repro.api.Session.reap`): descriptors closed, pid census
+   entry removed, CoW firewall state released.  The churn tests pin
+   that a runner's kernel returns to its pre-session census after
+   every close.
+
+Everything here is importable at module level because workers start
+under the ``multiprocessing`` **spawn** context;
+:func:`service_worker_entry` is the child-process main loop.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from repro.api import Session
+from repro.errors import KernelError, PFDenied
+from repro.obs.audit import severity_name
+from repro.parallel.merge import strip_volatile
+from repro.vfs.file import OpenFlags
+from repro.workloads.generators import setup_session_fs
+
+#: Steps whose syscalls pass through firewall mediation (timed).
+_MEDIATED_STEPS = frozenset(
+    ("open_read", "stat", "append", "fork_exec", "trap_open")
+)
+
+
+class SessionRunner:
+    """Executes generated session specs against one live Session.
+
+    ``init`` is the picklable worker payload: ``engine`` (preset name
+    or config), ``rules_text`` (``save_rules`` output), ``world``
+    (builder name or ``(name, kwargs)``, default the service world),
+    ``metered``, ``collect_audit``, ``worker_id``.
+    """
+
+    def __init__(self, init):
+        self.worker_id = init.get("worker_id", 0)
+        self.collect_audit = init.get("collect_audit", True)
+        self.session = Session(
+            engine=init.get("engine", "JITTED"),
+            rules=init.get("rules_text"),
+            world=init.get("world", "service"),
+            metered=init.get("metered", False),
+        )
+        #: Pid-census size of the idle runner; churn tests assert the
+        #: census returns here after every reap.
+        self.baseline_pids = len(self.session.kernel.processes)
+        #: Mediation-busy CPU seconds (process_time over run_session
+        #: bodies only — setup/idle excluded), the cpu-basis
+        #: throughput denominator.
+        self.busy_cpu = 0.0
+        self.sessions_run = 0
+
+    def run_session(self, spec):
+        """Admit, execute, and reap one session; returns its result.
+
+        The result is fully picklable: ``sid``, per-step verdicts,
+        tagged+normalized audit records, per-mediated-step latency
+        samples (seconds), and drop/mediation counts.
+        """
+        cpu_start = time.process_time()
+        session = self.session
+        kernel = session.kernel
+        sid = spec["sid"]
+        setup_session_fs(kernel, spec)
+        root = session.spawn(
+            spec["comm"], label=spec["label"], binary_path=spec["binary"]
+        )
+        procs = [root]
+        logical = {root.pid: 0}
+        ring = session.audit
+        verdicts = []
+        audit = []
+        latencies = []
+        drops = 0
+        stats = session.stats
+        mediations_before = stats.invocations
+        for idx, step in enumerate(spec["steps"]):
+            before = ring.next_seq()
+            timed = step[0] in _MEDIATED_STEPS
+            start = time.perf_counter() if timed else 0.0
+            try:
+                self._exec_step(root, step, procs, logical)
+            except PFDenied:
+                status = "PFDenied"
+                drops += 1
+            except KernelError as exc:
+                status = exc.errno_name
+            else:
+                status = "ok"
+            if timed:
+                latencies.append(time.perf_counter() - start)
+            verdicts.append((idx, step[0], status))
+            emitted = ring.next_seq() - before
+            if self.collect_audit and emitted:
+                for entry in ring.tail(emitted):
+                    audit.append({
+                        "worker": self.worker_id,
+                        "lclock": sid,
+                        "sub": len(audit),
+                        "severity": severity_name(entry.severity),
+                        "kind": entry.kind,
+                        "record": self._normalize(entry.record, logical),
+                    })
+        for proc in procs:
+            if proc.pid in kernel.processes:
+                session.reap(proc)
+            else:
+                # Exited during the session (fork_exec children):
+                # already out of the census; release state only.
+                proc.pf.release()
+        self.busy_cpu += time.process_time() - cpu_start
+        self.sessions_run += 1
+        return {
+            "sid": sid,
+            "verdicts": verdicts,
+            "audit": audit,
+            "latencies": latencies,
+            "mediations": stats.invocations - mediations_before,
+            "drops": drops,
+        }
+
+    def _exec_step(self, root, step, procs, logical):
+        """Execute one spec step tuple against the live kernel."""
+        sys = self.session.sys
+        kind = step[0]
+        if kind == "open_read" or kind == "trap_open":
+            fd = sys.open(root, step[1])
+            sys.read(root, fd)
+            sys.close(root, fd)
+        elif kind == "stat":
+            sys.stat(root, step[1])
+        elif kind == "getpid":
+            sys.getpid(root)
+        elif kind == "append":
+            fd = sys.open(root, step[1], OpenFlags.O_WRONLY | OpenFlags.O_APPEND)
+            sys.write(root, fd, step[2].encode())
+            sys.close(root, fd)
+        elif kind == "fork_exec":
+            child = sys.fork(root)
+            procs.append(child)
+            logical[child.pid] = len(logical)
+            sys.execve(child, step[2])
+            sys.exit(child, 0)
+        else:
+            raise ValueError("unknown session step {!r}".format(kind))
+
+    def _normalize(self, record, logical):
+        """Strip volatile fields; rewrite live pids to logical ids.
+
+        Logical ids are per-session creation indexes (root is 0), so
+        records compare equal across worlds with different live pid
+        assignment — the service analogue of the replay worker's
+        recorded-pid rewrite.
+        """
+        out = strip_volatile(record)
+        pid = out.get("pid")
+        if pid in logical:
+            out["pid"] = logical[pid]
+        return out
+
+    def snapshot(self):
+        """Final picklable worker summary (merged by the driver)."""
+        firewall = self.session.firewall
+        metrics = firewall.metrics
+        return {
+            "worker_id": self.worker_id,
+            "sessions": self.sessions_run,
+            "stats": firewall.stats.as_dict(),
+            "metrics_prom": metrics.to_prometheus() if metrics.enabled else None,
+            "cpu_s": self.busy_cpu,
+            "live_pids": len(self.session.kernel.processes),
+            "baseline_pids": self.baseline_pids,
+        }
+
+
+def service_worker_entry(conn, init):
+    """Spawn-context worker main loop.
+
+    Protocol (driver side in :mod:`repro.service.pool`): the parent
+    sends ``("run", spec)`` messages and the worker answers each with
+    ``("done", result)``; ``("fin",)`` answers ``("fin", snapshot)``
+    and exits.  Any failure ships ``("error", traceback text)`` and
+    exits — the driver re-raises with the child traceback attached.
+    """
+    try:
+        runner = SessionRunner(init)
+        while True:
+            msg = conn.recv()
+            if msg[0] == "run":
+                conn.send(("done", runner.run_session(msg[1])))
+            elif msg[0] == "fin":
+                conn.send(("fin", runner.snapshot()))
+                break
+            else:
+                raise ValueError("unknown service message {!r}".format(msg[0]))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()

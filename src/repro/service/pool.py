@@ -1,0 +1,218 @@
+"""Long-lived worker pool for the mediation service.
+
+:mod:`repro.parallel` workers are one-shot: build a world, replay a
+shard, ship one snapshot, exit.  A service cannot pay world
+construction per session, so :class:`ServicePool` keeps spawn-context
+OS workers **alive across sessions**: each worker builds its
+:class:`~repro.service.core.SessionRunner` once, then serves
+``("run", spec)`` requests over its pipe until the pool is closed,
+answering ``("fin",)`` with its final engine/obs snapshot.
+
+The pool also has an inline mode (``processes=False``) running the
+same :class:`SessionRunner` code in the calling process — the serial
+reference of the differential tests and the debugging path, exactly
+mirroring :mod:`repro.parallel.driver`'s inline shards: any
+divergence between inline and spawned runs is a service bug, not a
+harness artifact.
+
+Dispatch is least-outstanding-first with a bounded per-worker window
+(:data:`DEFAULT_WORKER_WINDOW`); :meth:`ServicePool.has_capacity` is
+what the driver's admission controller consults, making the pool the
+backpressure boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing.connection import wait as connection_wait
+
+from repro.service.core import SessionRunner, service_worker_entry
+
+#: Sessions a single worker may have queued+running at once.  Small:
+#: enough to hide pipe latency, small enough that admission control —
+#: not pipe buffering — is what absorbs overload.
+DEFAULT_WORKER_WINDOW = 4
+
+
+class ServicePool:
+    """``workers`` long-lived session executors behind one submit API.
+
+    ``init`` is the :class:`~repro.service.core.SessionRunner` payload
+    (engine, rules text, world, metering) shipped to every worker;
+    ``processes=True`` starts spawn-context OS workers, ``False`` runs
+    inline runners in the calling process (results are queued and
+    drained through the same :meth:`poll` API, so drivers are
+    mode-blind).  ``window`` bounds per-worker outstanding sessions.
+    """
+
+    def __init__(self, workers, init, processes=True, window=DEFAULT_WORKER_WINDOW):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self.window = window
+        self.processes = processes
+        self._outstanding = [0] * workers
+        self._closed = False
+        if processes:
+            ctx = multiprocessing.get_context("spawn")
+            self._conns = []
+            self._procs = []
+            for worker_id in range(workers):
+                parent, child = ctx.Pipe(duplex=True)
+                payload = dict(init)
+                payload["worker_id"] = worker_id
+                proc = ctx.Process(
+                    target=service_worker_entry, args=(child, payload)
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+        else:
+            self._runners = []
+            self._inline_done = []
+            self._rr = 0
+            for worker_id in range(workers):
+                payload = dict(init)
+                payload["worker_id"] = worker_id
+                self._runners.append(SessionRunner(payload))
+
+    # ------------------------------------------------------------------
+    # capacity / dispatch
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight(self):
+        """Total sessions currently queued or running in workers."""
+        return sum(self._outstanding)
+
+    def has_capacity(self):
+        """True when some worker's window has room for one more."""
+        return any(count < self.window for count in self._outstanding)
+
+    def submit(self, spec):
+        """Dispatch ``spec`` to the least-loaded worker with room.
+
+        Raises ``RuntimeError`` when every window is full — the driver
+        must consult :meth:`has_capacity` first; overload is *its*
+        admission decision, not a hidden queue here.
+
+        Inline mode executes synchronously (the session is complete
+        when ``submit`` returns, its result queued for :meth:`poll`)
+        and distributes round-robin so a multi-runner inline pool
+        exercises the same session-to-worker spread a process pool
+        would.
+        """
+        if not self.processes:
+            target = self._rr % self.workers
+            self._rr += 1
+            self._inline_done.append(self._runners[target].run_session(spec))
+            return
+        target = min(range(self.workers), key=lambda w: self._outstanding[w])
+        if self._outstanding[target] >= self.window:
+            raise RuntimeError("pool saturated; caller must backpressure")
+        self._outstanding[target] += 1
+        try:
+            self._conns[target].send(("run", spec))
+        except (BrokenPipeError, OSError):
+            self._reap_processes()
+            raise RuntimeError(
+                "service worker {} died without reporting (pipe closed); "
+                "cannot dispatch".format(target)
+            )
+
+    def poll(self, timeout=None):
+        """Collect completed-session results; returns a (maybe empty) list.
+
+        Inline mode drains the synchronous-completion queue.  Process
+        mode waits up to ``timeout`` seconds for any worker pipe to be
+        readable and drains every ready one.  A worker error is
+        re-raised here with the child traceback attached.
+        """
+        results = []
+        if not self.processes:
+            results, self._inline_done = self._inline_done, []
+            return results
+        ready = connection_wait(self._conns, timeout=timeout)
+        for conn in ready:
+            worker_id = self._conns.index(conn)
+            kind, payload = self._recv(conn, worker_id)
+            if kind == "error":
+                self._reap_processes()
+                raise RuntimeError(
+                    "service worker {} failed:\n{}".format(worker_id, payload)
+                )
+            if kind != "done":
+                raise RuntimeError(
+                    "unexpected {!r} from worker {}".format(kind, worker_id)
+                )
+            self._outstanding[worker_id] -= 1
+            results.append(payload)
+        return results
+
+    def _recv(self, conn, worker_id):
+        """One message from ``worker_id``; a dead pipe becomes a clear error.
+
+        A worker that dies before shipping its ``("error", ...)``
+        message (killed, import failure in the spawned interpreter)
+        closes the pipe instead; surface that as the same
+        ``RuntimeError`` shape rather than a raw ``EOFError`` /
+        ``ConnectionResetError`` from the depths of multiprocessing.
+        """
+        try:
+            return conn.recv()
+        except (EOFError, ConnectionResetError):
+            self._reap_processes()
+            raise RuntimeError(
+                "service worker {} died without reporting (pipe closed); "
+                "it may have failed before its runner was built".format(worker_id)
+            )
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+
+    def close(self):
+        """Finalize every worker; returns their engine/obs snapshots.
+
+        Sends ``("fin",)`` and gathers one
+        :meth:`~repro.service.core.SessionRunner.snapshot` per worker;
+        idempotent-unsafe by design (a closed pool is done).  Workers
+        must be drained (``inflight == 0``) first.
+        """
+        if self._closed:
+            raise RuntimeError("pool already closed")
+        if self.inflight:
+            raise RuntimeError(
+                "close() with {} sessions in flight; drain first".format(self.inflight)
+            )
+        self._closed = True
+        if not self.processes:
+            return [runner.snapshot() for runner in self._runners]
+        snapshots = []
+        try:
+            for conn in self._conns:
+                conn.send(("fin",))
+            for worker_id, conn in enumerate(self._conns):
+                kind, payload = self._recv(conn, worker_id)
+                if kind != "fin":
+                    raise RuntimeError(
+                        "worker {} failed at shutdown:\n{}".format(worker_id, payload)
+                    )
+                snapshots.append(payload)
+        finally:
+            self._reap_processes()
+        return snapshots
+
+    def _reap_processes(self):
+        """Join/kill worker processes and close pipes (error paths too)."""
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung-worker safety
+                proc.terminate()
+                proc.join(timeout=5)

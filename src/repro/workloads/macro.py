@@ -14,7 +14,7 @@ Syscall-trace replays shaped like the paper's workloads:
 from __future__ import annotations
 
 import time
-from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.api import Session
 from repro.programs.apache import ApacheServer
 from repro.programs.ld_so import DynamicLinker
 from repro.rulesets.generated import install_full_rulebase
@@ -30,16 +30,23 @@ SCALE_PROFILES = ("mixed", "null")
 
 
 def _configure(config):
-    """Build a world under one Table 7 configuration."""
-    kernel = build_world()
-    kernel.audit_enabled = False
+    """Build a world under one Table 7 configuration.
+
+    Assembly goes through the :class:`repro.api.Session` facade:
+    "PF Base" is the EPTSPC engine with no rules, "PF Full" installs
+    the generated 1218-rule base, and "Without PF" is a bare kernel
+    with no firewall attached at all.
+    """
     if config == "Without PF":
+        kernel = build_world()
+        kernel.audit_enabled = False
         return kernel
-    firewall = ProcessFirewall(EngineConfig.optimized())
-    kernel.attach_firewall(firewall)
-    if config == "PF Full":
-        install_full_rulebase(firewall)
-    return kernel
+    session = Session(
+        engine="EPTSPC",
+        rules=install_full_rulebase if config == "PF Full" else None,
+        kernel_audit=False,
+    )
+    return session.kernel
 
 
 class MacrobenchSuite:

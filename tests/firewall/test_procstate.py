@@ -104,7 +104,8 @@ class TestProcStateFork:
         assert child.context_cache is pf.context_cache
         assert pf.decision_shared and child.decision_shared
         assert substrate_stats() == {
-            "cow_forks": 1, "eager_forks": 0, "state_copies": 0, "decision_copies": 0,
+            "cow_forks": 1, "eager_forks": 0, "state_copies": 0,
+            "decision_copies": 0, "releases": 0,
         }
 
     def test_eager_fork_copies_everything(self):

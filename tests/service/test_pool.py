@@ -1,0 +1,45 @@
+"""ServicePool edge behaviour: saturation, shutdown, dead workers."""
+
+import pytest
+
+from repro.service.pool import ServicePool
+from repro.workloads.generators import generate_stream, service_rules_text
+
+
+@pytest.fixture(scope="module")
+def init():
+    return {"engine": "JITTED", "rules_text": service_rules_text()}
+
+
+def test_inline_pool_is_synchronous(init):
+    pool = ServicePool(2, init, processes=False)
+    specs = generate_stream(4, seed=5)
+    for spec in specs:
+        pool.submit(spec)
+    assert pool.inflight == 0  # inline completions never count as inflight
+    results = pool.poll(timeout=0)
+    assert sorted(r["sid"] for r in results) == [s["sid"] for s in specs]
+    snapshots = pool.close()
+    assert sum(s["sessions"] for s in snapshots) == 4
+
+
+def test_close_refuses_inflight_and_double_close(init):
+    pool = ServicePool(1, init, processes=False)
+    pool.close()
+    with pytest.raises(RuntimeError):
+        pool.close()
+
+
+def test_dead_worker_surfaces_as_runtime_error(init):
+    """A killed worker becomes a clear error, not a raw EOFError."""
+    pool = ServicePool(1, init, processes=True)
+    spec = generate_stream(1, seed=11)[0]
+    pool.submit(spec)
+    pool.poll(timeout=30)  # wait out runner construction + first session
+    pool._procs[0].kill()
+    pool._procs[0].join(timeout=10)
+    with pytest.raises(RuntimeError, match="died without reporting"):
+        # The closed pipe reads as ready-with-EOF; a late submit on the
+        # dead pipe raises the same shape from the send side.
+        pool.submit(generate_stream(2, seed=12)[1])
+        pool.poll(timeout=30)

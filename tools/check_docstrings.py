@@ -41,6 +41,14 @@ CHECKED_MODULES = [
     "repro.parallel.merge",
     "repro.parallel.driver",
     "repro.parallel.batch",
+    "repro.api",
+    "repro.deprecation",
+    "repro.obs.service",
+    "repro.service",
+    "repro.service.core",
+    "repro.service.pool",
+    "repro.service.driver",
+    "repro.workloads.generators",
 ]
 
 
