@@ -27,6 +27,10 @@ files:
   children under eager-copy vs copy-on-write state propagation
   (``repro.workloads.forkscale``) and print per-fork cost and
   substrate bytes, with CoW-vs-eager observable parity checked.
+- ``compile-tables`` — ahead-of-time compile a rules file into the
+  TABLED engine's flat-table artifact (``repro.firewall.tables``) and
+  write the serialized JSON; ``--check`` instead validates an existing
+  artifact against the rules (exit 4 when stale).
 
 Usage::
 
@@ -335,6 +339,46 @@ def cmd_bench_scale(args):
     return 0
 
 
+def cmd_compile_tables(args):
+    """AOT-compile a rules file to the TABLED flat-table artifact."""
+    from repro.world import build_world
+    from repro.firewall import tables
+
+    if args.file:
+        firewall = _load_file(args.file)
+    else:
+        from repro.rulesets.generated import install_full_rulebase
+
+        firewall = ProcessFirewall()
+        install_full_rulebase(firewall)
+    # Attach a world so label universes fold the MAC policy's TCB in —
+    # the same environment a serving session compiles against.
+    build_world().attach_firewall(firewall)
+    if args.check:
+        with open(args.check) as fh:
+            text = fh.read()
+        try:
+            program = tables.load_tables(firewall, text)
+        except errors.PFTablesStale as exc:
+            print("pfctl: stale artifact: {}".format(exc.message), file=sys.stderr)
+            return 4
+        static_rows, fallback_rows = program.row_counts()
+        print("{}: OK ({} static rows, {} fallback rows)".format(
+            args.check, static_rows, fallback_rows))
+        return 0
+    program = tables.compile_tables(firewall)
+    text = tables.serialize_tables(program)
+    static_rows, fallback_rows = program.row_counts()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print("wrote {} ({} bytes, {} static rows, {} fallback rows)".format(
+            args.output, len(text), static_rows, fallback_rows))
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def cmd_serve(args):
     """Run the live mediation service over a generated session stream."""
     from repro.service import run_service
@@ -345,6 +389,10 @@ def cmd_serve(args):
         from repro.firewall.persist import save_rules as _save
 
         rules_text = _save(_load_file(args.file))
+    tables_text = None
+    if args.tables:
+        with open(args.tables) as fh:
+            tables_text = fh.read()
     specs = generate_stream(args.sessions, seed=args.seed)
     result = run_service(
         specs,
@@ -355,6 +403,7 @@ def cmd_serve(args):
         mode="open" if args.rate else "closed",
         offered_rate=args.rate,
         max_pending=args.max_pending,
+        tables_text=tables_text,
     )
     counters = result["counters"]
     throughput = result["throughput"]
@@ -556,10 +605,26 @@ def build_parser():
                    help="stream seed (default 0x5EA5)")
     p.add_argument("--engine", default="JITTED",
                    help="engine preset for every worker (default JITTED)")
+    p.add_argument("--tables", metavar="ARTIFACT", default=None,
+                   help="flat-table artifact file (from compile-tables) "
+                        "shipped to every worker for zero-warmup start")
     p.add_argument("--inline", action="store_true",
                    help="run sessions in-process instead of spawning "
                         "OS workers (debugging / serial reference)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "compile-tables",
+        help="AOT-compile a rules file into the TABLED flat-table "
+             "artifact (or --check an existing artifact for staleness)")
+    p.add_argument("file", nargs="?", default=None,
+                   help="rules file (default: the generated full rule base)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the artifact here instead of stdout")
+    p.add_argument("--check", metavar="ARTIFACT", default=None,
+                   help="validate ARTIFACT against the rules instead of "
+                        "compiling (exit 4 when stale)")
+    p.set_defaults(func=cmd_compile_tables)
 
     p = sub.add_parser(
         "bench-service",

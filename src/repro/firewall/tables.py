@@ -1,0 +1,1094 @@
+"""Ahead-of-time flat decision tables: the TABLED engine rung.
+
+The JITTED rung (:mod:`repro.firewall.codegen`) removed interpretive
+overhead by exec-compiling each ``(op, entrypoint)`` dispatch tuple at
+first use.  What remains is *predicate execution itself* — every
+mediation still runs each rule's label-membership and constant-compare
+tests — plus a per-worker warmup: every spawn-context service worker
+re-derives all of that from rule text at startup.  This module removes
+both, the way SFIP precomputes per-syscall security checks into flat
+per-state transition tables:
+
+1. **Whole-rule-base AOT compilation.**  :func:`compile_tables`
+   enumerates every reachable ``(op, entrypoint)`` state of the
+   installed rule base and *simulates* the interpreted walk over each
+   state's dispatch tuple.  Predicate chains whose operands are rule
+   constants (label sets, entrypoint keys, program paths, adversary
+   flags) collapse into a small decision DAG per state: internal nodes
+   consult one context field through ``engine.ensure`` and branch on
+   its value; terminals carry the precomputed verdict, the
+   ``rules_evaluated`` delta, and the matched rule.  At mediation time
+   a state evaluates in O(path length) dict probes — no per-rule code
+   at all.
+
+2. **Per-edge JITTED fallback for dynamic paths.**  A rule that needs
+   runtime-only context (``STATE``/``COMPARE``/``SIGNAL_MATCH``/
+   ``SCRIPT`` matches, context-atom ``SYSCALL_ARGS`` operands, or
+   ``STATE``/``LOG``/``JUMP`` targets) cannot be precomputed — but the
+   *paths that never reach it* still can.  Simulation places a
+   fallback terminal exactly where the interpreted walk would first
+   touch dynamic context; only mediations that land on it delegate to
+   the generated function the JITTED rung would run
+   (:class:`~repro.firewall.codegen._ChainStep`), so the two rungs
+   share one fallback path and one set of counters
+   (``stats.tables_fallbacks`` counts the delegations).  Delegation is
+   exact because no terminal bookkeeping happens before it and repeat
+   ``engine.ensure`` consults are observably idempotent.  Notably,
+   constant-operand ``SYSCALL_ARGS`` matches compile into *projected*
+   branch nodes (branch on ``args[i]`` after one ``SYSCALL_ARGS``
+   consult), so a rule like R12's ``--arg 0 --equal NR_sigreturn -j
+   STATE`` only falls back on the rare matching syscall — the common
+   miss is a static terminal.
+
+3. **A serialized artifact.**  :func:`serialize_tables` emits the
+   compiled program as versioned JSON keyed by a SHA-256 digest of the
+   canonical rule text (:func:`repro.firewall.persist.save_rules`) and
+   a snapshot of the policy TCB sets the verdicts were baked against.
+   :func:`load_tables` rejects any mismatch with
+   :class:`repro.errors.PFTablesStale` — a stale artifact is an error,
+   never a silent downgrade — and otherwise rebuilds the program
+   without re-running the simulation, which is what lets service
+   workers (``repro.service``) start at zero compile warmup.
+
+Exactness is the contract, pinned by the TABLED differential suite:
+each decision DAG is built by *simulating the interpreted walk*, so a
+concrete mediation consults exactly the context fields, in exactly the
+order, that the interpreted/JITTED walk would — ``cache_hits``,
+``context_collections``, ``rescache_*`` and ``decision_unsafe``
+bookkeeping all happen inside the same ``engine.ensure`` calls.  Label
+branches enumerate the row's label universe (rule operands plus the
+TCB sets); every label outside it provably behaves like the default
+branch.  Because verdict targets (DROP/ACCEPT/RETURN) end traversal
+and dynamic rules end simulation at a fallback terminal, at most one
+rule can match per static path, so terminals carry a single matched-
+rule reference.
+
+A :class:`TableProgram` is pinned to one ``RuleBase.stamp`` identity
+*and* the TCB-set identities it compiled against; the engine rebuilds
+it when either changes, so stale tables can never answer a mediation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro import errors
+from repro.firewall import targets as tg
+from repro.firewall.codegen import _ChainStep
+from repro.firewall.context import ContextField
+from repro.firewall.matches import (
+    AdversaryMatch,
+    EntrypointMatch,
+    ObjectMatch,
+    OpMatch,
+    ProgramMatch,
+    SubjectMatch,
+    SyscallArgsMatch,
+)
+from repro.firewall.persist import save_rules
+from repro.firewall.rule import _op_accepts
+from repro.security.lsm import Op
+
+#: Artifact schema version; bumped on any incompatible layout change.
+ARTIFACT_VERSION = 1
+
+#: Artifact format marker (the JSON ``format`` key).
+ARTIFACT_FORMAT = "pf-tables"
+
+#: Terminal-verdict sentinel: this decision path needs runtime context
+#: a flat table cannot encode — delegate to the JITTED generated
+#: function for the same dispatch tuple.
+FALLBACK = "__pf_tables_fallback__"
+
+#: The (shared) fallback terminal.  Its ``rules_evaluated`` delta is
+#: zero and it names no rule: all bookkeeping belongs to the delegated
+#: JITTED function, which replays the walk from the chain head —
+#: observably idempotent because no terminal side effect has happened
+#: yet and repeat ``engine.ensure`` consults change nothing.
+_FALLBACK_NODE = (None, FALLBACK, 0, None, None)
+
+#: Simulation token: the object label is ``None`` (no labeled object),
+#: which fails every ``-d`` spec regardless of negation.
+_OBJ_NONE = "\x00obj-none"
+
+#: Simulation token: a field value outside the row's branch universe.
+_DEFAULT = "\x00default"
+
+#: Runtime branch key for a projected syscall argument that does not
+#: exist (``SYSCALL_ARGS`` collected as ``None``, or the index is past
+#: the end) — the interpreted match fails without resolving its
+#: operand, so the key routes to the all-specs-fail child.
+_ARG_MISSING = "\x00arg-missing"
+
+#: JSON-key encodings for non-string branch values.
+_KEY_ENCODE = {None: "\x00N", True: "\x00T", False: "\x00F"}
+_KEY_DECODE = {v: k for k, v in _KEY_ENCODE.items()}
+
+
+def rules_digest(firewall):
+    """SHA-256 hex digest of the firewall's canonical rule text.
+
+    The artifact staleness key: :func:`serialize_tables` stamps it into
+    the artifact and :func:`load_tables` recomputes it against the live
+    rule base — byte-identical ``save_rules`` output is the only rule
+    state an artifact may be applied to.
+    """
+    return hashlib.sha256(save_rules(firewall).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# row compilation: classify, then simulate the interpreted walk
+# ---------------------------------------------------------------------------
+
+
+def _classify_rules(rules, op, ept_key):
+    """Static evaluation plan for one dispatch tuple.
+
+    Returns ``[(rule, prims, verdict), ...]`` where ``prims`` is the
+    rule's match list lowered, in evaluation order, to constant-operand
+    primitives.  Primitives:
+
+    - ``("fail",)`` — a compile-time-false predicate (an ``-o`` or
+      ``-i`` constant that cannot match this state); the rule is
+      visited but never matches.
+    - ``("label", field, spec_index)`` — label-set membership, indexed
+      into the row's per-field spec list (see :func:`_field_specs`).
+    - ``("equal", field, expected)`` — constant equality on a scalar
+      context field (program path, adversary flag).
+    - ``("argeq", arg_index, expected, equal)`` — a constant-operand
+      ``SYSCALL_ARGS`` predicate; lowered by the simulation to a
+      *projected* branch on ``args[arg_index]``.
+    - ``("dynamic",)`` — the first match that needs runtime-only
+      context (``STATE``/``COMPARE``/``SIGNAL_MATCH``/``SCRIPT`` or a
+      context-atom operand).  Lowering stops here: the interpreted
+      walk short-circuits matches in order, so every path on which an
+      earlier primitive fails is still fully static, and only paths
+      that *reach* this match fall back.
+
+    ``verdict`` is the precomputed terminal verdict, or
+    :data:`FALLBACK` for dynamic targets (``STATE``/``LOG`` mutate
+    observable state; ``JUMP`` re-enters the interpreted walker) — a
+    rule whose predicates all pass statically then delegates exactly
+    at its match point.
+    """
+    plans = []
+    for rule in rules:
+        prims = []
+        for match in rule.matches:
+            kind = type(match)
+            if kind is OpMatch:
+                # Dispatch tuples are already op-filtered; keep a
+                # constant-false guard for the (defensive) case of an
+                # alias mismatch.
+                if not _op_accepts(match.op, op):
+                    prims.append(("fail",))
+            elif kind is EntrypointMatch:
+                # Bucket selection pinned the entrypoint head for this
+                # state; the match is a compile-time constant.  The
+                # prologue's ensure() already did the bookkeeping, and
+                # repeat ensure calls are observably idempotent.
+                if match.chain_key() != ept_key:
+                    prims.append(("fail",))
+            elif kind is SubjectMatch:
+                prims.append(("label", ContextField.SUBJECT_LABEL, match.spec))
+            elif kind is ObjectMatch:
+                prims.append(("label", ContextField.OBJECT_LABEL, match.spec))
+            elif kind is ProgramMatch:
+                prims.append(("equal", ContextField.PROGRAM, match.program))
+            elif kind is AdversaryMatch:
+                if match.writable is not None:
+                    prims.append(("equal", ContextField.ADV_WRITABLE, match.writable))
+                if match.readable is not None:
+                    prims.append(("equal", ContextField.ADV_READABLE, match.readable))
+            elif kind is SyscallArgsMatch and match.value.atom is None:
+                expected = match.value.literal
+                if isinstance(expected, str) and expected.startswith("NR_"):
+                    expected = expected[3:]
+                prims.append(("argeq", match.arg_index, expected, match.equal))
+            else:
+                prims.append(("dynamic",))
+                break
+        tkind = type(rule.target)
+        if tkind is tg.DropTarget:
+            verdict = tg.DROP
+        elif tkind is tg.AcceptTarget:
+            verdict = tg.ACCEPT
+        elif tkind is tg.ReturnTarget:
+            verdict = tg.RETURN
+        else:
+            verdict = FALLBACK
+        plans.append((rule, prims, verdict))
+    return plans
+
+
+def _index_label_prims(plans):
+    """Rewrite label/argeq prims to spec indexes; return spec lists.
+
+    Simulation tokens for a branched field are outcome fingerprints —
+    one bool per spec consulting that field anywhere in the row — so
+    each prim needs a stable index into that spec list.  Projected
+    syscall-argument predicates are keyed by the pseudo-field
+    ``(ContextField.SYSCALL_ARGS, arg_index)``; their specs are
+    ``(expected, equal)`` pairs.
+    """
+    field_specs = {}
+    for i, (rule, prims, verdict) in enumerate(plans):
+        lowered = []
+        for prim in prims:
+            if prim[0] == "label":
+                specs = field_specs.setdefault(prim[1], [])
+                lowered.append(("label", prim[1], len(specs)))
+                specs.append(prim[2])
+            elif prim[0] == "argeq":
+                pseudo = (ContextField.SYSCALL_ARGS, prim[1])
+                specs = field_specs.setdefault(pseudo, [])
+                lowered.append(("argeq", pseudo, len(specs)))
+                specs.append((prim[2], prim[3]))
+            else:
+                lowered.append(prim)
+        plans[i] = (rule, lowered, verdict)
+    return field_specs
+
+
+def _label_domain(field, specs, tcb):
+    """Branch universe and fingerprint function for one label field.
+
+    The universe is every label a spec names plus the TCB set — any
+    label outside it is in no spec's set and not in the TCB, so its
+    fingerprint equals the default sentinel's and the default branch
+    covers it exactly.
+    """
+    universe = set(tcb)
+    for spec in specs:
+        universe.update(spec.labels)
+
+    def fingerprint(label):
+        return tuple(spec.member(label, tcb) for spec in specs)
+
+    return sorted(universe), fingerprint
+
+
+class _RowBuilder:
+    """Simulates the interpreted walk over one dispatch tuple.
+
+    Produces the row's decision DAG: branch nodes are
+    ``(field, branches, default)`` tuples — ``field`` is either a
+    :class:`ContextField` or the ``(SYSCALL_ARGS, arg_index)``
+    pseudo-field of a projected syscall-argument branch — terminals
+    are ``(None, verdict, rules_evaluated_delta, hit_rule, ret_rule)``.
+    ``hit_rule`` is the matched rule (``hits``/``rule_matched``
+    bookkeeping); ``ret_rule`` is what traversal returns — the same
+    rule for DROP/ACCEPT, ``None`` for a RETURN match (the chain
+    yields CONTINUE).  Paths that reach dynamic context end at the
+    shared :data:`_FALLBACK_NODE` terminal.  Nodes are memoized on
+    (position, consulted context), so equivalent subtrees are shared
+    and the serialized artifact stays compact.
+    """
+
+    def __init__(self, plans, field_specs, tcb_subjects, tcb_objects):
+        self.plans = plans
+        self.field_specs = field_specs
+        self.tcb = {
+            ContextField.SUBJECT_LABEL: tcb_subjects,
+            ContextField.OBJECT_LABEL: tcb_objects,
+        }
+        self._memo = {}
+
+    def build(self):
+        """The row's root node."""
+        return self._node(0, 0, {})
+
+    def _env_key(self, env):
+        # repr keys: pseudo-fields (tuples) and ContextFields must sort
+        # in one sequence; repr is unique and stable for both.
+        return tuple(sorted(
+            ((repr(field), token) for field, token in env.items()),
+            key=lambda item: item[0],
+        ))
+
+    def _node(self, i, j, env):
+        key = (i, j, self._env_key(env))
+        node = self._memo.get(key)
+        if node is None:
+            node = self._memo[key] = self._simulate(i, j, env)
+        return node
+
+    def _simulate(self, i, j, env):
+        plans = self.plans
+        if i == len(plans):
+            # Fell off the end: every rule was visited, none matched.
+            return (None, tg.CONTINUE, len(plans), None, None)
+        rule, prims, verdict = plans[i]
+        while j < len(prims):
+            prim = prims[j]
+            kind = prim[0]
+            if kind == "fail":
+                return self._node(i + 1, 0, env)
+            if kind == "dynamic":
+                # The interpreted walk would evaluate a runtime-only
+                # match here; everything up to this point replayed
+                # statically, so delegate the rest of the chain.
+                return _FALLBACK_NODE
+            field = prim[1]
+            if field not in env:
+                return self._branch(i, j, env, field)
+            token = env[field]
+            if kind == "label":
+                if token is _OBJ_NONE or not token[prim[2]]:
+                    return self._node(i + 1, 0, env)
+            elif kind == "argeq":
+                if not token[prim[2]]:
+                    return self._node(i + 1, 0, env)
+            else:  # equal: _DEFAULT never equals a concrete operand
+                if token != prim[2]:
+                    return self._node(i + 1, 0, env)
+            j += 1
+        # Every predicate passed: rule i matches.  A dynamic target
+        # delegates exactly here; verdict targets end traversal;
+        # RETURN ends the chain with CONTINUE.  (At most one rule can
+        # match per static path — nothing continues past here.)
+        if verdict is FALLBACK:
+            return _FALLBACK_NODE
+        if verdict == tg.RETURN:
+            return (None, tg.CONTINUE, i + 1, rule, None)
+        return (None, verdict, i + 1, rule, rule)
+
+    def _branch(self, i, j, env, field):
+        """First consult of ``field`` along this path: a branch node.
+
+        The branch is created at the exact (rule, predicate) position
+        where the interpreted walk would first call ``engine.ensure``
+        for the field, so runtime consult order — and with it every
+        cache/collection counter — replays the interpreted walk.
+        """
+        if type(field) is tuple:
+            # Projected syscall-argument branch: one SYSCALL_ARGS
+            # consult, then branch on args[arg_index].  The domain is
+            # every constant operand naming this index; any other
+            # value fails every --equal spec and passes every --nequal
+            # spec, exactly the _DEFAULT fingerprint.  A missing
+            # argument fails every spec (the interpreted match returns
+            # False before comparing).
+            specs = self.field_specs[field]
+
+            def fingerprint(actual):
+                return tuple(
+                    (actual == expected) if equal else (actual != expected)
+                    for expected, equal in specs
+                )
+
+            default = self._with(i, j, env, field, fingerprint(_DEFAULT))
+            branches = {}
+            for value in sorted({expected for expected, _eq in specs}, key=repr):
+                child = self._with(i, j, env, field, fingerprint(value))
+                if child is not default:
+                    branches[value] = child
+            missing = self._with(i, j, env, field, (False,) * len(specs))
+            if missing is not default:
+                branches[_ARG_MISSING] = missing
+            return (field, branches, default)
+        if field in (ContextField.SUBJECT_LABEL, ContextField.OBJECT_LABEL):
+            specs = self.field_specs[field]
+            universe, fingerprint = _label_domain(field, specs, self.tcb[field])
+            default = self._with(i, j, env, field, fingerprint(_DEFAULT))
+            branches = {}
+            for label in universe:
+                child = self._with(i, j, env, field, fingerprint(label))
+                if child is not default:
+                    branches[label] = child
+            if field is ContextField.OBJECT_LABEL:
+                # A label-less object fails every -d spec.
+                child = self._with(i, j, env, field, _OBJ_NONE)
+                if child is not default:
+                    branches[None] = child
+            return (field, branches, default)
+        if field is ContextField.PROGRAM:
+            expected = sorted(
+                {p[2] for _r, prims, _v in self.plans for p in prims
+                 if p[0] == "equal" and p[1] is field}
+            )
+            default = self._with(i, j, env, field, _DEFAULT)
+            branches = {}
+            for program in expected:
+                child = self._with(i, j, env, field, program)
+                if child is not default:
+                    branches[program] = child
+            return (field, branches, default)
+        # Adversary flags: the collected value is True/False/None.
+        default = self._with(i, j, env, field, _DEFAULT)  # covers None
+        branches = {}
+        for value in (True, False):
+            child = self._with(i, j, env, field, value)
+            if child is not default:
+                branches[value] = child
+        return (field, branches, default)
+
+    def _with(self, i, j, env, field, token):
+        extended = dict(env)
+        extended[field] = token
+        return self._node(i, j, extended)
+
+
+def compile_row(engine, chain, op, ept_key):
+    """Compile one ``(op, entrypoint)`` state of ``chain``.
+
+    Returns the row's decision DAG root node; paths that need runtime
+    context end at :data:`_FALLBACK_NODE` terminals.
+    """
+    rules = chain.dispatch(op, ept_key)
+    if not rules:
+        return (None, tg.CONTINUE, 0, None, None)
+    plans = _classify_rules(list(rules), op, ept_key)
+    field_specs = _index_label_prims(plans)
+    builder = _RowBuilder(
+        plans, field_specs, engine.tcb_subjects(), engine.tcb_objects()
+    )
+    return builder.build()
+
+
+def _row_has_fallback(root):
+    """Whether any decision path of ``root`` delegates to JITTED."""
+    stack = [root]
+    seen = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if node[0] is None:
+            if node[1] is FALLBACK:
+                return True
+        else:
+            stack.append(node[2])
+            stack.extend(node[1].values())
+    return False
+
+
+# ---------------------------------------------------------------------------
+# runtime: steps, plans, program
+# ---------------------------------------------------------------------------
+
+
+class TabledStep:
+    """One chain visit in a TABLED traversal plan.
+
+    Holds the per-entrypoint row table plus a
+    :class:`~repro.firewall.codegen._ChainStep` that compiles the
+    JITTED function for any decision path ending at a
+    :data:`_FALLBACK_NODE` terminal — table misses run the exact code
+    (and feed the exact counters) the JITTED rung would.
+    """
+
+    __slots__ = (
+        "program", "table", "chain", "op", "is_mangle", "chain_name",
+        "wanted", "rows", "fns", "jit", "engine", "ensure", "run",
+    )
+
+    def __init__(self, program, table, chain, op, is_mangle):
+        self.program = program
+        self.table = table
+        self.chain = chain
+        self.op = op
+        self.is_mangle = is_mangle
+        self.chain_name = chain.name
+        #: Prebound hot-path references: a step lives exactly as long
+        #: as its program, which is pinned to one firewall.
+        self.engine = program.firewall
+        self.ensure = program.firewall.ensure
+        wanted = False
+        if chain.by_entrypoint:
+            ept_ops = chain.ept_ops
+            wanted = (
+                ept_ops is None
+                or op in ept_ops
+                or (op is Op.LINK_READ and Op.LNK_FILE_READ in ept_ops)
+            )
+        #: Whether this (chain, op) can ever select an entrypoint
+        #: bucket — the interpreted walk's stack-unwind gate.
+        self.wanted = wanted
+        #: entrypoint key -> decision DAG root.  The canonical row
+        #: representation: what serialization, ``row_counts`` and the
+        #: differential describe/inspect paths read.
+        self.rows = {}
+        #: entrypoint key -> specialized evaluator closure, built
+        #: lazily from the DAG at first evaluation (a runtime detail:
+        #: the artifact never sees these).
+        self.fns = {}
+        #: The JITTED twin of this step, for fallback paths.
+        self.jit = _ChainStep(program, table, chain, op, is_mangle)
+        #: What :meth:`TableProgram.traverse` calls.  Starts as the
+        #: full :meth:`evaluate`; once the ``None`` row's closure is
+        #: built on a step that can never select an entrypoint bucket
+        #: (``wanted`` is false ⇒ the key is always ``None``), the
+        #: closure itself takes over — zero per-visit dispatch.
+        self.run = self.evaluate
+
+    def keys(self):
+        """Every entrypoint key this step can be evaluated under."""
+        keys = [None]
+        if self.wanted:
+            keys.extend(sorted(self.chain.by_entrypoint))
+        return keys
+
+    def compile_all(self):
+        """Materialize every reachable row (the AOT path)."""
+        for key in self.keys():
+            if key not in self.rows:
+                self.rows[key] = compile_row(
+                    self.program.firewall, self.chain, self.op, key
+                )
+
+    def evaluate(self, operation, frame):
+        """Evaluate this chain visit; returns ``(verdict, rule)``.
+
+        Mirrors the interpreted/JITTED walk exactly: the entrypoint is
+        resolved through ``engine.ensure`` only when some bucket rule
+        could handle this op, static paths replay the simulated consult
+        order, and fallback terminals run the JITTED generated function
+        (with no table-side bookkeeping applied first — the delegate
+        replays the chain from the head, which is observably idempotent
+        because repeat ``ensure`` consults change nothing).
+        """
+        ept_key = None
+        if self.wanted:
+            entries = self.ensure(ContextField.ENTRYPOINT, operation, frame)
+            if entries and entries[0] in self.chain.by_entrypoint:
+                ept_key = entries[0]
+        fn = self.fns.get(ept_key)
+        if fn is None:
+            fn = self._entry(ept_key)
+        return fn(operation, frame)
+
+    def _entry(self, ept_key):
+        """Build (and memoize) the evaluator closure for one row."""
+        node = self.rows.get(ept_key)
+        if node is None:
+            node = self.rows[ept_key] = compile_row(
+                self.engine, self.chain, self.op, ept_key
+            )
+        fn = self.fns[ept_key] = self._specialize(node, ept_key, {})
+        if not self.wanted and ept_key is None:
+            self.run = fn
+        return fn
+
+    def _specialize(self, node, ept_key, memo):
+        """Lower one DAG node to a closure; shared nodes share closures.
+
+        Specialization folds every constant the interpretive walk would
+        re-discover per mediation — the branch dict, the default child,
+        terminal verdict/delta/rule, the preallocated result tuple —
+        into cell variables, so a mediation runs one small closure per
+        consulted field plus a straight-line terminal.  Observable
+        behaviour is exactly the DAG walk's; the differential suites
+        pin it.
+        """
+        fn = memo.get(id(node))
+        if fn is not None:
+            return fn
+        stats = self.engine.stats
+        if node[0] is None:
+            if node[1] is FALLBACK:
+                jit = self.jit
+
+                def fn(operation, frame):
+                    stats.tables_fallbacks += 1
+                    delegate = jit.fns.get(ept_key)
+                    if delegate is None:
+                        delegate = jit.compile(ept_key)
+                    return delegate(operation, frame)
+            else:
+                delta = node[2]
+                rule = node[3]
+                result = (node[1], node[4])
+                if rule is not None:
+
+                    def fn(operation, frame):
+                        stats.tables_hits += 1
+                        stats.rules_evaluated += delta
+                        rule.hits += 1
+                        frame.rule_matched = True
+                        return result
+                elif delta:
+
+                    def fn(operation, frame):
+                        stats.tables_hits += 1
+                        stats.rules_evaluated += delta
+                        return result
+                else:
+
+                    def fn(operation, frame):
+                        stats.tables_hits += 1
+                        return result
+        else:
+            field = node[0]
+            ensure = self.ensure
+            entries = {
+                value: self._branch_entry(child, ept_key, memo)
+                for value, child in node[1].items()
+            }
+            lookup = entries.get
+            default_entry = self._branch_entry(node[2], ept_key, memo)
+            if type(field) is tuple:
+                args_field, index = field
+                missing_entry = entries.get(_ARG_MISSING, default_entry)
+
+                def fn(operation, frame):
+                    args = ensure(args_field, operation, frame)
+                    if args is None or index >= len(args):
+                        entry = missing_entry
+                    else:
+                        try:
+                            entry = lookup(args[index], default_entry)
+                        except TypeError:
+                            # Unhashable argument: equals no constant
+                            # operand, so it has the default fingerprint.
+                            entry = default_entry
+                    sub, result, delta, rule = entry
+                    if sub is not None:
+                        return sub(operation, frame)
+                    stats.tables_hits += 1
+                    if delta:
+                        stats.rules_evaluated += delta
+                    if rule is not None:
+                        rule.hits += 1
+                        frame.rule_matched = True
+                    return result
+            else:
+
+                def fn(operation, frame):
+                    sub, result, delta, rule = lookup(
+                        ensure(field, operation, frame), default_entry
+                    )
+                    if sub is not None:
+                        return sub(operation, frame)
+                    stats.tables_hits += 1
+                    if delta:
+                        stats.rules_evaluated += delta
+                    if rule is not None:
+                        rule.hits += 1
+                        frame.rule_matched = True
+                    return result
+        memo[id(node)] = fn
+        return fn
+
+    def _branch_entry(self, child, ept_key, memo):
+        """Lower one branch outcome to a ``(sub, result, delta, rule)`` cell.
+
+        Static terminals bake verdict/delta/rule straight into the
+        parent's lookup values — the common leaf level costs one
+        closure call per chain visit with a shared bookkeeping
+        epilogue instead of a second call per terminal.  Everything
+        else (nested branches, fallback terminals) keeps its own
+        closure in the ``sub`` slot; observables are identical either
+        way.
+        """
+        if child[0] is None and child[1] is not FALLBACK:
+            return (None, (child[1], child[4]), child[2], child[3])
+        return (self._specialize(child, ept_key, memo), None, 0, None)
+
+
+class _TabledPlan:
+    """The ordered chain visits one operation walks, mangle then filter."""
+
+    __slots__ = ("steps", "filter_start")
+
+    def __init__(self, steps, filter_start):
+        self.steps = steps
+        #: Index of the first filter-table step: a mangle ``ACCEPT``
+        #: jumps here (stop mangle, proceed to filter).
+        self.filter_start = filter_start
+
+
+class TableProgram:
+    """The compiled flat-table program for one rule-base stamp.
+
+    Built by :meth:`ProcessFirewall.table_program` (lazily, rows on
+    demand), by :func:`compile_tables` (eagerly, the AOT path), or by
+    :func:`load_tables` (decoded from a serialized artifact — no
+    simulation).  Pinned to one ``RuleBase.stamp`` identity and the
+    TCB-set snapshot the verdicts were baked against; the engine
+    rebuilds on any mismatch.
+    """
+
+    __slots__ = (
+        "firewall", "stamp", "sources", "tcb_subjects", "tcb_objects",
+        "loaded", "_plans",
+    )
+
+    def __init__(self, firewall):
+        self.firewall = firewall
+        #: The rule-base identity this program was compiled against.
+        self.stamp = firewall.rules.stamp
+        #: Generated fallback source (shared shape with JitProgram so
+        #: codegen's _ChainStep can host fallback compilation here).
+        self.sources = {}
+        #: TCB snapshots the static verdicts were computed under.
+        self.tcb_subjects = firewall.tcb_subjects()
+        self.tcb_objects = firewall.tcb_objects()
+        #: True when this program was decoded from an artifact rather
+        #: than compiled in-process (the zero-warmup path).
+        self.loaded = False
+        self._plans = {}
+
+    def plan(self, op):
+        """The (memoized) traversal plan for one operation kind."""
+        plan = self._plans.get(op)
+        if plan is None:
+            plan = self._plans[op] = self._build_plan(op)
+        return plan
+
+    def _build_plan(self, op):
+        firewall = self.firewall
+        steps = []
+        filter_start = 0
+        for table_name in ("mangle", "filter"):
+            table = firewall.rules.tables[table_name]
+            if table_name == "filter":
+                filter_start = len(steps)
+            for chain_name in firewall._chains_for(op):
+                chain = table.chains.get(chain_name)
+                if chain is None or not len(chain):
+                    continue
+                relevant = chain.relevant_ops
+                if (
+                    relevant is not None
+                    and op not in relevant
+                    and not (op is Op.LINK_READ and Op.LNK_FILE_READ in relevant)
+                ):
+                    continue
+                steps.append(TabledStep(self, table, chain, op, table_name == "mangle"))
+        return _TabledPlan(tuple(steps), filter_start)
+
+    def compile_all(self, ops=None):
+        """Materialize every reachable row for ``ops`` (default: all).
+
+        The whole-rule-base AOT enumeration: after this, no mediation
+        under the current stamp compiles anything.  Returns ``self``.
+        """
+        for op in (ops if ops is not None else list(Op)):
+            for step in self.plan(op).steps:
+                step.compile_all()
+        return self
+
+    def traverse(self, operation, frame):
+        """Drop-in for ``ProcessFirewall._traverse`` on the tabled path.
+
+        Same chain order, same per-process traversal bookkeeping, same
+        ``(verdict, rule)`` protocol as
+        :meth:`repro.firewall.codegen.JitProgram.traverse` — but each
+        chain visit is a flat table probe (or its JITTED fallback).
+        """
+        plan = self.plan(operation.op)
+        steps = plan.steps
+        proc = operation.proc
+        i = 0
+        n = len(steps)
+        while i < n:
+            step = steps[i]
+            i += 1
+            if proc is not None:
+                proc.pf_traversal.append(step.chain_name)
+            try:
+                verdict, rule = step.run(operation, frame)
+            finally:
+                if proc is not None:
+                    proc.pf_traversal.pop()
+            if verdict == tg.DROP:
+                return (verdict, rule)
+            if verdict == tg.ACCEPT:
+                if not step.is_mangle:
+                    return (verdict, rule)
+                i = plan.filter_start
+        return (tg.CONTINUE, None)
+
+    def row_counts(self):
+        """``(static, fallback)`` row totals over materialized plans.
+
+        A *fallback* row is one whose decision DAG contains at least
+        one :data:`_FALLBACK_NODE` terminal (some path delegates to the
+        JITTED function); a *static* row decides every mediation from
+        the flat table alone.
+        """
+        static = fallback = 0
+        for plan in self._plans.values():
+            for step in plan.steps:
+                for node in step.rows.values():
+                    if _row_has_fallback(node):
+                        fallback += 1
+                    else:
+                        static += 1
+        return static, fallback
+
+
+# ---------------------------------------------------------------------------
+# module API: compile / describe / serialize / load
+# ---------------------------------------------------------------------------
+
+
+def compile_tables(firewall):
+    """AOT-compile the whole rule base; attach and return the program.
+
+    The eager twin of the engine's lazy ``table_program()``: every
+    reachable ``(op, entrypoint)`` row is materialized now, so the
+    program is ready to serialize and mediations never compile.
+    """
+    program = TableProgram(firewall).compile_all()
+    firewall.attach_tables(program)
+    if firewall.metrics.enabled:
+        static, fallback = program.row_counts()
+        firewall.metrics.inc("pf_tables_rows_total", {"kind": "static"}, static)
+        firewall.metrics.inc("pf_tables_rows_total", {"kind": "fallback"}, fallback)
+    return program
+
+
+def describe_tables(program):
+    """Human/JSON summary of a compiled program (``pfctl compile-tables``)."""
+    static, fallback = program.row_counts()
+    ops = sorted(op.name for op, plan in program._plans.items() if plan.steps)
+    return {
+        "rule_digest": rules_digest(program.firewall),
+        "static_rows": static,
+        "fallback_rows": fallback,
+        "ops": ops,
+        "loaded_from_artifact": program.loaded,
+    }
+
+
+def _encode_key(value):
+    """Branch key -> JSON object key (labels are strings already).
+
+    ``None``/``True``/``False`` and integers (syscall-argument
+    operands) need explicit encodings — JSON object keys are strings,
+    and ``True == 1`` would otherwise collide.
+    """
+    if value is None or value is True or value is False:
+        return _KEY_ENCODE[value]
+    if isinstance(value, int):
+        return "\x00i{}".format(value)
+    return value
+
+
+def _decode_key(text):
+    """Inverse of :func:`_encode_key`."""
+    decoded = _KEY_DECODE.get(text)
+    if decoded is not None or text in _KEY_DECODE:
+        return decoded
+    if text.startswith("\x00i"):
+        return int(text[2:])
+    return text
+
+
+def _encode_field(field):
+    """Branch field -> artifact string (projected fields get an index)."""
+    if type(field) is tuple:
+        return "{}[{}]".format(field[0].name, field[1])
+    return field.name
+
+
+def _decode_field(text):
+    """Inverse of :func:`_encode_field`."""
+    if text.endswith("]") and "[" in text:
+        name, _, index = text.partition("[")
+        return (ContextField[name], int(index[:-1]))
+    return ContextField[text]
+
+
+def _encode_ept(ept_key):
+    """Entrypoint key -> JSON object key (``"-"`` for the preamble row)."""
+    if ept_key is None:
+        return "-"
+    return "{}|{:#x}".format(ept_key[0], ept_key[1])
+
+
+def _decode_ept(text):
+    """Inverse of :func:`_encode_ept`."""
+    if text == "-":
+        return None
+    program, _, offset = text.rpartition("|")
+    return (program, int(offset, 16))
+
+
+class _NodeInterner:
+    """Flattens shared decision DAGs into an id-referenced node list."""
+
+    def __init__(self, rule_coord):
+        self.rule_coord = rule_coord
+        self.nodes = []
+        self._ids = {}
+
+    def intern(self, node):
+        """Node -> id, children first (decode replays the list in order)."""
+        node_id = self._ids.get(id(node))
+        if node_id is not None:
+            return node_id
+        if node[0] is None:
+            rule = node[3]
+            record = [
+                "t", node[1], node[2],
+                None if rule is None else self.rule_coord[id(rule)],
+                node[4] is not None,
+            ]
+        else:
+            branches = {
+                _encode_key(value): self.intern(child)
+                for value, child in sorted(
+                    node[1].items(), key=lambda item: repr(item[0])
+                )
+            }
+            record = ["b", _encode_field(node[0]), branches, self.intern(node[2])]
+        node_id = self._ids[id(node)] = len(self.nodes)
+        self.nodes.append(record)
+        return node_id
+
+
+def _rule_coordinates(firewall):
+    """``id(rule) -> (table, chain, index)`` over the installed base."""
+    coords = {}
+    for table_name, table in firewall.rules.tables.items():
+        for chain_name, chain in table.chains.items():
+            for index, rule in enumerate(chain.rules):
+                coords[id(rule)] = (table_name, chain_name, index)
+    return coords
+
+
+def serialize_tables(program):
+    """Serialize a compiled :class:`TableProgram` to artifact text.
+
+    The artifact is self-checking: it carries the schema version, the
+    SHA-256 digest of the canonical rule text, and the TCB snapshots
+    its verdicts were baked against; :func:`load_tables` verifies all
+    three.  Rules are referenced by ``(table, chain, index)``
+    coordinates and re-resolved against the live rule base at load, so
+    the artifact holds no code and no pickled state — plain JSON.
+    """
+    firewall = program.firewall
+    coords = _rule_coordinates(firewall)
+    interner = _NodeInterner(coords)
+    plans = {}
+    for op, plan in sorted(program._plans.items(), key=lambda item: item[0].name):
+        steps = []
+        for step in plan.steps:
+            rows = {}
+            for key in sorted(step.rows, key=repr):
+                rows[_encode_ept(key)] = interner.intern(step.rows[key])
+            steps.append({
+                "table": step.table.name,
+                "chain": step.chain_name,
+                "rows": rows,
+            })
+        plans[op.name] = steps
+    static, fallback = program.row_counts()
+    return json.dumps(
+        {
+            "format": ARTIFACT_FORMAT,
+            "version": ARTIFACT_VERSION,
+            "rule_digest": rules_digest(firewall),
+            "tcb_subjects": sorted(program.tcb_subjects),
+            "tcb_objects": sorted(program.tcb_objects),
+            "static_rows": static,
+            "fallback_rows": fallback,
+            "plans": plans,
+            "nodes": interner.nodes,
+        },
+        sort_keys=True,
+    )
+
+
+def _decode_nodes(records, firewall):
+    """Rebuild runtime node tuples from the flat artifact node list."""
+    tables = firewall.rules.tables
+    nodes = []
+    for record in records:
+        if record[0] == "t":
+            if record[1] == FALLBACK:
+                # Re-intern the shared fallback terminal so runtime
+                # identity checks (``verdict is FALLBACK``) hold for
+                # loaded programs too.
+                nodes.append(_FALLBACK_NODE)
+                continue
+            coord = record[3]
+            rule = None
+            if coord is not None:
+                table_name, chain_name, index = coord
+                try:
+                    rule = tables[table_name].chains[chain_name].rules[index]
+                except (KeyError, IndexError):
+                    raise errors.PFTablesStale(
+                        "tables artifact references rule {}/{}[{}] absent from "
+                        "the live base".format(table_name, chain_name, index)
+                    )
+            nodes.append((None, record[1], record[2], rule, rule if record[4] else None))
+        else:
+            branches = {
+                _decode_key(key): nodes[child_id]
+                for key, child_id in record[2].items()
+            }
+            nodes.append((_decode_field(record[1]), branches, nodes[record[3]]))
+    return nodes
+
+
+def load_tables(firewall, text):
+    """Restore a serialized artifact against the live rule base.
+
+    Verifies the format marker, schema version, rule-text digest, and
+    TCB snapshots before touching anything; any mismatch raises
+    :class:`repro.errors.PFTablesStale` (a stale artifact must fail
+    loudly, never silently mediate).  On success the decoded
+    :class:`TableProgram` is attached to the firewall and returned —
+    no row simulation runs, which is the zero-warmup property service
+    workers rely on.
+    """
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise errors.PFTablesStale("tables artifact is not valid JSON: {}".format(exc))
+    if not isinstance(payload, dict) or payload.get("format") != ARTIFACT_FORMAT:
+        raise errors.PFTablesStale("not a pf-tables artifact")
+    if payload.get("version") != ARTIFACT_VERSION:
+        raise errors.PFTablesStale(
+            "tables artifact version {} != supported {}".format(
+                payload.get("version"), ARTIFACT_VERSION
+            )
+        )
+    digest = rules_digest(firewall)
+    if payload.get("rule_digest") != digest:
+        raise errors.PFTablesStale(
+            "tables artifact digest {} does not match live rules {} "
+            "(rule text changed since compile-tables)".format(
+                str(payload.get("rule_digest"))[:12], digest[:12]
+            )
+        )
+    if sorted(firewall.tcb_subjects()) != payload.get("tcb_subjects") or sorted(
+        firewall.tcb_objects()
+    ) != payload.get("tcb_objects"):
+        raise errors.PFTablesStale(
+            "tables artifact was compiled under a different MAC policy "
+            "(TCB snapshot mismatch)"
+        )
+
+    program = TableProgram(firewall)
+    nodes = _decode_nodes(payload["nodes"], firewall)
+    for op_name, step_records in payload["plans"].items():
+        op = Op[op_name]
+        plan = program.plan(op)
+        if len(plan.steps) != len(step_records):
+            raise errors.PFTablesStale(
+                "tables artifact plan shape for {} does not match the live "
+                "rule base".format(op_name)
+            )
+        for step, record in zip(plan.steps, step_records):
+            if step.table.name != record["table"] or step.chain_name != record["chain"]:
+                raise errors.PFTablesStale(
+                    "tables artifact chain order for {} does not match the "
+                    "live rule base".format(op_name)
+                )
+            for key_text, node_id in record["rows"].items():
+                step.rows[_decode_ept(key_text)] = nodes[node_id]
+    program.loaded = True
+    firewall.attach_tables(program)
+    if firewall.metrics.enabled:
+        static, fallback = program.row_counts()
+        firewall.metrics.inc("pf_tables_rows_total", {"kind": "static"}, static)
+        firewall.metrics.inc("pf_tables_rows_total", {"kind": "fallback"}, fallback)
+    return program

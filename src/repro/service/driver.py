@@ -54,12 +54,16 @@ def run_service(
     window=DEFAULT_WORKER_WINDOW,
     metered=False,
     collect_audit=True,
+    tables_text=None,
 ):
     """Run ``specs`` through a service pool; returns the merged result.
 
     ``rules_text`` defaults to the service rule base
     (:func:`~repro.workloads.generators.service_rules_text`).
     ``engine`` is any :func:`repro.api.resolve_engine` spelling.
+    ``tables_text`` optionally ships a serialized flat-table artifact
+    (:func:`repro.firewall.tables.serialize_tables`) to every worker so
+    TABLED workers load instead of compiling (zero-warmup cold start).
     ``processes=False`` runs inline (the serial reference when
     ``workers=1``).  ``mode="open"`` requires ``offered_rate``; see
     the module docstring for the two admission disciplines.
@@ -86,6 +90,8 @@ def run_service(
         "metered": metered,
         "collect_audit": collect_audit,
     }
+    if tables_text is not None:
+        init["tables_text"] = tables_text
     pool = ServicePool(workers, init, processes=processes, window=window)
     counters = ServiceCounters()
     results = []
@@ -204,6 +210,7 @@ def _merge(results, snapshots, counters, rejected, wall_s, mode, rate, workers):
             "cpu_s": snap["cpu_s"],
             "live_pids": snap["live_pids"],
             "baseline_pids": snap["baseline_pids"],
+            "tables_loaded": snap.get("tables_loaded", False),
         })
     mediations = sum(r["mediations"] for r in results)
     drops = sum(r["drops"] for r in results)

@@ -32,6 +32,7 @@ TABLE6_COLUMNS = {
     "EPTSPC": ("EPTSPC", True, False),
     "COMPILED": ("COMPILED", True, False),
     "JITTED": ("JITTED", True, False),
+    "TABLED": ("TABLED", True, False),
     "TRACED": ("COMPILED", True, True),
 }
 

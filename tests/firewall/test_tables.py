@@ -1,0 +1,279 @@
+"""Unit and artifact tests for the TABLED flat-table engine.
+
+Covers what the differential suites do not: the artifact lifecycle
+(compile → serialize → load in a *fresh process* with byte-identical
+observables; stale artifacts rejected loudly), table invalidation on
+rule-base mutation, fallback-row delegation, and the metered/traced
+bypass contract (no pf_* counter drift between the JITTED and TABLED
+rungs when instrumentation is on).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import errors
+from repro.firewall import tables
+from repro.firewall.engine import EngineConfig, ProcessFirewall
+from repro.rulesets.generated import install_full_rulebase
+from repro.world import build_world, spawn_root_shell
+
+
+def _tabled_firewall(rules=None, installer=None, config=None):
+    world = build_world()
+    firewall = ProcessFirewall((config or EngineConfig.tabled)())
+    world.attach_firewall(firewall)
+    if installer is not None:
+        installer(firewall)
+    elif rules is not None:
+        firewall.install_all(rules)
+    return world, firewall
+
+
+_PROBES = ("/etc/passwd", "/lib/libc.so.6", "/etc/shadow", "/bin/sh")
+
+
+def _drive(world, firewall):
+    """Fixed probe workload; returns picklable observables."""
+    shell = spawn_root_shell(world)
+    stream = []
+    for _ in range(2):
+        for path in _PROBES:
+            for syscall in ("stat", "open"):
+                try:
+                    if syscall == "stat":
+                        world.sys.stat(shell, path)
+                    else:
+                        fd = world.sys.open(shell, path)
+                        world.sys.close(shell, fd)
+                    stream.append([syscall, path, "allow"])
+                except errors.PFDenied:
+                    stream.append([syscall, path, "drop"])
+                except errors.KernelError as exc:
+                    stream.append([syscall, path, type(exc).__name__])
+    logs = [{k: v for k, v in rec.items() if k != "time"}
+            for rec in firewall.audit.records(kind="log")]
+    return {"stream": stream, "stats": firewall.stats.as_dict(), "logs": logs}
+
+
+# ---------------------------------------------------------------------------
+# compilation basics
+# ---------------------------------------------------------------------------
+
+
+def test_static_rows_compile_for_constant_rules():
+    _, firewall = _tabled_firewall(rules=[
+        "pftables -A input -o FILE_OPEN -s etc_t -j DROP",
+        "pftables -A input -o FILE_READ -d shadow_t -j ACCEPT",
+    ])
+    program = tables.compile_tables(firewall)
+    static_rows, fallback_rows = program.row_counts()
+    assert static_rows > 0
+    assert fallback_rows == 0
+
+
+def test_dynamic_rules_become_fallback_rows():
+    _, firewall = _tabled_firewall(rules=[
+        "pftables -A input -o FILE_OPEN -m COMPARE --v1 C_DAC_OWNER "
+        "--v2 C_TGT_DAC_OWNER --nequal -j DROP",
+    ])
+    program = tables.compile_tables(firewall)
+    static_rows, fallback_rows = program.row_counts()
+    assert fallback_rows > 0
+
+
+def test_table_program_rebuilds_on_rule_mutation():
+    world, firewall = _tabled_firewall(rules=[
+        "pftables -A input -o FILE_OPEN -s etc_t -j DROP",
+    ])
+    first = firewall.table_program()
+    assert firewall.table_program() is first  # stable while rules are
+    firewall.install("pftables -A input -o FILE_READ -s tmp_t -j DROP")
+    second = firewall.table_program()
+    assert second is not first
+    assert second.stamp is firewall.rules.stamp
+
+
+def test_fallback_rows_share_verdicts_and_counters_with_jitted():
+    """A base of *only* dynamic rules runs entirely through fallback
+    rows; everything observable must still match JITTED exactly."""
+    rules = [
+        "pftables -A input -o LNK_FILE_READ -m ADVERSARY --writable "
+        "-m COMPARE --v1 C_DAC_OWNER --v2 C_TGT_DAC_OWNER --nequal -j DROP",
+        "pftables -A input -o FILE_OPEN -m COMPARE --v1 C_DAC_OWNER "
+        "--v2 C_TGT_DAC_OWNER --nequal -j DROP",
+    ]
+    world_j, fw_j = _tabled_firewall(rules=rules, config=EngineConfig.jitted)
+    world_t, fw_t = _tabled_firewall(rules=rules)
+    jitted = _drive(world_j, fw_j)
+    tabled = _drive(world_t, fw_t)
+    skip = {"tables_hits", "tables_fallbacks"}
+    assert tabled["stream"] == jitted["stream"]
+    assert tabled["logs"] == jitted["logs"]
+    assert ({k: v for k, v in tabled["stats"].items() if k not in skip}
+            == {k: v for k, v in jitted["stats"].items() if k not in skip})
+    assert fw_t.stats.tables_fallbacks > 0
+    assert fw_t.stats.tables_hits == 0
+
+
+# ---------------------------------------------------------------------------
+# artifact round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_serialize_load_round_trip_is_byte_identical():
+    _, firewall = _tabled_firewall(installer=install_full_rulebase)
+    text = tables.serialize_tables(tables.compile_tables(firewall))
+    _, fresh = _tabled_firewall(installer=install_full_rulebase)
+    program = tables.load_tables(fresh, text)
+    assert program.loaded
+    assert tables.serialize_tables(program) == text
+
+
+def test_loaded_artifact_observables_match_compiled():
+    world_c, fw_c = _tabled_firewall(installer=install_full_rulebase)
+    text = tables.serialize_tables(tables.compile_tables(fw_c))
+    world_l, fw_l = _tabled_firewall(installer=install_full_rulebase)
+    tables.load_tables(fw_l, text)
+    assert _drive(world_l, fw_l) == _drive(world_c, fw_c)
+
+
+_CHILD_SCRIPT = """\
+import json, sys
+sys.path.insert(0, {src!r})
+import test_tables as T
+from repro.firewall import tables
+from repro.rulesets.generated import install_full_rulebase
+
+world, firewall = T._tabled_firewall(installer=install_full_rulebase)
+with open({artifact!r}) as fh:
+    tables.load_tables(firewall, fh.read())
+print(json.dumps(T._drive(world, firewall), sort_keys=True))
+"""
+
+
+def test_artifact_loads_in_fresh_process_with_identical_observables(tmp_path):
+    """The zero-warmup contract: a brand-new interpreter that only ever
+    saw the serialized artifact produces byte-identical verdicts, logs
+    and stats to the process that compiled it."""
+    world, firewall = _tabled_firewall(installer=install_full_rulebase)
+    text = tables.serialize_tables(tables.compile_tables(firewall))
+    artifact = tmp_path / "full.tables.json"
+    artifact.write_text(text)
+    reference = json.dumps(_drive(world, firewall), sort_keys=True)
+    script = _CHILD_SCRIPT.format(
+        src=os.path.dirname(os.path.abspath(__file__)), artifact=str(artifact))
+    proc = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True,
+        timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == reference
+
+
+# ---------------------------------------------------------------------------
+# staleness: a mismatched artifact must never be silently used
+# ---------------------------------------------------------------------------
+
+
+def test_stale_digest_artifact_is_rejected():
+    _, firewall = _tabled_firewall(installer=install_full_rulebase)
+    text = tables.serialize_tables(tables.compile_tables(firewall))
+    _, changed = _tabled_firewall(installer=install_full_rulebase)
+    changed.install("pftables -A input -o FILE_OPEN -s nosuch_t -j DROP")
+    with pytest.raises(errors.PFTablesStale) as excinfo:
+        tables.load_tables(changed, text)
+    assert "digest" in excinfo.value.message
+    assert changed._tables is None  # nothing half-attached
+
+
+def test_garbage_and_wrong_version_artifacts_are_rejected():
+    _, firewall = _tabled_firewall(installer=install_full_rulebase)
+    text = tables.serialize_tables(tables.compile_tables(firewall))
+    with pytest.raises(errors.PFTablesStale):
+        tables.load_tables(firewall, "{not json")
+    with pytest.raises(errors.PFTablesStale):
+        tables.load_tables(firewall, json.dumps({"format": "something-else"}))
+    payload = json.loads(text)
+    payload["version"] = tables.ARTIFACT_VERSION + 1
+    with pytest.raises(errors.PFTablesStale):
+        tables.load_tables(firewall, json.dumps(payload))
+
+
+def test_tcb_snapshot_mismatch_is_rejected():
+    _, firewall = _tabled_firewall(installer=install_full_rulebase)
+    text = tables.serialize_tables(tables.compile_tables(firewall))
+    payload = json.loads(text)
+    payload["tcb_subjects"] = payload["tcb_subjects"] + ["bogus_new_t"]
+    with pytest.raises(errors.PFTablesStale):
+        tables.load_tables(firewall, json.dumps(payload))
+
+
+def test_pftables_stale_is_a_kernel_error():
+    # Session/CLI error handling relies on the hierarchy.
+    assert issubclass(errors.PFTablesStale, errors.EINVAL)
+    assert issubclass(errors.PFTablesStale, errors.KernelError)
+
+
+# ---------------------------------------------------------------------------
+# metered/traced bypass: no counter drift between rungs
+# ---------------------------------------------------------------------------
+
+
+def _metered_metrics(config):
+    world, firewall = _tabled_firewall(
+        installer=install_full_rulebase, config=config)
+    firewall.metrics.enable()
+    observables = _drive(world, firewall)
+    return observables, firewall.metrics
+
+
+def test_metered_tabled_matches_jitted_metric_families():
+    """Regression (ISSUE 8 bugfix sweep): instrumented TABLED runs take
+    the same interpreted path as instrumented JITTED runs, so every
+    shared pf_* counter family — fallback counters included — must
+    agree; the only divergence allowed is the TABLED-specific
+    pf_tables_* family, which must actually record the bypasses."""
+    jitted_obs, jitted_metrics = _metered_metrics(EngineConfig.jitted)
+    tabled_obs, tabled_metrics = _metered_metrics(EngineConfig.tabled)
+    skip = {"tables_hits", "tables_fallbacks"}
+    assert tabled_obs["stream"] == jitted_obs["stream"]
+    assert tabled_obs["logs"] == jitted_obs["logs"]
+    assert ({k: v for k, v in tabled_obs["stats"].items() if k not in skip}
+            == {k: v for k, v in jitted_obs["stats"].items() if k not in skip})
+
+    def counter_families(registry):
+        # Phase timers are wall-clock samples, legitimately unequal.
+        return {name: dict(series)
+                for name, series in registry._counters.items()
+                if not name.startswith("pf_tables_")}
+
+    assert counter_families(tabled_metrics) == counter_families(jitted_metrics)
+    assert tabled_metrics.value("pf_tables_total", {"result": "bypass"}) > 0
+    assert jitted_metrics.value("pf_tables_total", {"result": "bypass"}) == 0
+    # And the tables never dispatched: the bypass path leaves the
+    # TABLED-only stats untouched.
+    assert tabled_obs["stats"]["tables_hits"] == 0
+    assert tabled_obs["stats"]["tables_fallbacks"] == 0
+
+
+def test_traced_tabled_bypasses_tables():
+    world, firewall = _tabled_firewall(installer=install_full_rulebase)
+    firewall.enable_tracing(capacity=256)
+    _drive(world, firewall)
+    assert firewall.stats.tables_hits == 0
+    assert firewall.stats.tables_fallbacks == 0
+    assert firewall.tracer.last() is not None
+
+
+def test_compile_tables_records_row_metrics():
+    _, firewall = _tabled_firewall(installer=install_full_rulebase)
+    firewall.metrics.enable()
+    program = tables.compile_tables(firewall)
+    static_rows, fallback_rows = program.row_counts()
+    assert firewall.metrics.value(
+        "pf_tables_rows_total", {"kind": "static"}) == static_rows
+    assert firewall.metrics.value(
+        "pf_tables_rows_total", {"kind": "fallback"}) == fallback_rows

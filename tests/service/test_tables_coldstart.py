@@ -1,0 +1,101 @@
+"""Service workers load the flat-table artifact instead of compiling.
+
+The TABLED zero-warmup story: the driver compiles the rule base once,
+ships the serialized artifact in every worker's init payload, and each
+:class:`~repro.service.core.SessionRunner` starts with the tables
+already attached — asserted here via the ``tables_loaded`` flag the
+worker snapshot carries, for both inline runners and real
+spawn-context processes.  A stale artifact must fail the worker
+loudly, never silently degrade to compiling.
+"""
+
+import pytest
+
+from repro import errors
+from repro.api import Session
+from repro.service.core import SessionRunner
+from repro.service.driver import run_service
+from repro.workloads.generators import generate_stream, service_rules_text
+
+SEED = 0xAB1E
+N_SESSIONS = 16
+
+
+@pytest.fixture(scope="module")
+def rules_text():
+    return service_rules_text()
+
+
+@pytest.fixture(scope="module")
+def tables_text(rules_text):
+    # Compile against a service-world session — the exact environment
+    # (rules + MAC policy TCB) every worker validates the digest in.
+    return Session(
+        engine="TABLED", rules=rules_text, world="service"
+    ).compile_tables()
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return generate_stream(N_SESSIONS, seed=SEED)
+
+
+def _strip_worker(audit):
+    """Worker attribution differs between dispatch disciplines."""
+    return [{k: v for k, v in row.items() if k != "worker"} for row in audit]
+
+
+def test_runner_init_loads_artifact(rules_text, tables_text):
+    runner = SessionRunner({
+        "engine": "TABLED",
+        "rules_text": rules_text,
+        "tables_text": tables_text,
+    })
+    assert runner.tables_loaded
+    assert runner.session.firewall._tables is not None
+    assert runner.session.firewall._tables.loaded
+    assert runner.snapshot()["tables_loaded"] is True
+
+
+def test_runner_without_artifact_reports_not_loaded(rules_text):
+    runner = SessionRunner({"engine": "TABLED", "rules_text": rules_text})
+    assert not runner.tables_loaded
+    assert runner.snapshot()["tables_loaded"] is False
+
+
+def test_stale_artifact_fails_runner_loudly(rules_text, tables_text):
+    changed = rules_text.replace("-j DROP", "-j ACCEPT", 1)
+    assert changed != rules_text
+    with pytest.raises(errors.PFTablesStale):
+        SessionRunner({
+            "engine": "TABLED",
+            "rules_text": changed,
+            "tables_text": tables_text,
+        })
+
+
+def test_inline_pool_uses_artifact_and_matches_jitted(specs, rules_text, tables_text):
+    reference = run_service(
+        specs, rules_text, engine="JITTED", workers=2, processes=False)
+    tabled = run_service(
+        specs, rules_text, engine="TABLED", workers=2, processes=False,
+        tables_text=tables_text)
+    assert all(w["tables_loaded"] for w in tabled["workers"])
+    assert not any(w["tables_loaded"] for w in reference["workers"])
+    assert tabled["verdicts"] == reference["verdicts"]
+    assert _strip_worker(tabled["audit"]) == _strip_worker(reference["audit"])
+    assert tabled["drops"] == reference["drops"]
+
+
+def test_spawned_workers_cold_start_from_artifact(specs, rules_text, tables_text):
+    """The real thing: spawn-context OS workers adopt the artifact and
+    still produce the serial verdict stream."""
+    reference = run_service(
+        specs, rules_text, engine="TABLED", workers=1, processes=False,
+        tables_text=tables_text)
+    spawned = run_service(
+        specs, rules_text, engine="TABLED", workers=2, processes=True,
+        tables_text=tables_text)
+    assert all(w["tables_loaded"] for w in spawned["workers"])
+    assert spawned["verdicts"] == reference["verdicts"]
+    assert _strip_worker(spawned["audit"]) == _strip_worker(reference["audit"])

@@ -32,6 +32,7 @@ CHECKED_MODULES = [
     "repro.obs.trace",
     "repro.firewall.engine",
     "repro.firewall.codegen",
+    "repro.firewall.tables",
     "repro.firewall.rescache",
     "repro.firewall.procstate",
     "repro.workloads.forkscale",
