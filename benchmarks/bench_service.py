@@ -14,7 +14,15 @@ sessions from the open-ended workload models
 - **TABLED worker cold start**: wall seconds to ahead-of-time compile
   the service rule base vs to load the serialized flat-table artifact
   the driver ships in each worker's init payload — the artifact path
-  must be measurably faster (the zero-warmup story).
+  must be measurably faster (the zero-warmup story);
+- the **wire-protocol comparison**: the same stream once per protocol
+  per worker count (:func:`repro.service.driver.compare_protocols`) —
+  v0's per-session pickles + per-call step loop against the batched
+  binary data plane (:mod:`repro.service.wire`), reporting cpu-basis
+  mediation throughput (codec CPU in the denominator), bytes/session,
+  sessions/frame, and the codec share of worker CPU.  Full-budget
+  gates: >= 1.15x cpu-basis throughput and >= 3x fewer bytes/session
+  at the widest worker count.
 
 Writes ``benchmarks/BENCH_service.json`` when run at full budget.
 **Scaling basis**: as everywhere in this repo, the honest multi-worker
@@ -33,7 +41,7 @@ import time
 from repro.analysis.tables import format_table
 from repro.api import Session
 from repro.service import run_service
-from repro.service.driver import sweep_service
+from repro.service.driver import compare_protocols, sweep_service
 from repro.workloads.generators import generate_stream, service_rules_text
 
 SERVICE_JSON = os.path.join(os.path.dirname(__file__), "BENCH_service.json")
@@ -207,15 +215,18 @@ def test_service_sweep(run_once, emit):
         closed = point["closed_loop"]
         rows.append((point["workers"], "closed", "-",
                      closed["sessions_per_s"], closed["mediations_per_cpu_s"],
-                     "-", closed["p50_us"], closed["p99_us"]))
+                     "-", closed["p50_us"], closed["p99_us"],
+                     closed["bytes_per_session"] or "-",
+                     closed["sessions_per_frame"] or "-"))
         for load in point["load_points"]:
             rows.append((point["workers"],
                          "open x{}".format(load["load_factor"]),
                          load["offered_rate"], load["sessions_per_s"], "-",
-                         load["rejected"], load["p50_us"], load["p99_us"]))
+                         load["rejected"], load["p50_us"], load["p99_us"],
+                         "-", "-"))
     emit(format_table(
         ["workers", "mode", "offered/s", "sessions/s", "med/cpu-s",
-         "rejected", "p50 us", "p99 us"],
+         "rejected", "p50 us", "p99 us", "B/sess", "sess/frame"],
         rows,
         title="Service sweep ({} sessions/run, {} workers grid)".format(
             sessions, grid),
@@ -267,3 +278,68 @@ def test_service_sweep(run_once, emit):
                             "workers): {} vs {} at saturation".format(
                                 load["load_factor"], point["workers"],
                                 load["sessions_per_s"], at_saturation))
+
+
+def test_protocol_comparison(run_once, emit):
+    """The wire overhaul's payoff, measured: v0 vs binary per worker count.
+
+    Each row runs the same closed-loop stream once per protocol.  The
+    v0 column is the complete old data plane (per-session pickle
+    messages, per-call step loop); the binary column is the complete
+    new one (multi-session frames, interned specs, RLE results, the
+    capture-and-replay step loop).  cpu-basis throughput counts codec
+    CPU in the denominator for both, so the comparison prices the wire
+    crossing itself.
+
+    At full budget the widest worker count gates the overhaul:
+    >= 1.15x cpu-basis mediation throughput and >= 3x fewer
+    bytes/session than v0 at the same load point, and the comparison
+    is folded into ``BENCH_service.json`` as ``protocol_comparison``
+    (the artifact's "both protocol columns").
+    """
+    sessions = _sessions()
+    grid = _worker_grid()
+    comparison = run_once(lambda: compare_protocols(
+        worker_counts=grid, sessions=sessions, seed=STREAM_SEED,
+    ))
+
+    rows = []
+    for row in comparison["rows"]:
+        for protocol in ("v0", "binary"):
+            col = row[protocol]
+            rows.append((row["workers"], protocol,
+                         col["mediations_per_cpu_s"], col["sessions_per_s"],
+                         col["bytes_per_session"], col["sessions_per_frame"],
+                         col["codec_cpu_share"]))
+        rows.append((row["workers"], "ratio", row["cpu_ratio"], "-",
+                     row["bytes_ratio"], "-", "-"))
+    emit(format_table(
+        ["workers", "protocol", "med/cpu-s", "sessions/s", "B/sess",
+         "sess/frame", "codec share"],
+        rows,
+        title="Wire protocol comparison ({} sessions/run)".format(sessions),
+    ))
+
+    widest = max(comparison["rows"], key=lambda row: row["workers"])
+    # Always-on sanity: binary actually batches and shrinks the wire.
+    assert widest["v0"]["sessions_per_frame"] == 1.0
+    assert widest["binary"]["sessions_per_frame"] > 1.0
+    assert widest["bytes_ratio"] is not None and widest["bytes_ratio"] > 1.0
+
+    if sessions >= FULL_BUDGET_SESSIONS:
+        assert widest["cpu_ratio"] >= 1.15, (
+            "binary protocol cpu-basis win below gate at {} workers: "
+            "{:.3f}x vs required 1.15x".format(
+                widest["workers"], widest["cpu_ratio"]))
+        assert widest["bytes_ratio"] >= 3.0, (
+            "binary protocol bytes/session reduction below gate at {} "
+            "workers: {:.2f}x vs required 3x".format(
+                widest["workers"], widest["bytes_ratio"]))
+        try:
+            with open(SERVICE_JSON) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            payload = {"benchmark": "service"}
+        payload["protocol_comparison"] = comparison
+        with open(SERVICE_JSON, "w") as fh:
+            fh.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")

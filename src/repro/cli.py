@@ -49,6 +49,7 @@ from repro import errors
 from repro.firewall.engine import EngineConfig, ProcessFirewall
 from repro.firewall.persist import list_rules, save_rules
 from repro.firewall.pftables import parse_rule, pftables
+from repro.service.wire import DEFAULT_PROTOCOL, PROTOCOLS
 
 
 def read_rule_lines(path):
@@ -183,6 +184,12 @@ def cmd_counters(args):
     from repro.api import Session
     from repro.world import spawn_root_shell
 
+    if args.service:
+        return _cmd_counters_service(args)
+    if not args.file:
+        print("pfctl: counters requires a rules file (or --service N)",
+              file=sys.stderr)
+        return 1
     # Resource-context caching is decision-identical, so turning it on
     # here costs nothing and lets the counters view surface the
     # pf_rescache_total{result=...} family alongside the chain counters.
@@ -213,6 +220,57 @@ def cmd_counters(args):
         firewall.metrics.value("pf_rescache_total", {"result": "miss"}),
         firewall.metrics.value("pf_rescache_total", {"result": "invalidate"}),
     ))
+    return 0
+
+
+def _cmd_counters_service(args):
+    """``pfctl counters --service N``: metered service run, wire family.
+
+    Runs ``N`` generated sessions through a real 2-worker metered
+    service pool under the given rules and prints (or exports) the
+    merged metrics registry — the way to see the
+    ``pf_service_wire_*`` data-plane family next to the engine
+    counters, since only actual pipe traffic populates it.
+    """
+    from repro.obs.metrics import registry_from_prometheus
+    from repro.service import run_service
+    from repro.workloads.generators import generate_stream
+
+    rules_text = None
+    if args.file:
+        from repro.firewall.persist import save_rules as _save
+
+        rules_text = _save(_load_file(args.file))
+    result = run_service(
+        generate_stream(args.service, seed=0x5EA5),
+        rules_text,
+        workers=2,
+        metered=True,
+    )
+    prom = result["metrics_prom"] or ""
+    if args.json:
+        print(registry_from_prometheus(prom).to_json())
+        return 0
+    if args.prometheus:
+        sys.stdout.write(prom)
+        return 0
+    registry = registry_from_prometheus(prom)
+    wire_summary = result["wire"]
+    print("service counters: {} sessions over 2 workers ({} wire)".format(
+        args.service, wire_summary["protocol"]))
+    print("mediations: {}  dropped: {}".format(
+        result["stats"]["invocations"], result["stats"]["drops"]))
+    for direction in ("tx", "rx"):
+        print("wire {}: {} bytes, {} sessions, frames {}".format(
+            direction,
+            registry.value("pf_service_wire_bytes_total",
+                           {"endpoint": "driver", "dir": direction}),
+            registry.value("pf_service_wire_sessions_total",
+                           {"endpoint": "driver", "dir": direction}),
+            wire_summary["driver"]["frames"][direction]))
+    print("wire derived: {:.1f} B/session, {:.2f} sessions/frame".format(
+        wire_summary["bytes_per_session"] or 0.0,
+        wire_summary["sessions_per_frame"] or 0.0))
     return 0
 
 
@@ -404,12 +462,13 @@ def cmd_serve(args):
         offered_rate=args.rate,
         max_pending=args.max_pending,
         tables_text=tables_text,
+        protocol=args.protocol,
     )
     counters = result["counters"]
     throughput = result["throughput"]
     latency = result["latency"]
-    print("service: {} workers, engine {}, {} mode".format(
-        args.workers, args.engine,
+    print("service: {} workers, engine {}, {} wire, {} mode".format(
+        args.workers, args.engine, args.protocol,
         "open-loop @ {}/s".format(args.rate) if args.rate else "closed-loop"))
     print("sessions: {} offered, {} admitted, {} completed, {} rejected".format(
         args.sessions, counters["admitted"], counters["completed"],
@@ -422,6 +481,15 @@ def cmd_serve(args):
             latency["p50"] * 1e6, latency["p99"] * 1e6))
     print("backpressure: queue peak {}, inflight peak {}".format(
         counters["queue_depth_peak"], counters["inflight_peak"]))
+    summary = result["wire"]
+    if summary["bytes_per_session"] is not None:
+        codec = summary["codec_s"]
+        print("wire: {:.1f} B/session, {:.2f} sessions/frame, codec "
+              "{:.1f}ms driver / {:.1f}ms workers".format(
+                  summary["bytes_per_session"],
+                  summary["sessions_per_frame"] or 1.0,
+                  1e3 * (codec["driver_encode"] + codec["driver_decode"]),
+                  1e3 * (codec["worker_encode"] + codec["worker_decode"])))
     return 0
 
 
@@ -438,6 +506,7 @@ def cmd_bench_service(args):
         seed=args.seed,
         engine=args.engine,
         processes=not args.inline,
+        protocol=args.protocol,
     )
     if args.json:
         print(_json.dumps(result, indent=2, sort_keys=True))
@@ -542,12 +611,17 @@ def build_parser():
 
     p = sub.add_parser(
         "counters", help="drive a benign workload; print live chain counters")
-    p.add_argument("file")
+    p.add_argument("file", nargs="?", default=None)
     group = p.add_mutually_exclusive_group()
     group.add_argument("--json", action="store_true",
                        help="export the metrics registry as JSON")
     group.add_argument("--prometheus", action="store_true",
                        help="export the metrics registry as Prometheus text")
+    p.add_argument("--service", type=int, default=None, metavar="N",
+                   help="instead of the benign workload, run N generated "
+                        "sessions through a metered 2-worker service pool "
+                        "and include the pf_service_wire_* data-plane "
+                        "family (default rules: R1-R12 + safe_open)")
     p.set_defaults(func=cmd_counters)
 
     p = sub.add_parser(
@@ -611,6 +685,11 @@ def build_parser():
     p.add_argument("--inline", action="store_true",
                    help="run sessions in-process instead of spawning "
                         "OS workers (debugging / serial reference)")
+    p.add_argument("--protocol", choices=list(PROTOCOLS),
+                   default=DEFAULT_PROTOCOL,
+                   help="worker wire protocol: batched binary frames or "
+                        "the per-session pickle compatibility path "
+                        "(default %(default)s)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -645,6 +724,10 @@ def build_parser():
                    help="engine preset for every worker (default JITTED)")
     p.add_argument("--inline", action="store_true",
                    help="inline runners instead of OS workers")
+    p.add_argument("--protocol", choices=list(PROTOCOLS),
+                   default=DEFAULT_PROTOCOL,
+                   help="worker wire protocol to sweep under "
+                        "(default %(default)s)")
     p.add_argument("--json", action="store_true",
                    help="emit the sweep as JSON instead of a table")
     p.set_defaults(func=cmd_bench_service)

@@ -36,7 +36,7 @@ from repro.obs.metrics import (
     parse_prometheus,
     registry_from_prometheus,
 )
-from repro.obs.service import ServiceCounters, percentile
+from repro.obs.service import ServiceCounters, WireCounters, percentile
 from repro.obs.trace import ChainVisit, DecisionTrace, RuleEval, Tracer
 
 __all__ = [
@@ -53,6 +53,7 @@ __all__ = [
     "ServiceCounters",
     "Tracer",
     "WARNING",
+    "WireCounters",
     "parse_prometheus",
     "percentile",
     "registry_from_prometheus",

@@ -12,6 +12,16 @@ The reservoir is *windowed*, not sampled: it keeps the most recent
 ``capacity`` samples.  Steady-state percentiles should describe the
 converged regime, and a bounded window both caps memory over unbounded
 streams and naturally forgets cold-start samples.
+
+:class:`WireCounters` is the data-plane companion: every endpoint of
+the service wire path (the driver's pool and each worker's serve loop)
+keeps one, tallying frames and bytes by direction and frame kind,
+sessions carried per direction, and codec CPU time — the raw material
+of the ``pf_service_wire_*`` metric family and the benchmark's
+bytes-per-session / sessions-per-frame columns.  Both wire protocols
+feed it (``v0``'s pickle transport is byte-accounted too), so the
+protocol comparison in ``BENCH_service.json`` is measured, not
+estimated.
 """
 
 from __future__ import annotations
@@ -100,3 +110,111 @@ class ServiceCounters:
         }
         out.update(self.latency_percentiles())
         return out
+
+
+class WireCounters:
+    """Per-endpoint tallies of service wire traffic.
+
+    One instance per wire endpoint — the driver-side pool and each
+    worker's serve loop.  ``tx``/``rx`` are always from the owning
+    endpoint's point of view (a driver ``tx`` run frame is a worker
+    ``rx`` run frame), which is why :meth:`to_metrics` stamps an
+    ``endpoint`` label: the families stay additive under merge without
+    double-counting a frame as both sides of the same pipe.
+    """
+
+    def __init__(self):
+        #: Frame counts by direction then frame-kind name.
+        self.frames = {"tx": {}, "rx": {}}
+        #: Total frame bytes (header + records) by direction.
+        self.bytes = {"tx": 0, "rx": 0}
+        #: Sessions carried inside run/result frames, by direction.
+        self.sessions = {"tx": 0, "rx": 0}
+        #: CPU seconds spent encoding outbound records.
+        self.encode_s = 0.0
+        #: CPU seconds spent decoding inbound records.
+        self.decode_s = 0.0
+
+    def observe_frame(self, direction, kind, nbytes, sessions=0):
+        """Record one frame: ``direction`` ``"tx"``/``"rx"``, ``kind``
+        a frame-kind name, ``nbytes`` its full wire size, ``sessions``
+        the session records it carried (run/result frames)."""
+        kinds = self.frames[direction]
+        kinds[kind] = kinds.get(kind, 0) + 1
+        self.bytes[direction] += nbytes
+        self.sessions[direction] += sessions
+
+    def observe_encode(self, seconds):
+        """Add encode-side codec CPU time."""
+        self.encode_s += seconds
+
+    def observe_decode(self, seconds):
+        """Add decode-side codec CPU time."""
+        self.decode_s += seconds
+
+    def as_dict(self):
+        """Picklable snapshot (ships in worker snapshots, merges via
+        :meth:`merge`)."""
+        return {
+            "frames": {d: dict(kinds) for d, kinds in self.frames.items()},
+            "bytes": dict(self.bytes),
+            "sessions": dict(self.sessions),
+            "encode_s": self.encode_s,
+            "decode_s": self.decode_s,
+        }
+
+    def merge(self, other):
+        """Fold another endpoint's tallies in (associative).
+
+        ``other`` may be a :class:`WireCounters` or an
+        :meth:`as_dict` snapshot — worker snapshots cross the spawn
+        boundary as dicts.
+        """
+        snap = other.as_dict() if isinstance(other, WireCounters) else other
+        for direction, kinds in snap["frames"].items():
+            mine = self.frames.setdefault(direction, {})
+            for kind, count in kinds.items():
+                mine[kind] = mine.get(kind, 0) + count
+        for direction, total in snap["bytes"].items():
+            self.bytes[direction] = self.bytes.get(direction, 0) + total
+        for direction, total in snap["sessions"].items():
+            self.sessions[direction] = self.sessions.get(direction, 0) + total
+        self.encode_s += snap["encode_s"]
+        self.decode_s += snap["decode_s"]
+        return self
+
+    def to_metrics(self, registry, endpoint):
+        """Emit the ``pf_service_wire_*`` families into ``registry``.
+
+        ``endpoint`` labels whose side of the pipe these tallies
+        describe (``"driver"`` or ``"worker"``) so merged registries
+        stay double-count-free.  Families: ``pf_service_wire_frames_total``
+        ``{endpoint,dir,kind}``, ``pf_service_wire_bytes_total`` and
+        ``pf_service_wire_sessions_total`` ``{endpoint,dir}``, and
+        ``pf_service_wire_codec_seconds_total`` ``{endpoint,op}``.
+        """
+        for direction, kinds in sorted(self.frames.items()):
+            for kind, count in sorted(kinds.items()):
+                registry.inc(
+                    "pf_service_wire_frames_total",
+                    {"endpoint": endpoint, "dir": direction, "kind": kind},
+                    count,
+                )
+        for direction, total in sorted(self.bytes.items()):
+            if total:
+                registry.inc(
+                    "pf_service_wire_bytes_total",
+                    {"endpoint": endpoint, "dir": direction}, total,
+                )
+        for direction, total in sorted(self.sessions.items()):
+            if total:
+                registry.inc(
+                    "pf_service_wire_sessions_total",
+                    {"endpoint": endpoint, "dir": direction}, total,
+                )
+        for op, seconds in (("encode", self.encode_s), ("decode", self.decode_s)):
+            if seconds:
+                registry.inc(
+                    "pf_service_wire_codec_seconds_total",
+                    {"endpoint": endpoint, "op": op}, seconds,
+                )

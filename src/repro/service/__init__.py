@@ -13,13 +13,18 @@ reaped at close.  Three layers:
 - :mod:`repro.service.pool` — :class:`~repro.service.pool.ServicePool`,
   long-lived spawn-context OS workers (or inline runners) with a
   bounded per-worker in-flight window;
+- :mod:`repro.service.wire` — the data plane: batched length-prefixed
+  binary frames, spec template interning, compact result records, and
+  the protocol-v0 compatibility path (``docs/SERVICE.md``);
 - :mod:`repro.service.driver` — :func:`~repro.service.driver.run_service`,
-  the closed-/open-loop admission controller with backpressure, plus
-  the merge back to one serial-shaped result.
+  the closed-/open-loop admission controller with batched adaptive
+  admission and backpressure, plus the merge back to one serial-shaped
+  result.
 
 Entry points: ``pfctl serve`` and ``pfctl bench-service``.
 """
 
-from repro.service.driver import run_service
+from repro.service.driver import compare_protocols, run_service
+from repro.service.wire import DEFAULT_PROTOCOL, PROTOCOLS
 
-__all__ = ["run_service"]
+__all__ = ["DEFAULT_PROTOCOL", "PROTOCOLS", "compare_protocols", "run_service"]

@@ -32,13 +32,17 @@ under the ``multiprocessing`` **spawn** context;
 
 from __future__ import annotations
 
+import pickle
 import time
 import traceback
 
 from repro.api import Session
 from repro.errors import KernelError, PFDenied
 from repro.obs.audit import severity_name
+from repro.obs.service import WireCounters
+from repro.parallel.batch import record_mediations
 from repro.parallel.merge import strip_volatile
+from repro.service import wire
 from repro.vfs.file import OpenFlags
 from repro.workloads.generators import setup_session_fs
 
@@ -46,6 +50,12 @@ from repro.workloads.generators import setup_session_fs
 _MEDIATED_STEPS = frozenset(
     ("open_read", "stat", "append", "fork_exec", "trap_open")
 )
+
+#: Read-only step kinds eligible for the capture-and-replay fast path
+#: (see :meth:`SessionRunner._replayable_step`).  ``append`` mutates
+#: file content and ``fork_exec`` mutates the process census, so both
+#: always execute for real.
+_REPLAYABLE_STEPS = frozenset(("stat", "open_read", "trap_open"))
 
 
 class SessionRunner:
@@ -83,9 +93,19 @@ class SessionRunner:
         #: census returns here after every reap.
         self.baseline_pids = len(self.session.kernel.processes)
         #: Mediation-busy CPU seconds (process_time over run_session
-        #: bodies only — setup/idle excluded), the cpu-basis
+        #: bodies only — setup/idle excluded), part of the cpu-basis
         #: throughput denominator.
         self.busy_cpu = 0.0
+        #: Wire CPU seconds — message (de)serialization charged by the
+        #: worker serve loop.  Counted into the snapshot's ``cpu_s``
+        #: for *both* protocols, so the cpu-basis throughput comparison
+        #: includes the serialization tax it is meant to expose.
+        self.wire_cpu = 0.0
+        #: Route repeated read-only steps through the captured-stream
+        #: ``mediate_batch`` fast path (see :meth:`_replayable_step`).
+        #: On by default; ``init["step_batch"]=False`` restores the
+        #: plain per-call loop.
+        self.step_batch = init.get("step_batch", True)
         self.sessions_run = 0
 
     def run_session(self, spec):
@@ -112,19 +132,24 @@ class SessionRunner:
         drops = 0
         stats = session.stats
         mediations_before = stats.invocations
+        replay_cache = {} if self.step_batch else None
         for idx, step in enumerate(spec["steps"]):
             before = ring.next_seq()
             timed = step[0] in _MEDIATED_STEPS
             start = time.perf_counter() if timed else 0.0
-            try:
-                self._exec_step(root, step, procs, logical)
-            except PFDenied:
-                status = "PFDenied"
-                drops += 1
-            except KernelError as exc:
-                status = exc.errno_name
+            if replay_cache is not None and step[0] in _REPLAYABLE_STEPS:
+                status = self._replayable_step(root, step, replay_cache)
             else:
-                status = "ok"
+                try:
+                    self._exec_step(root, step, procs, logical)
+                except PFDenied:
+                    status = "PFDenied"
+                except KernelError as exc:
+                    status = exc.errno_name
+                else:
+                    status = "ok"
+            if status == "PFDenied":
+                drops += 1
             if timed:
                 latencies.append(time.perf_counter() - start)
             verdicts.append((idx, step[0], status))
@@ -156,6 +181,105 @@ class SessionRunner:
             "mediations": stats.invocations - mediations_before,
             "drops": drops,
         }
+
+    def run_batch(self, specs):
+        """Run one frame's sessions back-to-back, in frame order.
+
+        The execution unit behind a binary ``run`` frame: results come
+        back in submission order so the worker can answer with one
+        ``result`` frame.  Purely sequential — a worker is still one
+        session at a time; the batching amortizes the *pipe*, not the
+        kernel.
+        """
+        return [self.run_session(spec) for spec in specs]
+
+    def _replayable_step(self, root, step, cache):
+        """One read-only step via the capture-and-replay fast path.
+
+        Service traffic is dominated by repeats: the apache docroot
+        stat chain re-runs every request, sessions re-open the same
+        content and home files over and over.  A repeat of a read-only
+        step re-derives a mediation stream that is — rules stationary,
+        topology and credentials unchanged by any step in the session
+        vocabulary — identical to its first run except for the syscall
+        sequence numbers, and its fd open/read/close churn has no
+        observable effect.  So the first run of each ``(kind, path)``
+        executes for real under
+        :func:`repro.parallel.batch.record_mediations`, also noting
+        the per-syscall group structure of the captured stream (which
+        operations belonged to which ``begin_syscall`` window, and the
+        syscall names — a denied ``trap_open`` captures only its
+        ``open``); repeats tick the same kernel bookkeeping the real
+        syscalls would (clock, per-syscall counts, fresh sequence
+        numbers re-stamped group by group) and push the captured
+        operations through
+        :meth:`~repro.firewall.engine.ProcessFirewall.mediate_batch` —
+        same per-op verdicts, engine stats, and audit as the per-call
+        loop by the batched-path contract, at amortized run cost.
+        Mediation still evaluates live context (the captured
+        operations only pin *which* accesses happen, against live
+        processes and inodes), and a replay verdict that disagrees
+        with the captured outcome raises ``RuntimeError`` — divergence
+        means a broken invariant, never a silent wrong answer.
+
+        Only used when kernel-level audit is off (the service world's
+        configuration); the kernel audit trail of a replayed step
+        would otherwise be skipped.
+        """
+        session = self.session
+        key = (step[0], step[1])
+        cached = cache.get(key)
+        if cached is None:
+            if session.kernel.audit_enabled:
+                # Kernel audit would record the real walk but not the
+                # replays; keep the slow path so the trail stays whole.
+                try:
+                    self._exec_step(root, step, [], {})
+                except PFDenied:
+                    return "PFDenied"
+                except KernelError as exc:
+                    return exc.errno_name
+                return "ok"
+            with record_mediations(session.firewall) as captured:
+                try:
+                    self._exec_step(root, step, [], {})
+                except PFDenied:
+                    status = "PFDenied"
+                except KernelError as exc:
+                    status = exc.errno_name
+                else:
+                    status = "ok"
+            groups = []
+            names = []
+            group_of = {}
+            for operation in captured:
+                seq = operation.extra.get("syscall_seq")
+                if seq not in group_of:
+                    group_of[seq] = len(names)
+                    names.append(operation.syscall or "?")
+                groups.append(group_of[seq])
+            cache[key] = (captured, groups, names, status)
+            return status
+        operations, groups, names, status = cached
+        kernel = session.kernel
+        seqs = []
+        for name in names:
+            kernel.clock.tick()
+            kernel.stats.count_syscall(name)
+            kernel._syscall_seq += 1
+            seqs.append(kernel._syscall_seq)
+        for operation, group in zip(operations, groups):
+            operation.extra["syscall_seq"] = seqs[group]
+        verdicts = session.firewall.mediate_batch(operations)
+        denied = status == "PFDenied"
+        for position, verdict in enumerate(verdicts):
+            last = position == len(verdicts) - 1
+            if (verdict == "drop") != (denied and last):
+                raise RuntimeError(
+                    "replayed {}({!r}) diverged from its captured run "
+                    "(op {} verdict {!r}, cached status {!r})".format(
+                        step[0], step[1], position, verdict, status))
+        return status
 
     def _exec_step(self, root, step, procs, logical):
         """Execute one spec step tuple against the live kernel."""
@@ -197,7 +321,14 @@ class SessionRunner:
         return out
 
     def snapshot(self):
-        """Final picklable worker summary (merged by the driver)."""
+        """Final picklable worker summary (merged by the driver).
+
+        ``cpu_s`` is mediation-busy CPU *plus* the worker's wire codec
+        CPU — the serve loop charges (de)serialization time to
+        :attr:`wire_cpu` under either protocol, so the cpu-basis
+        throughput the benchmark compares includes the crossing cost
+        this PR exists to shrink.
+        """
         firewall = self.session.firewall
         metrics = firewall.metrics
         return {
@@ -205,36 +336,138 @@ class SessionRunner:
             "sessions": self.sessions_run,
             "stats": firewall.stats.as_dict(),
             "metrics_prom": metrics.to_prometheus() if metrics.enabled else None,
-            "cpu_s": self.busy_cpu,
+            "cpu_s": self.busy_cpu + self.wire_cpu,
             "live_pids": len(self.session.kernel.processes),
             "baseline_pids": self.baseline_pids,
             "tables_loaded": self.tables_loaded,
         }
 
 
+def _finish_snapshot(runner, counters):
+    """The worker's final snapshot with its wire tallies attached.
+
+    When the runner is metered, the tallies also land in its metrics
+    registry (``pf_service_wire_*`` with ``endpoint="worker"``) so
+    they survive the driver's Prometheus merge.
+    """
+    metrics = runner.session.firewall.metrics
+    if metrics.enabled:
+        counters.to_metrics(metrics, "worker")
+    snap = runner.snapshot()
+    snap["wire"] = counters.as_dict()
+    return snap
+
+
+def _serve_v0(conn, init):
+    """The per-session pickle protocol loop (``wire_protocol="v0"``).
+
+    One pickled ``("run", spec)`` in, one pickled ``("done", result)``
+    out, ``("fin",)`` answered with ``("fin", snapshot)``.  Messages
+    ride :meth:`~multiprocessing.connection.Connection.send_bytes` so
+    the byte and codec-CPU tallies are measured for v0 too — the
+    benchmark's protocol comparison needs both columns on the same
+    accounting basis.
+    """
+    runner = SessionRunner(init)
+    counters = WireCounters()
+    while True:
+        data = conn.recv_bytes()
+        cpu = time.process_time()
+        msg = pickle.loads(data)
+        counters.observe_decode(time.process_time() - cpu)
+        counters.observe_frame(
+            "rx", msg[0], len(data), sessions=1 if msg[0] == "run" else 0)
+        if msg[0] == "run":
+            result = runner.run_session(msg[1])
+            cpu = time.process_time()
+            out = pickle.dumps(("done", result), protocol=pickle.HIGHEST_PROTOCOL)
+            counters.observe_encode(time.process_time() - cpu)
+            conn.send_bytes(out)
+            counters.observe_frame("tx", "done", len(out), sessions=1)
+        elif msg[0] == "fin":
+            runner.wire_cpu += counters.encode_s + counters.decode_s
+            out = pickle.dumps(
+                ("fin", _finish_snapshot(runner, counters)),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            conn.send_bytes(out)
+            return
+        else:
+            raise ValueError("unknown service message {!r}".format(msg[0]))
+
+
+def _serve_binary(conn, init):
+    """The batched binary protocol loop (``wire_protocol="binary"``).
+
+    Frames from :mod:`repro.service.wire`: a ``run`` frame carries a
+    batch of codec-interned specs, answered by one ``result`` frame of
+    compact result records in the same order; a ``fin`` frame is
+    answered with a pickled-snapshot frame.  Codec CPU is charged to
+    the runner's ``wire_cpu`` and tallied per direction.
+    """
+    runner = SessionRunner(init)
+    counters = WireCounters()
+    codec = wire.SpecCodec(init.get("wire_templates"))
+    strings = wire.StringTable(init.get("wire_strings"))
+    while True:
+        data = conn.recv_bytes()
+        kind, payloads = wire.unpack_frame(data)
+        counters.observe_frame(
+            "rx", wire.FRAME_NAMES.get(kind, str(kind)), len(data),
+            sessions=len(payloads) if kind == wire.FRAME_RUN else 0)
+        if kind == wire.FRAME_RUN:
+            cpu = time.process_time()
+            specs = [codec.decode(payload) for payload in payloads]
+            counters.observe_decode(time.process_time() - cpu)
+            results = runner.run_batch(specs)
+            cpu = time.process_time()
+            frame = wire.pack_frame(
+                wire.FRAME_RESULT,
+                [wire.encode_result(result, strings) for result in results],
+            )
+            counters.observe_encode(time.process_time() - cpu)
+            conn.send_bytes(frame)
+            counters.observe_frame(
+                "tx", "result", len(frame), sessions=len(results))
+        elif kind == wire.FRAME_FIN:
+            runner.wire_cpu += counters.encode_s + counters.decode_s
+            frame = wire.pack_frame(wire.FRAME_SNAPSHOT, [
+                pickle.dumps(
+                    _finish_snapshot(runner, counters),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                ),
+            ])
+            conn.send_bytes(frame)
+            return
+        else:
+            raise ValueError(
+                "unexpected frame kind {!r} in a worker".format(kind))
+
+
 def service_worker_entry(conn, init):
     """Spawn-context worker main loop.
 
-    Protocol (driver side in :mod:`repro.service.pool`): the parent
-    sends ``("run", spec)`` messages and the worker answers each with
-    ``("done", result)``; ``("fin",)`` answers ``("fin", snapshot)``
-    and exits.  Any failure ships ``("error", traceback text)`` and
-    exits — the driver re-raises with the child traceback attached.
+    Dispatches on ``init["wire_protocol"]`` to the v0 pickle loop or
+    the batched binary loop (driver side in
+    :mod:`repro.service.pool`).  Any failure ships a traceback —
+    ``("error", text)`` under v0, an error frame under binary — and
+    exits; the driver re-raises with the child traceback attached.
     """
+    protocol = init.get("wire_protocol", wire.DEFAULT_PROTOCOL)
     try:
-        runner = SessionRunner(init)
-        while True:
-            msg = conn.recv()
-            if msg[0] == "run":
-                conn.send(("done", runner.run_session(msg[1])))
-            elif msg[0] == "fin":
-                conn.send(("fin", runner.snapshot()))
-                break
-            else:
-                raise ValueError("unknown service message {!r}".format(msg[0]))
+        if protocol == "binary":
+            _serve_binary(conn, init)
+        else:
+            _serve_v0(conn, init)
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc()))
+            text = traceback.format_exc()
+            if protocol == "binary":
+                conn.send_bytes(wire.pack_frame(
+                    wire.FRAME_ERROR, [text.encode("utf-8")]))
+            else:
+                conn.send_bytes(pickle.dumps(
+                    ("error", text), protocol=pickle.HIGHEST_PROTOCOL))
         except (BrokenPipeError, OSError):
             pass
     finally:

@@ -17,12 +17,23 @@ Two admission modes:
   the benchmark's acceptance gate checks (throughput must plateau,
   not collapse).
 
+Admission is **batched**: each loop iteration hands the pool every
+pending session its free window can take in one
+:meth:`~repro.service.pool.ServicePool.submit_many` call, so under the
+binary wire protocol (:mod:`repro.service.wire`) frame sizes track
+queue depth adaptively — an idle service ships single-session frames
+at minimum latency, a backlogged one coalesces up to a full window per
+worker into each pipe write.
+
 Results merge back to one serial-shaped dict exactly like
 :mod:`repro.parallel.merge`: per-session verdict streams sort by
 ``sid``, audit records by ``(sid, sub)``, worker engine stats fold via
 ``EngineStats.merge``, and throughput is reported on both the
 wall-clock and worker-CPU-time bases (the latter is the honest scaling
-measure on core-starved CI runners).
+measure on core-starved CI runners).  The merged dict also carries a
+``wire`` section — driver- and worker-endpoint frame/byte/codec
+tallies plus bytes-per-session and sessions-per-frame — which is what
+:func:`compare_protocols` and the benchmark's protocol columns read.
 """
 
 from __future__ import annotations
@@ -31,7 +42,8 @@ import time
 
 from repro.firewall.engine import EngineStats
 from repro.obs.metrics import registry_from_prometheus
-from repro.obs.service import ServiceCounters
+from repro.obs.service import ServiceCounters, WireCounters
+from repro.service import wire
 from repro.service.pool import DEFAULT_WORKER_WINDOW, ServicePool
 from repro.workloads.generators import generate_stream, service_rules_text
 
@@ -55,6 +67,8 @@ def run_service(
     metered=False,
     collect_audit=True,
     tables_text=None,
+    protocol=wire.DEFAULT_PROTOCOL,
+    step_batch=None,
 ):
     """Run ``specs`` through a service pool; returns the merged result.
 
@@ -67,6 +81,19 @@ def run_service(
     ``processes=False`` runs inline (the serial reference when
     ``workers=1``).  ``mode="open"`` requires ``offered_rate``; see
     the module docstring for the two admission disciplines.
+    ``protocol`` picks the worker wire path
+    (:data:`repro.service.wire.PROTOCOLS`): the default ``"binary"``
+    interns the stream's spec templates and the shared audit string
+    table once (:meth:`~repro.service.wire.SpecCodec.from_specs` /
+    :func:`~repro.service.wire.audit_strings`, shipped in worker init)
+    and batches sessions into frames; ``"v0"`` is the per-session
+    pickle compatibility path — merged observables are pinned
+    identical across the two.  ``step_batch`` picks the runner's step
+    loop; the default ``None`` ties it to the protocol (binary gets
+    the capture-and-replay batched loop, v0 the original per-call
+    loop, so each protocol column measures its whole data plane), and
+    an explicit boolean overrides that coupling for differential
+    tests.
 
     The returned dict: ``verdicts`` ``[(sid, step, op, status), ...]``
     in serial order, ``audit`` (tagged, normalized, serial order),
@@ -74,8 +101,9 @@ def run_service(
     ``counters`` (:meth:`ServiceCounters.as_dict`), ``latency``
     (p50/p99 seconds over the retained window), ``throughput``
     (sessions/s and mediations/s on wall and CPU bases), ``rejected``
-    (sids refused at admission), ``workers`` (per-worker rows), and
-    ``drops`` (total denied operations).
+    (sids refused at admission), ``workers`` (per-worker rows),
+    ``drops`` (total denied operations), and ``wire`` (the data-plane
+    tallies described in the module docstring).
     """
     if mode not in ("closed", "open"):
         raise ValueError("mode must be 'closed' or 'open', not {!r}".format(mode))
@@ -83,15 +111,21 @@ def run_service(
         raise ValueError("open-loop mode requires offered_rate")
     if rules_text is None:
         rules_text = service_rules_text()
+    specs = list(specs)
     init = {
         "engine": engine,
         "rules_text": rules_text,
         "world": "service",
         "metered": metered,
         "collect_audit": collect_audit,
+        "wire_protocol": protocol,
+        "step_batch": (protocol == "binary") if step_batch is None else step_batch,
     }
     if tables_text is not None:
         init["tables_text"] = tables_text
+    if protocol == "binary":
+        init["wire_templates"] = wire.SpecCodec.from_specs(specs).templates
+        init["wire_strings"] = wire.audit_strings(rules_text)
     pool = ServicePool(workers, init, processes=processes, window=window)
     counters = ServiceCounters()
     results = []
@@ -99,10 +133,10 @@ def run_service(
     try:
         wall_start = time.perf_counter()
         if mode == "closed":
-            _pump_closed(pool, list(specs), counters, results)
+            _pump_closed(pool, specs, counters, results)
         else:
             _pump_open(
-                pool, list(specs), counters, results, rejected,
+                pool, specs, counters, results, rejected,
                 offered_rate, max_pending, wall_start,
             )
         wall_s = time.perf_counter() - wall_start
@@ -112,7 +146,8 @@ def run_service(
             pool._reap_processes()
         raise
     return _merge(
-        results, snapshots, counters, rejected, wall_s, mode, offered_rate, workers
+        results, snapshots, counters, rejected, wall_s, mode, offered_rate,
+        workers, pool,
     )
 
 
@@ -126,22 +161,27 @@ def _collect(pool, counters, results, timeout):
     return len(done)
 
 
+def _admit(pool, batch, counters):
+    """Hand ``batch`` to the pool in one batched dispatch."""
+    pool.submit_many(batch)
+    counters.admitted += len(batch)
+    counters.observe_inflight(pool.inflight)
+
+
 def _pump_closed(pool, specs, counters, results):
-    """Bounded-population admission: a completion admits the next."""
+    """Bounded-population admission: completions admit the next batch.
+
+    Each iteration admits ``min(queued, pool.capacity())`` sessions in
+    one :meth:`~repro.service.pool.ServicePool.submit_many` — the
+    adaptive frame sizing: the emptier the windows, the bigger the
+    batch that refills them.
+    """
     pending = list(reversed(specs))
     while pending or pool.inflight:
-        progressed = False
-        while pending and pool.has_capacity():
-            pool.submit(pending.pop())
-            counters.admitted += 1
-            counters.observe_inflight(pool.inflight)
-            progressed = True
-        if pool.inflight:
-            progressed |= bool(_collect(pool, counters, results, _POLL_S))
-        elif not pool.processes:
-            progressed |= bool(_collect(pool, counters, results, 0))
-        if not progressed and not pool.processes and not pending:
-            break
+        take = min(len(pending), pool.capacity())
+        if take:
+            _admit(pool, [pending.pop() for _ in range(take)], counters)
+        _collect(pool, counters, results, _POLL_S if pool.inflight else 0)
 
 
 def _pump_open(pool, specs, counters, results, rejected, rate, max_pending, start):
@@ -170,10 +210,11 @@ def _pump_open(pool, specs, counters, results, rejected, rate, max_pending, star
                 else:
                     pending.append(spec)
             counters.observe_queue(len(pending))
-        while pending and pool.has_capacity():
-            pool.submit(pending.pop(0))
-            counters.admitted += 1
-            counters.observe_inflight(pool.inflight)
+        take = min(len(pending), pool.capacity())
+        if take:
+            batch = pending[:take]
+            del pending[:take]
+            _admit(pool, batch, counters)
         if pool.inflight:
             _collect(pool, counters, results, _POLL_S)
         else:
@@ -183,7 +224,40 @@ def _pump_open(pool, specs, counters, results, rejected, rate, max_pending, star
                 time.sleep(min(_POLL_S, 1.0 / rate))
 
 
-def _merge(results, snapshots, counters, rejected, wall_s, mode, rate, workers):
+def _wire_summary(pool, snapshots, completed):
+    """The merged result's ``wire`` section.
+
+    Driver-endpoint tallies straight off the pool, worker-endpoint
+    tallies folded across snapshots, and the two derived figures the
+    benchmark gates on: ``bytes_per_session`` (driver tx+rx over
+    completed sessions) and ``sessions_per_frame`` (sessions carried
+    per driver-sent run frame — 1.0 under v0 by construction, up to a
+    full worker window under binary batching).  Inline pools move no
+    bytes; their summary is all zeros with ``None`` derived figures.
+    """
+    driver = pool.wire
+    worker_tallies = WireCounters()
+    for snap in snapshots:
+        if snap.get("wire"):
+            worker_tallies.merge(snap["wire"])
+    total_bytes = driver.bytes["tx"] + driver.bytes["rx"]
+    run_frames = driver.frames["tx"].get("run", 0)
+    return {
+        "protocol": pool.protocol,
+        "driver": driver.as_dict(),
+        "workers": worker_tallies.as_dict(),
+        "bytes_per_session": (total_bytes / completed) if completed and total_bytes else None,
+        "sessions_per_frame": (driver.sessions["tx"] / run_frames) if run_frames else None,
+        "codec_s": {
+            "driver_encode": driver.encode_s,
+            "driver_decode": driver.decode_s,
+            "worker_encode": worker_tallies.encode_s,
+            "worker_decode": worker_tallies.decode_s,
+        },
+    }
+
+
+def _merge(results, snapshots, counters, rejected, wall_s, mode, rate, workers, pool):
     """Fold per-session results + worker snapshots to the serial shape."""
     results.sort(key=lambda r: r["sid"])
     verdicts = [
@@ -212,6 +286,8 @@ def _merge(results, snapshots, counters, rejected, wall_s, mode, rate, workers):
             "baseline_pids": snap["baseline_pids"],
             "tables_loaded": snap.get("tables_loaded", False),
         })
+    if metrics is not None:
+        pool.wire.to_metrics(metrics, "driver")
     mediations = sum(r["mediations"] for r in results)
     drops = sum(r["drops"] for r in results)
     # CPU-basis rate: each worker's mediation count over its busy CPU
@@ -234,6 +310,7 @@ def _merge(results, snapshots, counters, rejected, wall_s, mode, rate, workers):
         "latency": counters.latency_percentiles(),
         "rejected": sorted(rejected),
         "drops": drops,
+        "wire": _wire_summary(pool, snapshots, len(results)),
         "throughput": {
             "wall_s": wall_s,
             "sessions": len(results),
@@ -259,6 +336,7 @@ def sweep_service(
     processes=True,
     max_pending=DEFAULT_MAX_PENDING,
     window=DEFAULT_WORKER_WINDOW,
+    protocol=wire.DEFAULT_PROTOCOL,
 ):
     """The steady-state service sweep behind ``BENCH_service.json``.
 
@@ -270,9 +348,11 @@ def sweep_service(
     degradation: completed throughput holds near capacity and the
     surplus is rejected — never a collapse.
 
-    Returns a JSON-ready dict: per-worker capacity rows, per-load
-    points with p50/p99 mediation latency (µs), completed/rejected
-    session counts, and throughput on the wall and worker-CPU bases.
+    Returns a JSON-ready dict: per-worker capacity rows (closed-loop
+    rows include the wire figures — bytes/session, sessions/frame),
+    per-load points with p50/p99 mediation latency (µs),
+    completed/rejected session counts, and throughput on the wall and
+    worker-CPU bases.
     """
     specs = generate_stream(sessions, seed)
     rules_text = service_rules_text()
@@ -280,9 +360,10 @@ def sweep_service(
     for workers in worker_counts:
         closed = run_service(
             specs, rules_text, engine=engine, workers=workers,
-            processes=processes, window=window,
+            processes=processes, window=window, protocol=protocol,
         )
         capacity = closed["throughput"]["sessions_per_s"]
+        closed_wire = closed["wire"]
         row = {
             "workers": workers,
             "closed_loop": {
@@ -293,6 +374,12 @@ def sweep_service(
                 "p50_us": _us(closed["latency"]["p50"]),
                 "p99_us": _us(closed["latency"]["p99"]),
                 "drops": closed["drops"],
+                "bytes_per_session": (
+                    round(closed_wire["bytes_per_session"], 1)
+                    if closed_wire["bytes_per_session"] is not None else None),
+                "sessions_per_frame": (
+                    round(closed_wire["sessions_per_frame"], 2)
+                    if closed_wire["sessions_per_frame"] is not None else None),
             },
             "load_points": [],
         }
@@ -301,7 +388,7 @@ def sweep_service(
             point = run_service(
                 specs, rules_text, engine=engine, workers=workers,
                 processes=processes, mode="open", offered_rate=rate,
-                max_pending=max_pending, window=window,
+                max_pending=max_pending, window=window, protocol=protocol,
             )
             row["load_points"].append({
                 "load_factor": factor,
@@ -322,7 +409,73 @@ def sweep_service(
         "processes": bool(processes),
         "max_pending": max_pending,
         "worker_window": window,
+        "protocol": protocol,
         "latency_unit": "microseconds (per mediated syscall, wall clock)",
         "scaling_basis": "sessions/s wall + mediations per worker-CPU-second",
         "worker_points": worker_points,
+    }
+
+
+def compare_protocols(
+    worker_counts=(1, 2, 4, 8),
+    sessions=200,
+    seed=0x5EA5,
+    engine="JITTED",
+    processes=True,
+    window=DEFAULT_WORKER_WINDOW,
+):
+    """Closed-loop v0-vs-binary wire comparison, one row per worker count.
+
+    The same stream runs once per protocol at each worker count; each
+    row reports, per protocol, cpu-basis mediation throughput (wire
+    codec CPU included in the denominator — the crossing tax is the
+    thing under test), wall-clock session throughput, bytes/session,
+    sessions/frame, and the codec share of total worker CPU.  Two
+    derived ratios close the row: ``cpu_ratio`` (binary over v0
+    cpu-basis throughput, the benchmark's ≥1.15× gate at 8 workers)
+    and ``bytes_ratio`` (v0 over binary bytes/session, the ≥3× gate).
+    """
+    specs = generate_stream(sessions, seed)
+    rules_text = service_rules_text()
+    rows = []
+    for workers in worker_counts:
+        row = {"workers": workers}
+        for protocol in wire.PROTOCOLS:
+            run = run_service(
+                specs, rules_text, engine=engine, workers=workers,
+                processes=processes, window=window, protocol=protocol,
+            )
+            summary = run["wire"]
+            codec = summary["codec_s"]
+            worker_cpu = sum(r["cpu_s"] for r in run["workers"])
+            codec_cpu = codec["worker_encode"] + codec["worker_decode"]
+            row[protocol] = {
+                "mediations_per_cpu_s": round(
+                    run["throughput"]["mediations_per_cpu_s"], 1),
+                "sessions_per_s": round(run["throughput"]["sessions_per_s"], 1),
+                "bytes_per_session": (
+                    round(summary["bytes_per_session"], 1)
+                    if summary["bytes_per_session"] is not None else None),
+                "sessions_per_frame": (
+                    round(summary["sessions_per_frame"], 2)
+                    if summary["sessions_per_frame"] is not None else None),
+                "codec_cpu_share": (
+                    round(codec_cpu / worker_cpu, 4) if worker_cpu else None),
+            }
+        v0_cpu = row["v0"]["mediations_per_cpu_s"]
+        binary_cpu = row["binary"]["mediations_per_cpu_s"]
+        row["cpu_ratio"] = round(binary_cpu / v0_cpu, 3) if v0_cpu else None
+        v0_bytes = row["v0"]["bytes_per_session"]
+        binary_bytes = row["binary"]["bytes_per_session"]
+        row["bytes_ratio"] = (
+            round(v0_bytes / binary_bytes, 2) if v0_bytes and binary_bytes else None)
+        rows.append(row)
+    return {
+        "engine": engine,
+        "sessions": sessions,
+        "seed": seed,
+        "processes": bool(processes),
+        "worker_window": window,
+        "cpu_basis": "mediations per worker-CPU-second, wire codec CPU included",
+        "rows": rows,
     }

@@ -4,28 +4,45 @@
 shard, ship one snapshot, exit.  A service cannot pay world
 construction per session, so :class:`ServicePool` keeps spawn-context
 OS workers **alive across sessions**: each worker builds its
-:class:`~repro.service.core.SessionRunner` once, then serves
-``("run", spec)`` requests over its pipe until the pool is closed,
-answering ``("fin",)`` with its final engine/obs snapshot.
+:class:`~repro.service.core.SessionRunner` once, then serves session
+batches over its pipe until the pool is closed, answering the final
+``fin`` exchange with its engine/obs snapshot.
+
+Transport is selected by ``init["wire_protocol"]`` (see
+:mod:`repro.service.wire`): the default ``"binary"`` protocol ships
+multi-session run frames of template-interned spec records and gets
+compact result records back; the ``"v0"`` compatibility protocol ships
+one pickled ``("run", spec)`` per session exactly as the service
+originally did.  Both ride ``send_bytes``/``recv_bytes`` and feed the
+pool's driver-side :class:`~repro.obs.service.WireCounters`, so the
+two are comparable on the same byte/CPU accounting basis and the
+differential suite can pin their merged observables identical.
 
 The pool also has an inline mode (``processes=False``) running the
 same :class:`SessionRunner` code in the calling process — the serial
-reference of the differential tests and the debugging path, exactly
-mirroring :mod:`repro.parallel.driver`'s inline shards: any
-divergence between inline and spawned runs is a service bug, not a
-harness artifact.
+reference of the differential tests and the debugging path.  Inline
+dispatch uses the *same* least-outstanding policy and window
+accounting as process mode (sessions occupy window slots until
+:meth:`ServicePool.poll` drains them), so a differential run exercises
+identical session-to-worker assignment in both modes.
 
 Dispatch is least-outstanding-first with a bounded per-worker window
-(:data:`DEFAULT_WORKER_WINDOW`); :meth:`ServicePool.has_capacity` is
-what the driver's admission controller consults, making the pool the
-backpressure boundary.
+(:data:`DEFAULT_WORKER_WINDOW`); :meth:`ServicePool.has_capacity` /
+:meth:`ServicePool.capacity` are what the driver's admission
+controller consults, making the pool the backpressure boundary — and
+``capacity()`` is what sizes each admission batch, so frame sizes
+track queue depth up to the free window.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
+import time
 from multiprocessing.connection import wait as connection_wait
 
+from repro.obs.service import WireCounters
+from repro.service import wire
 from repro.service.core import SessionRunner, service_worker_entry
 
 #: Sessions a single worker may have queued+running at once.  Small:
@@ -38,19 +55,39 @@ class ServicePool:
     """``workers`` long-lived session executors behind one submit API.
 
     ``init`` is the :class:`~repro.service.core.SessionRunner` payload
-    (engine, rules text, world, metering) shipped to every worker;
-    ``processes=True`` starts spawn-context OS workers, ``False`` runs
-    inline runners in the calling process (results are queued and
-    drained through the same :meth:`poll` API, so drivers are
-    mode-blind).  ``window`` bounds per-worker outstanding sessions.
+    (engine, rules text, world, metering) shipped to every worker,
+    plus the pool-level wire keys: ``wire_protocol`` (defaulted to
+    :data:`repro.service.wire.DEFAULT_PROTOCOL` and injected into the
+    worker payload so both pipe ends speak the same protocol) and
+    optionally ``wire_templates`` (a
+    :class:`~repro.service.wire.SpecCodec` table) and ``wire_strings``
+    (the shared audit string table,
+    :func:`repro.service.wire.audit_strings`) — without them the
+    binary codec still works, records just take escape/inline paths.  ``processes=True`` starts spawn-context OS workers,
+    ``False`` runs inline runners in the calling process (results are
+    queued and drained through the same :meth:`poll` API, so drivers
+    are mode-blind).  ``window`` bounds per-worker outstanding
+    sessions.
     """
 
     def __init__(self, workers, init, processes=True, window=DEFAULT_WORKER_WINDOW):
         if workers < 1:
             raise ValueError("need at least one worker")
+        protocol = init.get("wire_protocol", wire.DEFAULT_PROTOCOL)
+        if protocol not in wire.PROTOCOLS:
+            raise ValueError(
+                "unknown wire protocol {!r} (expected one of {})".format(
+                    protocol, "/".join(wire.PROTOCOLS)))
         self.workers = workers
         self.window = window
         self.processes = processes
+        self.protocol = protocol
+        #: Driver-endpoint wire tallies (frames/bytes/sessions/codec
+        #: CPU); the merge folds these with each worker's own.
+        self.wire = WireCounters()
+        self._codec = wire.SpecCodec(init.get("wire_templates"))
+        self._strings = wire.StringTable(init.get("wire_strings"))
+        self._result_kinds = {}
         self._outstanding = [0] * workers
         self._closed = False
         if processes:
@@ -61,6 +98,7 @@ class ServicePool:
                 parent, child = ctx.Pipe(duplex=True)
                 payload = dict(init)
                 payload["worker_id"] = worker_id
+                payload["wire_protocol"] = protocol
                 proc = ctx.Process(
                     target=service_worker_entry, args=(child, payload)
                 )
@@ -71,10 +109,10 @@ class ServicePool:
         else:
             self._runners = []
             self._inline_done = []
-            self._rr = 0
             for worker_id in range(workers):
                 payload = dict(init)
                 payload["worker_id"] = worker_id
+                payload["wire_protocol"] = protocol
                 self._runners.append(SessionRunner(payload))
 
     # ------------------------------------------------------------------
@@ -83,85 +121,165 @@ class ServicePool:
 
     @property
     def inflight(self):
-        """Total sessions currently queued or running in workers."""
+        """Total sessions currently occupying worker window slots.
+
+        Inline mode included: an inline session has already *run* by
+        the time :meth:`submit` returns, but it holds its slot until
+        :meth:`poll` collects the result — identical window accounting
+        in both modes, which is what makes the capacity-boundary tests
+        mode-agnostic.
+        """
         return sum(self._outstanding)
 
     def has_capacity(self):
         """True when some worker's window has room for one more."""
         return any(count < self.window for count in self._outstanding)
 
+    def capacity(self):
+        """Free window slots across all workers — the most sessions one
+        :meth:`submit_many` call can currently take, which is how the
+        driver sizes admission batches (and therefore frames) to queue
+        depth."""
+        return sum(self.window - count for count in self._outstanding)
+
     def submit(self, spec):
-        """Dispatch ``spec`` to the least-loaded worker with room.
+        """Dispatch one ``spec`` — :meth:`submit_many` of a single item."""
+        self.submit_many([spec])
 
-        Raises ``RuntimeError`` when every window is full — the driver
-        must consult :meth:`has_capacity` first; overload is *its*
-        admission decision, not a hidden queue here.
+    def submit_many(self, specs):
+        """Dispatch ``specs`` to the least-loaded workers, batched.
 
-        Inline mode executes synchronously (the session is complete
-        when ``submit`` returns, its result queued for :meth:`poll`)
-        and distributes round-robin so a multi-runner inline pool
-        exercises the same session-to-worker spread a process pool
-        would.
+        Each spec goes to the worker with the fewest outstanding
+        sessions at its turn (ties to the lowest id — the same
+        sequence of assignments repeated :meth:`submit` calls would
+        make).  Raises ``RuntimeError`` when a spec finds every window
+        full — the driver must consult :meth:`capacity` first;
+        overload is *its* admission decision, not a hidden queue here.
+
+        Process mode then ships each worker its assignments in **one
+        pipe write**: a multi-session binary run frame, or (v0) the
+        per-session pickled messages.  Inline mode executes each spec
+        synchronously on its assigned runner, holding the window slot
+        until :meth:`poll`.
         """
+        assignments = [[] for _ in range(self.workers)]
+        for spec in specs:
+            target = min(range(self.workers), key=lambda w: self._outstanding[w])
+            if self._outstanding[target] >= self.window:
+                raise RuntimeError("pool saturated; caller must backpressure")
+            self._outstanding[target] += 1
+            assignments[target].append(spec)
         if not self.processes:
-            target = self._rr % self.workers
-            self._rr += 1
-            self._inline_done.append(self._runners[target].run_session(spec))
+            for worker_id, batch in enumerate(assignments):
+                for spec in batch:
+                    self._inline_done.append(
+                        (worker_id, self._runners[worker_id].run_session(spec)))
             return
-        target = min(range(self.workers), key=lambda w: self._outstanding[w])
-        if self._outstanding[target] >= self.window:
-            raise RuntimeError("pool saturated; caller must backpressure")
-        self._outstanding[target] += 1
-        try:
-            self._conns[target].send(("run", spec))
-        except (BrokenPipeError, OSError):
-            self._reap_processes()
-            raise RuntimeError(
-                "service worker {} died without reporting (pipe closed); "
-                "cannot dispatch".format(target)
-            )
+        for worker_id, batch in enumerate(assignments):
+            if not batch:
+                continue
+            if self.protocol == "binary":
+                for spec in batch:
+                    self._result_kinds[spec["sid"]] = wire.step_kinds(spec)
+                cpu = time.process_time()
+                frame = wire.pack_frame(
+                    wire.FRAME_RUN,
+                    [self._codec.encode(spec) for spec in batch],
+                )
+                self.wire.observe_encode(time.process_time() - cpu)
+                self._send_bytes(worker_id, frame)
+                self.wire.observe_frame("tx", "run", len(frame), sessions=len(batch))
+            else:
+                for spec in batch:
+                    cpu = time.process_time()
+                    data = pickle.dumps(
+                        ("run", spec), protocol=pickle.HIGHEST_PROTOCOL)
+                    self.wire.observe_encode(time.process_time() - cpu)
+                    self._send_bytes(worker_id, data)
+                    self.wire.observe_frame("tx", "run", len(data), sessions=1)
 
     def poll(self, timeout=None):
         """Collect completed-session results; returns a (maybe empty) list.
 
-        Inline mode drains the synchronous-completion queue.  Process
-        mode waits up to ``timeout`` seconds for any worker pipe to be
-        readable and drains every ready one.  A worker error is
-        re-raised here with the child traceback attached.
+        Inline mode drains the synchronous-completion queue (its
+        window slots with it).  Process mode waits up to ``timeout``
+        seconds for any worker pipe to be readable and drains every
+        ready one — a binary worker answers a whole run frame with one
+        result frame, so a single poll may retire a batch.  A worker
+        error is re-raised here with the child traceback attached.
         """
         results = []
         if not self.processes:
-            results, self._inline_done = self._inline_done, []
+            for worker_id, result in self._inline_done:
+                self._outstanding[worker_id] -= 1
+                results.append(result)
+            self._inline_done = []
             return results
         ready = connection_wait(self._conns, timeout=timeout)
         for conn in ready:
             worker_id = self._conns.index(conn)
-            kind, payload = self._recv(conn, worker_id)
-            if kind == "error":
-                self._reap_processes()
-                raise RuntimeError(
-                    "service worker {} failed:\n{}".format(worker_id, payload)
-                )
-            if kind != "done":
-                raise RuntimeError(
-                    "unexpected {!r} from worker {}".format(kind, worker_id)
-                )
-            self._outstanding[worker_id] -= 1
-            results.append(payload)
+            data = self._recv_bytes(conn, worker_id)
+            if self.protocol == "binary":
+                kind, payloads = wire.unpack_frame(data)
+                name = wire.FRAME_NAMES.get(kind, str(kind))
+                if kind == wire.FRAME_ERROR:
+                    self.wire.observe_frame("rx", name, len(data))
+                    self._reap_processes()
+                    raise RuntimeError("service worker {} failed:\n{}".format(
+                        worker_id, payloads[0].decode("utf-8", "replace")))
+                if kind != wire.FRAME_RESULT:
+                    raise RuntimeError("unexpected {!r} frame from worker {}".format(
+                        name, worker_id))
+                self.wire.observe_frame(
+                    "rx", name, len(data), sessions=len(payloads))
+                cpu = time.process_time()
+                for payload in payloads:
+                    result = wire.decode_result(
+                        payload, self._result_kinds, self._strings)
+                    self._result_kinds.pop(result["sid"], None)
+                    self._outstanding[worker_id] -= 1
+                    results.append(result)
+                self.wire.observe_decode(time.process_time() - cpu)
+            else:
+                cpu = time.process_time()
+                msg = pickle.loads(data)
+                self.wire.observe_decode(time.process_time() - cpu)
+                if msg[0] == "error":
+                    self.wire.observe_frame("rx", "error", len(data))
+                    self._reap_processes()
+                    raise RuntimeError(
+                        "service worker {} failed:\n{}".format(worker_id, msg[1]))
+                if msg[0] != "done":
+                    raise RuntimeError(
+                        "unexpected {!r} from worker {}".format(msg[0], worker_id))
+                self.wire.observe_frame("rx", "done", len(data), sessions=1)
+                self._outstanding[worker_id] -= 1
+                results.append(msg[1])
         return results
 
-    def _recv(self, conn, worker_id):
-        """One message from ``worker_id``; a dead pipe becomes a clear error.
+    def _send_bytes(self, worker_id, data):
+        """One raw message to ``worker_id``; a dead pipe becomes a clear error."""
+        try:
+            self._conns[worker_id].send_bytes(data)
+        except (BrokenPipeError, OSError):
+            self._reap_processes()
+            raise RuntimeError(
+                "service worker {} died without reporting (pipe closed); "
+                "cannot dispatch".format(worker_id)
+            )
 
-        A worker that dies before shipping its ``("error", ...)``
-        message (killed, import failure in the spawned interpreter)
-        closes the pipe instead; surface that as the same
-        ``RuntimeError`` shape rather than a raw ``EOFError`` /
-        ``ConnectionResetError`` from the depths of multiprocessing.
+    def _recv_bytes(self, conn, worker_id):
+        """One raw message from ``worker_id``; a dead pipe becomes a clear error.
+
+        A worker that dies before shipping its error message (killed,
+        import failure in the spawned interpreter) closes the pipe
+        instead; surface that as the same ``RuntimeError`` shape rather
+        than a raw ``EOFError`` / ``ConnectionResetError`` from the
+        depths of multiprocessing.
         """
         try:
-            return conn.recv()
-        except (EOFError, ConnectionResetError):
+            return conn.recv_bytes()
+        except (EOFError, ConnectionResetError, OSError):
             self._reap_processes()
             raise RuntimeError(
                 "service worker {} died without reporting (pipe closed); "
@@ -175,7 +293,7 @@ class ServicePool:
     def close(self):
         """Finalize every worker; returns their engine/obs snapshots.
 
-        Sends ``("fin",)`` and gathers one
+        Sends the protocol's ``fin`` and gathers one
         :meth:`~repro.service.core.SessionRunner.snapshot` per worker;
         idempotent-unsafe by design (a closed pool is done).  Workers
         must be drained (``inflight == 0``) first.
@@ -191,18 +309,41 @@ class ServicePool:
             return [runner.snapshot() for runner in self._runners]
         snapshots = []
         try:
-            for conn in self._conns:
-                conn.send(("fin",))
+            for worker_id in range(self.workers):
+                if self.protocol == "binary":
+                    fin = wire.pack_frame(wire.FRAME_FIN)
+                else:
+                    fin = pickle.dumps(("fin",), protocol=pickle.HIGHEST_PROTOCOL)
+                self._send_bytes(worker_id, fin)
+                self.wire.observe_frame("tx", "fin", len(fin))
             for worker_id, conn in enumerate(self._conns):
-                kind, payload = self._recv(conn, worker_id)
-                if kind != "fin":
-                    raise RuntimeError(
-                        "worker {} failed at shutdown:\n{}".format(worker_id, payload)
-                    )
-                snapshots.append(payload)
+                data = self._recv_bytes(conn, worker_id)
+                snapshots.append(self._decode_snapshot(data, worker_id))
         finally:
             self._reap_processes()
         return snapshots
+
+    def _decode_snapshot(self, data, worker_id):
+        """The ``fin`` answer — a snapshot, or a shutdown failure."""
+        if self.protocol == "binary":
+            kind, payloads = wire.unpack_frame(data)
+            name = wire.FRAME_NAMES.get(kind, str(kind))
+            self.wire.observe_frame("rx", name, len(data))
+            if kind == wire.FRAME_ERROR:
+                raise RuntimeError("worker {} failed at shutdown:\n{}".format(
+                    worker_id, payloads[0].decode("utf-8", "replace")))
+            if kind != wire.FRAME_SNAPSHOT:
+                raise RuntimeError(
+                    "unexpected {!r} frame from worker {} at shutdown".format(
+                        name, worker_id))
+            return pickle.loads(payloads[0])
+        msg = pickle.loads(data)
+        self.wire.observe_frame("rx", msg[0], len(data))
+        if msg[0] != "fin":
+            raise RuntimeError(
+                "worker {} failed at shutdown:\n{}".format(worker_id, msg[1])
+            )
+        return msg[1]
 
     def _reap_processes(self):
         """Join/kill worker processes and close pipes (error paths too)."""

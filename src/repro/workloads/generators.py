@@ -84,12 +84,27 @@ def trap_path(sid):
     return "/tmp/svc-trap-{}".format(sid)
 
 
+#: The docroot prefix an apache request stats component-by-component
+#: before serving (the server's per-request ``stat`` chain — the
+#: homogeneous mediated run :class:`repro.service.core.SessionRunner`'s
+#: batched step loop amortizes after the first request).
+APACHE_STAT_CHAIN = ("/var/www", "/var/www/html", "/var/www/html/index.html")
+
+
 def _apache_steps(sid, rng):
-    """Request-serving loop: content reads + occasional /tmp trap."""
+    """Request-serving loop: stat chain + content reads + /tmp trap.
+
+    Each request re-stats the docroot prefix (:data:`APACHE_STAT_CHAIN`)
+    the way a real httpd walks its docroot per request — identical
+    mediated syscalls against identical paths, session after session,
+    which is exactly the redundancy the runner's capture-and-replay
+    stat cache and the wire codec's template interning both exploit.
+    """
     home = session_home(sid)
     steps = [("open_read", "/var/www/html/index.html")]
     for req in range(rng.randint(3, 8)):
-        steps.append(("stat", "/var/www/html/index.html"))
+        for prefix in APACHE_STAT_CHAIN:
+            steps.append(("stat", prefix))
         steps.append(("open_read", "{}/f{}".format(home, rng.randrange(2))))
         if rng.random() < 0.25:
             steps.append(("trap_open", trap_path(sid)))

@@ -49,6 +49,7 @@ CHECKED_MODULES = [
     "repro.service.core",
     "repro.service.pool",
     "repro.service.driver",
+    "repro.service.wire",
     "repro.workloads.generators",
 ]
 
