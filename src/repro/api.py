@@ -151,6 +151,12 @@ class Session:
         is digest-checked against the installed rules and a mismatch
         raises :class:`repro.errors.PFTablesStale` (never silently
         ignored).
+    dcache:
+        ``True``/``False`` forces the kernel's fast-path name
+        resolution (:mod:`repro.vfs.dcache`) on or off; ``None``
+        (default) keeps the kernel default (on).  Disabling forces
+        every path walk cold — the reference side of the dcache
+        differential suite and benchmarks.
     """
 
     def __init__(
@@ -164,6 +170,7 @@ class Session:
         audit_capacity=4096,
         kernel_audit=None,
         tables=None,
+        dcache=None,
     ):
         kwargs = dict(world_kwargs or {})
         if isinstance(world, Kernel):
@@ -186,6 +193,8 @@ class Session:
             kernel = builder(**kwargs)
         if kernel_audit is not None:
             kernel.audit_enabled = bool(kernel_audit)
+        if dcache is not None:
+            kernel.dcache.enabled = bool(dcache)
         #: The assembled :class:`~repro.kernel.Kernel`.
         self.kernel = kernel
         #: The attached :class:`~repro.firewall.engine.ProcessFirewall`.
@@ -271,6 +280,11 @@ class Session:
     def audit(self):
         """The engine's bounded :class:`~repro.obs.audit.AuditRing`."""
         return self.firewall.audit
+
+    @property
+    def dcache(self):
+        """The kernel's :class:`~repro.vfs.dcache.Dcache` bundle."""
+        return self.kernel.dcache
 
     # ------------------------------------------------------------------
     # process lifecycle

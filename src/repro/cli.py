@@ -197,10 +197,15 @@ def cmd_counters(args):
         engine=EngineConfig(resource_cache=True),
         rules=read_rule_lines(args.file),
         metered=True,
+        dcache=False if args.no_dcache else None,
     )
     world, firewall = session.kernel, session.firewall
     shell = spawn_root_shell(world)
     _drive_workload(world, shell)
+    # One-shot export of the name-resolution cache counters into the
+    # registry so the JSON/Prometheus views carry the pf_dcache_* family
+    # alongside the engine counters.
+    world.dcache.publish(firewall.metrics)
     if args.json:
         print(firewall.metrics.to_json())
         return 0
@@ -219,6 +224,14 @@ def cmd_counters(args):
         firewall.metrics.value("pf_rescache_total", {"result": "hit"}),
         firewall.metrics.value("pf_rescache_total", {"result": "miss"}),
         firewall.metrics.value("pf_rescache_total", {"result": "invalidate"}),
+    ))
+    dc = world.dcache.counters()
+    print("dcache: {} — dentry hits={} neg={} misses={} inval={}; "
+          "walk hits={} misses={} inval={}".format(
+        "on" if world.dcache.enabled else "off",
+        dc[("dentry", "hit")], dc[("dentry", "negative_hit")],
+        dc[("dentry", "miss")], dc[("dentry", "invalidate")],
+        dc[("walk", "hit")], dc[("walk", "miss")], dc[("walk", "invalidate")],
     ))
     return 0
 
@@ -622,6 +635,9 @@ def build_parser():
                         "sessions through a metered 2-worker service pool "
                         "and include the pf_service_wire_* data-plane "
                         "family (default rules: R1-R12 + safe_open)")
+    p.add_argument("--no-dcache", action="store_true",
+                   help="disable fast-path name resolution (every walk "
+                        "cold); the pf_dcache_* line then reports zeros")
     p.set_defaults(func=cmd_counters)
 
     p = sub.add_parser(

@@ -449,7 +449,9 @@ class ProcessFirewall:
 
     def install(self, rule_text):
         """Install one ``pftables`` rule line (convenience wrapper)."""
-        from repro.firewall.pftables import pftables
+        # Lazy on purpose (circular: pftables imports engine types), and
+        # cold — installs happen at setup, never per mediation.
+        from repro.firewall.pftables import pftables  # hot-import: ok
 
         return pftables(self, rule_text)
 

@@ -88,15 +88,20 @@ class ResourceContextCache:
 
     @staticmethod
     def _validity(inode, engine):
-        """The live validity tuple for ``inode`` under ``engine``."""
+        """The live validity tuple for ``inode`` under ``engine``.
+
+        The system-wide half (adversary epoch, mount generation) comes
+        from the kernel's shared :class:`repro.vfs.dcache.GenerationSources`
+        — the same stamp plumbing the dentry/walk caches poll — so the
+        two cache layers can never drift apart on what "the system
+        changed" means.
+        """
         kernel = engine.kernel
         return (
             inode.generation,
             inode.meta_gen,
-            kernel.adversaries.epoch,
-            kernel.fs.mount_generation,
             engine.rules.stamp,
-        )
+        ) + kernel.generations.shared_stamp()
 
     @staticmethod
     def _sub_key(field, proc):

@@ -13,6 +13,7 @@ firewall is attached the kernel behaves like a stock system (the
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, Optional
 
 from repro import errors
@@ -20,11 +21,14 @@ from repro.clock import LogicalClock
 from repro.proc.process import Credentials, Process
 from repro.proc.stack import BinaryImage
 from repro.security.adversary import AdversaryModel
+from repro.security.dac import dac_check
 from repro.security.lsm import LSMDispatcher, Op, Operation
 from repro.security.selinux import SELinuxModule
 from repro.syscalls.api import SyscallAPI
+from repro.vfs.dcache import Dcache, GenerationSources
 from repro.vfs.filesystem import FileSystem
-from repro.vfs.namei import PathWalker
+from repro.vfs.inode import FileType
+from repro.vfs.namei import PathWalker, split_path
 
 
 class AuditRecord:
@@ -43,6 +47,65 @@ class AuditRecord:
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return "<Audit t={} pid={} {} {} -> {}>".format(self.time, self.pid, self.op, self.path, self.decision)
+
+
+class AuditTrail:
+    """A bounded audit store with a list-style surface.
+
+    Backed by :class:`collections.deque` with ``maxlen``, so hitting the
+    bound discards the oldest record in O(1) instead of the old
+    "delete the oldest half" O(n) compaction.  Consumers that iterate,
+    index, slice, or compare against plain lists keep working.
+    """
+
+    __slots__ = ("_dq",)
+
+    def __init__(self, limit):
+        self._dq = deque(maxlen=limit)
+
+    @property
+    def limit(self):
+        return self._dq.maxlen
+
+    def set_limit(self, limit):
+        """Rebind the bound, keeping the newest ``limit`` records."""
+        self._dq = deque(self._dq, maxlen=limit)
+
+    def append(self, record):
+        self._dq.append(record)
+
+    def clear(self):
+        self._dq.clear()
+
+    def __len__(self):
+        return len(self._dq)
+
+    def __iter__(self):
+        return iter(self._dq)
+
+    def __bool__(self):
+        return bool(self._dq)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._dq)[index]
+        return self._dq[index]
+
+    def __eq__(self, other):
+        if isinstance(other, AuditTrail):
+            return list(self._dq) == list(other._dq)
+        if isinstance(other, (list, tuple, deque)):
+            return list(self._dq) == list(other)
+        return NotImplemented
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<AuditTrail {}/{} records>".format(len(self._dq), self._dq.maxlen)
 
 
 class KernelStats:
@@ -68,9 +131,16 @@ class Kernel:
     def __init__(self, policy=None, enforcing_mac=None):
         self.clock = LogicalClock()
         self.fs = FileSystem(device=8, clock=self.clock)
-        self.walker = PathWalker(self.fs)
         self.lsm = LSMDispatcher()
         self.adversaries = AdversaryModel(policy=policy)
+        #: The invalidation-stamp sources shared by the dentry/walk
+        #: caches and the firewall's resource-context cache.
+        self.generations = GenerationSources(self.fs, self.adversaries)
+        #: Fast-path name resolution (see :mod:`repro.vfs.dcache`).
+        #: On by default; flip ``kernel.dcache.enabled`` (or pass
+        #: ``Session(dcache=False)``) to force every walk cold.
+        self.dcache = self.fs.attach_dcache(Dcache(self.generations))
+        self.walker = PathWalker(self.fs, dcache=self.dcache)
         self.selinux = None  # type: Optional[SELinuxModule]
         if policy is not None:
             if enforcing_mac is not None:
@@ -81,11 +151,10 @@ class Kernel:
         # ordering (authorize first, PF second) is structural.
         self.processes = {}  # type: Dict[int, Process]
         self._next_pid = 1
-        self.audit = []
-        #: Audit can be disabled (benchmarks) or bounded; when the limit
-        #: is exceeded the oldest half is discarded.
+        #: Audit can be disabled (benchmarks) or bounded; the deque-backed
+        #: trail drops the oldest record once ``audit_limit`` is reached.
+        self.audit = AuditTrail(200000)
         self.audit_enabled = True
-        self.audit_limit = 200000
         self.stats = KernelStats()
         #: How ``fork`` propagates the per-process firewall state bundle:
         #: ``"cow"`` (default) shares it structurally with copy-on-first-
@@ -97,6 +166,15 @@ class Kernel:
         #: Monotonic per-kernel syscall sequence; each in-flight syscall
         #: gets one, and firewall context caching keys off it.
         self._syscall_seq = 0
+
+    @property
+    def audit_limit(self):
+        """Bound on retained audit records (settable; rebuilds the deque)."""
+        return self.audit.limit
+
+    @audit_limit.setter
+    def audit_limit(self, limit):
+        self.audit.set_limit(limit)
 
     # ------------------------------------------------------------------
     # process management
@@ -191,8 +269,6 @@ class Kernel:
         path = audit_path or operation.path
         try:
             if want is not None and operation.obj is not None:
-                from repro.security.dac import dac_check
-
                 dac_check(operation.proc.creds, operation.obj, want)
             self.lsm.authorize(operation)
         except errors.KernelError as exc:
@@ -210,8 +286,6 @@ class Kernel:
     def _audit(self, operation, path, decision, detail=""):
         if not self.audit_enabled:
             return
-        if len(self.audit) >= self.audit_limit:
-            del self.audit[: self.audit_limit // 2]
         self.audit.append(
             AuditRecord(
                 self.clock.now(),
@@ -231,8 +305,6 @@ class Kernel:
     def mkdirs(self, path, uid=0, gid=None, mode=0o755, label=None):
         """Create a directory path (like ``mkdir -p``), returning the leaf."""
         gid = uid if gid is None else gid
-        from repro.vfs.namei import split_path
-
         current = self.fs.root
         for name in split_path(path):
             if self.fs.exists(current, name):
@@ -240,16 +312,12 @@ class Kernel:
                 if not current.is_dir:
                     raise errors.ENOTDIR(path)
             else:
-                from repro.vfs.inode import FileType
-
                 current = self.fs.create(current, name, FileType.DIR, uid=uid, gid=gid, mode=mode, label=label)
         return current
 
     def add_file(self, path, data=b"", uid=0, gid=None, mode=0o644, label=None):
         """Create (or overwrite) a regular file at ``path``."""
         gid = uid if gid is None else gid
-        from repro.vfs.inode import FileType
-
         resolved = self.walker.resolve(path, want_parent=True)
         if resolved.inode is not None:
             inode = resolved.inode

@@ -81,6 +81,7 @@ class SessionRunner:
             world=init.get("world", "service"),
             metered=init.get("metered", False),
             tables=init.get("tables_text"),
+            dcache=init.get("dcache"),
         )
         #: Whether this runner adopted a pre-compiled artifact (the
         #: cold-start test asserts real workers really loaded it).

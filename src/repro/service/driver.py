@@ -69,6 +69,7 @@ def run_service(
     tables_text=None,
     protocol=wire.DEFAULT_PROTOCOL,
     step_batch=None,
+    dcache=None,
 ):
     """Run ``specs`` through a service pool; returns the merged result.
 
@@ -121,6 +122,10 @@ def run_service(
         "wire_protocol": protocol,
         "step_batch": (protocol == "binary") if step_batch is None else step_batch,
     }
+    if dcache is not None:
+        # Worker kernels keep their default (dcache on) unless forced;
+        # the dcache differential suite pins on == off.
+        init["dcache"] = bool(dcache)
     if tables_text is not None:
         init["tables_text"] = tables_text
     if protocol == "binary":

@@ -58,6 +58,9 @@ class SyscallAPI:
     def _walk(self, proc, path, syscall, seq, follow_final=True, want_parent=False):
         """Resolve ``path`` with per-component mediation."""
         last_dir = [None]  # directory most recently searched (link parent)
+        kernel = self.kernel
+        mediate = kernel.mediate
+        walker = kernel.walker
 
         def observe(step):
             if step.event is WalkEvent.LOOKUP:
@@ -67,7 +70,7 @@ class SyscallAPI:
                 )
                 operation.extra["syscall_seq"] = seq
                 operation.extra["component"] = step.name
-                self.kernel.mediate(operation, want="x", audit_path=step.prefix + "/" + step.name)
+                mediate(operation, want="x", audit_path=step.prefix + "/" + step.name)
             elif step.event is WalkEvent.SYMLINK_FOLLOW:
                 operation = Operation(
                     proc, Op.LNK_FILE_READ, obj=step.inode, path=step.prefix + "/" + step.name,
@@ -78,7 +81,6 @@ class SyscallAPI:
                 if parent is not None and parent.is_sticky:
                     operation.extra["sticky_parent"] = parent
                 link = step.inode
-                walker = self.kernel.walker
                 parent_prefix = step.prefix
 
                 def resolve_target(_link=link, _prefix=parent_prefix):
@@ -93,9 +95,9 @@ class SyscallAPI:
                         return None
 
                 operation.extra["link_target_resolver"] = resolve_target
-                self.kernel.mediate(operation)
+                mediate(operation)
 
-        return self.kernel.walker.resolve(
+        return walker.resolve(
             path, cwd=proc.cwd, follow_final=follow_final, want_parent=want_parent, observer=observe
         )
 

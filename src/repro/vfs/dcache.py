@@ -1,0 +1,329 @@
+"""Fast-path name resolution: dentry cache + walk-replay cache.
+
+Every syscall in this reproduction re-resolves its pathname
+component-by-component in :class:`repro.vfs.namei.PathWalker` — the
+kernel-side cost the paper's lmbench rows (Table 6) charge to resource
+access.  Linux amortizes that with the dcache/RCU-walk split; this
+module is our analogue, built the same way
+:mod:`repro.firewall.rescache` amortizes resource-context collection:
+
+**cache the walk, never the verdict.**
+
+Two caches, one invariant:
+
+- :class:`DentryCache` — per-filesystem ``(dir_ino, name) ->
+  child inode`` map with negative entries, invalidated *precisely*:
+  every namespace mutation (`create`/`link`/`unlink`/`rmdir`/`rename`)
+  drops exactly the entry it obsoletes
+  (:meth:`repro.vfs.filesystem.FileSystem._namespace_changed`), and
+  ``remount`` clears wholesale.
+
+- :class:`WalkCache` — whole-resolution memo keyed
+  ``(path, follow_final, want_parent, start)`` holding the final
+  :class:`~repro.vfs.namei.ResolvedPath` *plus* its recorded step
+  list, valid only under the generation stamp captured at record time
+  (:meth:`GenerationSources.walk_stamp`: VFS namespace generation,
+  mount generation, adversary epoch).  On a hit the walker **replays
+  every recorded step to the observer**, so LSM + Process Firewall
+  mediation order, counts, and deny points are byte-identical to a
+  cold walk — per-component defenses (rule R8, ``safe_open_PF``) see
+  every ``LOOKUP``/``SYMLINK_FOLLOW``, and a ``PFDenied`` raised
+  mid-replay aborts exactly where the cold walk would.  Verdicts are
+  never memoized: DAC, MAC, and firewall rules re-run live on every
+  hit, which is why a ``chmod`` needs no invalidation at all.
+
+What *does* invalidate (the full matrix lives in ``docs/DCACHE.md``):
+``create``/``link``/``unlink``/``rmdir``/``rename``/``symlink`` bump
+``FileSystem.ns_gen`` and drop their dentry entry; ``relabel`` bumps
+``ns_gen``; ``remount`` bumps ``mount_generation`` and clears both
+caches; registering a new adversary UID bumps the adversary epoch.
+Any stamp change drops every cached walk before the next fetch.
+
+Counters are plain ints (zero-overhead when nobody reads them),
+surfaced by ``pfctl counters`` and exportable into a metrics registry
+as the ``pf_dcache_total{cache=...,result=...}`` family via
+:meth:`Dcache.publish`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro import errors
+from repro.vfs.namei import ResolvedPath
+
+_MISSING = object()
+
+#: A cached negative dentry ("this name does not exist here").
+_NEGATIVE = None
+
+
+class GenerationSources:
+    """The system-wide invalidation stamps, shared with ``rescache``.
+
+    One object owns the references the caches poll: the filesystem
+    (namespace + mount generations) and the adversary model (epoch).
+    :mod:`repro.firewall.rescache` consumes :meth:`shared_stamp` for
+    its per-inode validity tuples; the walk cache consumes
+    :meth:`walk_stamp`.  Collecting them here keeps the two caches'
+    lifetimes aligned by construction instead of by convention.
+    """
+
+    __slots__ = ("fs", "adversaries")
+
+    def __init__(self, fs, adversaries=None):
+        self.fs = fs
+        self.adversaries = adversaries
+
+    def walk_stamp(self):
+        """Validity stamp for memoized resolutions.
+
+        ``(ns_gen, mount_generation, adversary epoch)`` — any namespace
+        mutation, mount-table change, or adversary-population growth
+        yields a fresh tuple, dropping every cached walk.
+        """
+        fs = self.fs
+        adversaries = self.adversaries
+        return (
+            fs.ns_gen,
+            fs.mount_generation,
+            adversaries.epoch if adversaries is not None else 0,
+        )
+
+    def shared_stamp(self):
+        """The stamp components the resource-context cache also needs.
+
+        ``(adversary epoch, mount_generation)`` — the system-wide half
+        of :meth:`repro.firewall.rescache.ResourceContextCache._validity`;
+        the per-inode half (``generation``/``meta_gen``) stays with the
+        inode.
+        """
+        adversaries = self.adversaries
+        return (
+            adversaries.epoch if adversaries is not None else 0,
+            self.fs.mount_generation,
+        )
+
+
+class DentryCache:
+    """``(dir_ino, name) -> child inode`` with negative entries.
+
+    Entries are invalidated *precisely*: the filesystem mutation hooks
+    call :meth:`invalidate` with exactly the ``(dir_ino, name)`` pair
+    they changed, so an unrelated create never disturbs a hot entry.
+    Storing the child inode object (conceptually its ``child_ino``)
+    makes a hit a single dict probe; the object can never be a
+    recycled tenant because recycling requires the last unlink, and
+    that unlink dropped this entry first.  Eviction is wholesale at
+    ``capacity`` distinct keys, like the resource-context cache —
+    steady-state working sets are tiny compared to any sane capacity.
+    """
+
+    __slots__ = ("capacity", "hits", "neg_hits", "misses", "invalidations", "_entries")
+
+    def __init__(self, capacity=8192):
+        self.capacity = capacity
+        self.hits = 0
+        self.neg_hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        #: (dir_ino, name) -> child Inode, or ``_NEGATIVE`` for ENOENT.
+        self._entries = {}  # type: Dict[Tuple[int, str], object]
+
+    def __len__(self):
+        return len(self._entries)
+
+    def clear(self):
+        """Drop every entry (remount / explicit reset)."""
+        self._entries.clear()
+
+    def invalidate(self, dir_ino, name):
+        """Drop the entry for one directory slot, if cached."""
+        if self._entries.pop((dir_ino, name), _MISSING) is not _MISSING:
+            self.invalidations += 1
+
+    def lookup(self, fs, dir_inode, name):
+        """Cached :meth:`repro.vfs.filesystem.FileSystem.lookup`.
+
+        Positive hit returns the child inode; negative hit raises the
+        same ``ENOENT`` the filesystem would; a miss delegates to the
+        filesystem and stores the answer (negative answers included).
+        Semantics — including ``.`` and the ``ENOTDIR`` check — match
+        ``fs.lookup`` exactly.
+        """
+        if not dir_inode.is_dir:
+            raise errors.ENOTDIR("lookup in non-directory inode {}".format(dir_inode.ino))
+        if name == ".":
+            return dir_inode
+        key = (dir_inode.ino, name)
+        entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING:
+            self.misses += 1
+            if len(self._entries) >= self.capacity:
+                self._entries.clear()
+            try:
+                child = fs.lookup(dir_inode, name)
+            except errors.ENOENT:
+                self._entries[key] = _NEGATIVE
+                raise
+            self._entries[key] = child
+            return child
+        if entry is _NEGATIVE:
+            self.neg_hits += 1
+            raise errors.ENOENT("no entry {!r} in inode {}".format(name, dir_inode.ino))
+        self.hits += 1
+        return entry
+
+
+class WalkCache:
+    """Whole-resolution memo: key -> recorded :class:`ResolvedPath`.
+
+    All entries share one validity stamp (captured when the cache was
+    last cleared); the first fetch after any stamp change clears the
+    cache wholesale.  This is coarser than the dentry cache's per-key
+    precision but exactly as safe, and it keeps a hit down to one
+    stamp compare plus one dict probe.  Only *successful* resolutions
+    are memoized — error walks re-run cold, which trivially preserves
+    their observable behavior.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "invalidations", "_stamp", "_entries")
+
+    def __init__(self, capacity=4096):
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._stamp = None  # type: Optional[Tuple[int, int, int]]
+        self._entries = {}  # type: Dict[tuple, ResolvedPath]
+
+    def __len__(self):
+        return len(self._entries)
+
+    def clear(self):
+        """Drop every entry and forget the stamp."""
+        self._entries.clear()
+        self._stamp = None
+
+    def _revalidate(self, stamp):
+        """Adopt ``stamp``, clearing entries recorded under an old one."""
+        if stamp != self._stamp:
+            if self._entries:
+                self.invalidations += 1
+                self._entries.clear()
+            self._stamp = stamp
+
+    def fetch(self, key, stamp):
+        """Return the memoized resolution for ``key`` or ``None``."""
+        self._revalidate(stamp)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, key, stamp, resolved):
+        """Memoize a successful resolution under the live stamp.
+
+        The cache keeps its own :class:`ResolvedPath` with the step
+        list frozen to a tuple, so neither the original caller nor a
+        replay consumer can mutate the recorded walk.
+        """
+        self._revalidate(stamp)
+        if len(self._entries) >= self.capacity:
+            self._entries.clear()
+        self._entries[key] = ResolvedPath(
+            resolved.inode,
+            resolved.parent,
+            resolved.name,
+            resolved.path,
+            tuple(resolved.steps),
+            resolved.symlinks_followed,
+        )
+
+
+class Dcache:
+    """The bundle a kernel wires under its walker: both caches + stamps.
+
+    ``enabled`` is the runtime knob (``Session(dcache=False)``,
+    ``pfctl counters --no-dcache``): when off, the walker takes the
+    cold path unconditionally.  Invalidation hooks stay live even
+    while disabled, so re-enabling can never serve an entry recorded
+    before a mutation.
+    """
+
+    __slots__ = ("generations", "dentries", "walks", "enabled")
+
+    def __init__(self, generations, enabled=True, walk_capacity=4096, dentry_capacity=8192):
+        self.generations = generations
+        self.dentries = DentryCache(capacity=dentry_capacity)
+        self.walks = WalkCache(capacity=walk_capacity)
+        self.enabled = enabled
+
+    # ------------------------------------------------------------------
+    # walker-facing surface
+    # ------------------------------------------------------------------
+
+    def lookup(self, fs, dir_inode, name):
+        """Dentry-cached directory lookup (see :meth:`DentryCache.lookup`)."""
+        return self.dentries.lookup(fs, dir_inode, name)
+
+    def walk_fetch(self, key):
+        """Probe the walk cache under the live generation stamp."""
+        return self.walks.fetch(key, self.generations.walk_stamp())
+
+    def walk_store(self, key, resolved):
+        """Memoize a successful resolution under the live stamp."""
+        self.walks.store(key, self.generations.walk_stamp(), resolved)
+
+    # ------------------------------------------------------------------
+    # invalidation surface (filesystem mutation hooks)
+    # ------------------------------------------------------------------
+
+    def dentry_invalidate(self, dir_ino, name):
+        """Precise invalidation for one changed directory entry."""
+        self.dentries.invalidate(dir_ino, name)
+
+    def clear(self):
+        """Wholesale reset of both caches (remount / explicit flush)."""
+        self.dentries.clear()
+        self.walks.clear()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def counters(self):
+        """Counter snapshot as ``{(cache, result): value}`` rows."""
+        return {
+            ("dentry", "hit"): self.dentries.hits,
+            ("dentry", "negative_hit"): self.dentries.neg_hits,
+            ("dentry", "miss"): self.dentries.misses,
+            ("dentry", "invalidate"): self.dentries.invalidations,
+            ("walk", "hit"): self.walks.hits,
+            ("walk", "miss"): self.walks.misses,
+            ("walk", "invalidate"): self.walks.invalidations,
+        }
+
+    def publish(self, registry):
+        """One-shot export into a metrics registry.
+
+        Adds the current counter values as the
+        ``pf_dcache_total{cache=...,result=...}`` family plus
+        ``pf_dcache_entries{cache=...}`` gauges.  One-shot: calling it
+        twice adds twice — export once per registry snapshot (the
+        ``pfctl counters`` pattern), exactly like merging any other
+        counter source.
+        """
+        for (cache, result), value in sorted(self.counters().items()):
+            if value:
+                registry.inc("pf_dcache_total", {"cache": cache, "result": result}, value=value)
+        registry.inc("pf_dcache_entries", {"cache": "dentry"}, value=len(self.dentries))
+        registry.inc("pf_dcache_entries", {"cache": "walk"}, value=len(self.walks))
+        return registry
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<Dcache {} dentries={} walks={}>".format(
+            "on" if self.enabled else "off", len(self.dentries), len(self.walks)
+        )

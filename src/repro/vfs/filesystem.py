@@ -28,6 +28,34 @@ class FileSystem:
         #: validity tuple — a mount can place any object under new
         #: ancestry, so every cached access answer is suspect after one.
         self.mount_generation = 0
+        #: Namespace generation: bumped by every mutation that can
+        #: change what a pathname resolves to (create / link / unlink /
+        #: rmdir / rename / symlink / relabel).  The walk-replay cache
+        #: (:mod:`repro.vfs.dcache`) stamps every memoized resolution
+        #: with this counter, so a namespace mutation anywhere drops
+        #: every cached walk — the precise analogue of the dentry
+        #: cache's per-entry invalidation, at whole-resolution grain.
+        self.ns_gen = 0
+        #: Optional :class:`repro.vfs.dcache.Dcache` receiving precise
+        #: per-entry invalidations from the mutation paths below.
+        self.dcache = None
+
+    def attach_dcache(self, dcache):
+        """Wire a :class:`repro.vfs.dcache.Dcache` into the mutation hooks.
+
+        Every namespace mutation below then invalidates exactly the
+        dentry entries it obsoletes (and the remount hook clears the
+        caches wholesale).  Returns the dcache for chaining.
+        """
+        self.dcache = dcache
+        return dcache
+
+    def _namespace_changed(self, dir_inode, name):
+        """One directory entry changed: bump the stamp, drop the dentry."""
+        self.ns_gen += 1
+        dcache = self.dcache
+        if dcache is not None:
+            dcache.dentry_invalidate(dir_inode.ino, name)
 
     # ------------------------------------------------------------------
     # directory-level primitives
@@ -76,6 +104,7 @@ class FileSystem:
             label = dir_inode.label
         inode = self.inodes.alloc(itype, uid=uid, gid=gid, mode=mode, label=label)
         dir_inode.children[name] = inode.ino
+        self._namespace_changed(dir_inode, name)
         self.inodes.link_added(inode)
         if itype is FileType.DIR:
             # "." and ".." are implicit; a directory's nlink starts at 2
@@ -100,6 +129,7 @@ class FileSystem:
         if target_inode.is_dir:
             raise errors.EPERM("hard links to directories are not permitted")
         dir_inode.children[name] = target_inode.ino
+        self._namespace_changed(dir_inode, name)
         self.inodes.link_added(target_inode)
         self._touch(dir_inode)
         return target_inode
@@ -114,6 +144,7 @@ class FileSystem:
         if child.is_dir:
             raise errors.EISDIR("unlink on a directory; use rmdir")
         del dir_inode.children[name]
+        self._namespace_changed(dir_inode, name)
         child.bump_meta()
         self.inodes.link_removed(child)
         self._touch(dir_inode)
@@ -126,6 +157,7 @@ class FileSystem:
         if child.children:
             raise errors.ENOTEMPTY("directory {!r} not empty".format(name))
         del dir_inode.children[name]
+        self._namespace_changed(dir_inode, name)
         child.bump_meta()
         self.inodes.link_removed(child)
         self._touch(dir_inode)
@@ -155,6 +187,8 @@ class FileSystem:
             self.inodes.link_removed(existing)
         del src_dir.children[src_name]
         dst_dir.children[dst_name] = child.ino
+        self._namespace_changed(src_dir, src_name)
+        self._namespace_changed(dst_dir, dst_name)
         child.bump_meta()
         self._touch(src_dir)
         self._touch(dst_dir)
@@ -203,9 +237,17 @@ class FileSystem:
         return inode
 
     def relabel(self, inode, label):
-        """Replace the MAC label of ``inode`` (setfattr/restorecon)."""
+        """Replace the MAC label of ``inode`` (setfattr/restorecon).
+
+        Also bumps :attr:`ns_gen`: a relabel cannot change what a name
+        resolves *to*, but the walk-replay cache drops its memoized
+        resolutions anyway — the conservative reading of "cache the
+        walk, never the verdict" is that any security-metadata change
+        forces the next resolution cold.
+        """
         inode.label = label
         inode.bump_meta()
+        self.ns_gen += 1
         self._touch(inode)
         return inode
 
@@ -214,9 +256,13 @@ class FileSystem:
 
         The reproduction has no true mount namespace; what matters for
         the engine is the *signal*: bumping ``mount_generation``
-        invalidates every cached resource-context answer at once.
+        invalidates every cached resource-context answer at once (and
+        clears the dentry/walk caches — a mount can place any object
+        under new ancestry).
         """
         self.mount_generation += 1
+        if self.dcache is not None:
+            self.dcache.clear()
         return self.mount_generation
 
     # ------------------------------------------------------------------

@@ -18,6 +18,15 @@ Semantics reproduced from Linux:
   component is followed unless the caller passes ``follow_final=False``
   (``O_NOFOLLOW`` / ``lstat``);
 - at most ``max_symlinks`` expansions per resolution, then ``ELOOP``.
+
+Fast path: when a :class:`repro.vfs.dcache.Dcache` is attached, the
+walker memoizes whole resolutions and **replays the recorded steps to
+the observer** on a hit — mediation order, counts, and deny points are
+byte-identical to a cold walk, only the directory probing, step
+allocation, and prefix-string work is skipped.  The cold walk itself
+is kept lean: ``WalkStep.prefix`` strings are computed lazily (only
+when an observer, audit, or trace actually reads them) and step
+objects are pooled across observer-less error walks.
 """
 
 from __future__ import annotations
@@ -45,17 +54,29 @@ class WalkStep:
             final object).
         name: the component name being resolved at this step.
         prefix: the canonical path of ``inode`` (best effort, for audit).
+            Computed lazily from the recorded component tuple on first
+            read and cached — walks whose steps nobody inspects (no
+            observer, no audit, no trace) never pay the string build.
         depth: 0-based count of components consumed so far.
     """
 
-    __slots__ = ("event", "inode", "name", "prefix", "depth")
+    __slots__ = ("event", "inode", "name", "depth", "_parts", "_prefix")
 
-    def __init__(self, event, inode, name, prefix, depth):
+    def __init__(self, event, inode, name, parts, depth):
         self.event = event
         self.inode = inode
         self.name = name
-        self.prefix = prefix
         self.depth = depth
+        self._parts = parts
+        self._prefix = None
+
+    @property
+    def prefix(self):
+        """Canonical path of :attr:`inode`, built on first access."""
+        prefix = self._prefix
+        if prefix is None:
+            prefix = self._prefix = "/" + "/".join(self._parts)
+        return prefix
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return "<WalkStep {} {!r} at {!r} ino={}>".format(
@@ -96,12 +117,62 @@ def split_path(path):
     return [c for c in path.split("/") if c not in ("", ".")]
 
 
-class PathWalker:
-    """Resolves paths against a :class:`repro.vfs.FileSystem`."""
+#: Upper bound on pooled :class:`WalkStep` objects per walker.
+_STEP_POOL_MAX = 128
 
-    def __init__(self, fs, max_symlinks=40):
+
+class PathWalker:
+    """Resolves paths against a :class:`repro.vfs.FileSystem`.
+
+    With ``dcache`` attached (a :class:`repro.vfs.dcache.Dcache`),
+    component lookups go through the dentry cache and whole
+    resolutions are memoized + replayed; without it (or with
+    ``dcache.enabled`` false) every walk runs cold.
+    """
+
+    def __init__(self, fs, max_symlinks=40, dcache=None):
         self.fs = fs
         self.max_symlinks = max_symlinks
+        self.dcache = dcache
+        self._step_pool = []  # type: List[WalkStep]
+
+    # ------------------------------------------------------------------
+    # step free-list
+    # ------------------------------------------------------------------
+
+    def _new_step(self, event, inode, name, parts, depth):
+        """Allocate a step, reusing a pooled object when available."""
+        pool = self._step_pool
+        if pool:
+            step = pool.pop()
+            step.event = event
+            step.inode = inode
+            step.name = name
+            step.depth = depth
+            step._parts = parts
+            step._prefix = None
+            return step
+        return WalkStep(event, inode, name, parts, depth)
+
+    def _recycle_steps(self, steps):
+        """Return steps to the pool.
+
+        Only called for walks whose steps provably escaped to nobody:
+        observer-less walks that ended in an error (the caller sees
+        the exception, never the step list).  Inode references are
+        dropped so the pool pins nothing.
+        """
+        pool = self._step_pool
+        while steps and len(pool) < _STEP_POOL_MAX:
+            step = steps.pop()
+            step.inode = None
+            step._parts = ()
+            step._prefix = None
+            pool.append(step)
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
 
     def resolve(
         self,
@@ -121,11 +192,49 @@ class PathWalker:
                 need not exist (used by create/unlink/rename/bind).
             observer: callback invoked with each :class:`WalkStep`; may
                 raise (e.g. :class:`repro.errors.PFDenied`) to abort the
-                walk — this is the mediation hook.
+                walk — this is the mediation hook.  Replayed hits invoke
+                it with the recorded steps in the recorded order.
 
         Raises:
             ENOENT / ENOTDIR / ELOOP per POSIX semantics.
         """
+        dcache = self.dcache
+        if dcache is None or not dcache.enabled or not isinstance(path, str) or not path:
+            return self._resolve_cold(path, cwd, follow_final, want_parent, observer)
+        if path.startswith("/"):
+            key = (path, follow_final, want_parent)
+        elif cwd is not None:
+            key = (path, follow_final, want_parent, cwd.ino, cwd.generation)
+        else:
+            return self._resolve_cold(path, cwd, follow_final, want_parent, observer)
+        hit = dcache.walk_fetch(key)
+        if hit is not None:
+            steps = hit.steps
+            if observer is not None:
+                for step in steps:
+                    observer(step)
+            return ResolvedPath(
+                hit.inode, hit.parent, hit.name, hit.path, list(steps), hit.symlinks_followed
+            )
+        resolved = self._resolve_cold(path, cwd, follow_final, want_parent, observer)
+        dcache.walk_store(key, resolved)
+        return resolved
+
+    def _lookup(self, current, name):
+        """One component lookup, dentry-cached when a dcache is attached."""
+        dcache = self.dcache
+        if dcache is not None and dcache.enabled:
+            return dcache.lookup(self.fs, current, name)
+        return self.fs.lookup(current, name)
+
+    def _resolve_cold(self, path, cwd, follow_final, want_parent, observer):
+        """The full component-by-component walk (the pre-dcache path)."""
+        try:
+            return self._walk(path, cwd, follow_final, want_parent, observer)
+        except errors.KernelError:
+            raise
+
+    def _walk(self, path, cwd, follow_final, want_parent, observer):
         components = split_path(path)
         absolute = path.startswith("/")
         if absolute:
@@ -142,68 +251,77 @@ class PathWalker:
         steps = []  # type: List[WalkStep]
         followed = 0
         depth = 0
+        new_step = self._new_step
 
         def emit(event, inode, name):
-            step = WalkStep(event, inode, name, "/" + "/".join(prefix_parts), depth)
+            step = new_step(event, inode, name, tuple(prefix_parts), depth)
             steps.append(step)
             if observer is not None:
                 observer(step)
 
         # Work queue of remaining components; symlink targets are spliced
-        # in at the front.  `final_marks[i]` is True when remaining[i] is a
-        # terminal component of the *original* path (not of a link body
-        # expansion in non-final position).
+        # in at the front.
         remaining = list(components)
 
-        while remaining:
-            name = remaining.pop(0)
-            is_final = not remaining
+        try:
+            while remaining:
+                name = remaining.pop(0)
+                is_final = not remaining
 
-            if name == "..":
-                if ancestry:
-                    current = ancestry.pop()
-                    prefix_parts.pop()
-                # ".." at the root stays at the root
-                continue
+                if name == "..":
+                    if ancestry:
+                        current = ancestry.pop()
+                        prefix_parts.pop()
+                    # ".." at the root stays at the root
+                    continue
 
-            if not current.is_dir:
-                raise errors.ENOTDIR("/" + "/".join(prefix_parts))
+                if not current.is_dir:
+                    raise errors.ENOTDIR("/" + "/".join(prefix_parts))
 
-            if want_parent and is_final:
+                if want_parent and is_final:
+                    emit(WalkEvent.LOOKUP, current, name)
+                    try:
+                        child = self._lookup(current, name)
+                    except errors.ENOENT:
+                        child = None
+                    full = "/" + "/".join(prefix_parts + [name])
+                    return ResolvedPath(child, current, name, full, steps, followed)
+
                 emit(WalkEvent.LOOKUP, current, name)
-                child = None
-                if self.fs.exists(current, name):
-                    child = self.fs.lookup(current, name)
-                full = "/" + "/".join(prefix_parts + [name])
-                return ResolvedPath(child, current, name, full, steps, followed)
+                child = self._lookup(current, name)
+                depth += 1
 
-            emit(WalkEvent.LOOKUP, current, name)
-            child = self.fs.lookup(current, name)
-            depth += 1
+                if child.is_symlink and (not is_final or follow_final):
+                    followed += 1
+                    if followed > self.max_symlinks:
+                        raise errors.ELOOP("/" + "/".join(prefix_parts + [name]))
+                    emit(WalkEvent.SYMLINK_FOLLOW, child, name)
+                    target = child.symlink_target or ""
+                    target_components = split_path(target) if target else []
+                    if target.startswith("/"):
+                        current = self.fs.root
+                        ancestry = []
+                        prefix_parts = []
+                    remaining = target_components + remaining
+                    continue
 
-            if child.is_symlink and (not is_final or follow_final):
-                followed += 1
-                if followed > self.max_symlinks:
-                    raise errors.ELOOP("/" + "/".join(prefix_parts + [name]))
-                emit(WalkEvent.SYMLINK_FOLLOW, child, name)
-                target = child.symlink_target or ""
-                target_components = split_path(target) if target else []
-                if target.startswith("/"):
-                    current = self.fs.root
-                    ancestry = []
-                    prefix_parts = []
-                remaining = target_components + remaining
-                continue
+                if child.is_symlink and is_final and not follow_final:
+                    # Terminal symlink with nofollow: hand it back as-is.
+                    prefix_parts.append(name)
+                    emit(WalkEvent.FINAL, child, name)
+                    return ResolvedPath(
+                        child, current, name, "/" + "/".join(prefix_parts), steps, followed
+                    )
 
-            if child.is_symlink and is_final and not follow_final:
-                # Terminal symlink with nofollow: hand it back as-is.
+                ancestry.append(current)
                 prefix_parts.append(name)
-                emit(WalkEvent.FINAL, child, name)
-                return ResolvedPath(child, current, name, "/" + "/".join(prefix_parts), steps, followed)
-
-            ancestry.append(current)
-            prefix_parts.append(name)
-            current = child
+                current = child
+        except errors.KernelError:
+            if observer is None:
+                # Nobody saw these steps (no observer; the caller gets
+                # the exception, not the list) — pool them.
+                self._recycle_steps(steps)
+            raise
 
         # Path fully consumed (e.g. "/", "a/..", or a trailing symlink
         # that expanded to nothing).

@@ -1,0 +1,100 @@
+"""The deque-backed kernel audit trail (satellite of the dcache PR).
+
+The old trail was a plain list trimmed with ``del audit[:limit//2]`` —
+O(n) per overflow.  The replacement is a ``collections.deque`` with
+``maxlen`` behind a list-style surface; these tests pin that surface
+(iteration, indexing, slicing, equality with lists) and the new
+overflow behavior (drop-oldest, one at a time, O(1)).
+"""
+
+import pytest
+
+from repro.kernel import AuditTrail, Kernel
+
+
+class TestAuditTrailSurface:
+    def test_list_style_basics(self):
+        t = AuditTrail(10)
+        assert len(t) == 0
+        assert not t
+        assert t == []
+        t.append("a")
+        t.append("b")
+        assert len(t) == 2
+        assert bool(t)
+        assert list(t) == ["a", "b"]
+        assert t[0] == "a" and t[-1] == "b"
+        assert t[-2:] == ["a", "b"]
+        assert t == ["a", "b"]
+        assert t != ["a"]
+
+    def test_equality_with_other_trails(self):
+        a, b = AuditTrail(5), AuditTrail(7)
+        for x in ("x", "y"):
+            a.append(x)
+            b.append(x)
+        assert a == b
+        b.append("z")
+        assert a != b
+
+    def test_overflow_drops_oldest(self):
+        t = AuditTrail(3)
+        for i in range(5):
+            t.append(i)
+        assert list(t) == [2, 3, 4]
+        assert len(t) == t.limit == 3
+
+    def test_set_limit_keeps_newest(self):
+        t = AuditTrail(10)
+        for i in range(6):
+            t.append(i)
+        t.set_limit(3)
+        assert list(t) == [3, 4, 5]
+        t.set_limit(5)
+        t.append(6)
+        assert list(t) == [3, 4, 5, 6]
+
+    def test_clear(self):
+        t = AuditTrail(4)
+        t.append("a")
+        t.clear()
+        assert t == [] and len(t) == 0
+
+
+class TestKernelIntegration:
+    def test_audit_limit_property_roundtrip(self):
+        k = Kernel()
+        assert k.audit_limit == 200000
+        k.audit_limit = 10
+        assert k.audit_limit == 10
+        assert k.audit.limit == 10
+
+    def test_bounded_audit_under_syscall_load(self):
+        k = Kernel()
+        k.add_file("/f", b"x")
+        k.audit_limit = 8
+        proc = k.spawn("sh", uid=0)
+        for _ in range(20):
+            k.sys.stat(proc, "/f")
+        assert len(k.audit) <= 8
+        # Newest records survive; the trail tail is the latest stat.
+        assert k.audit[-1].path in ("/f", "/")
+
+    def test_shrinking_limit_truncates_existing(self):
+        k = Kernel()
+        k.add_file("/f", b"x")
+        proc = k.spawn("sh", uid=0)
+        for _ in range(6):
+            k.sys.stat(proc, "/f")
+        before = len(k.audit)
+        assert before > 4
+        k.audit_limit = 4
+        assert len(k.audit) == 4
+
+    def test_disabled_audit_still_compares_empty(self):
+        k = Kernel()
+        k.audit_enabled = False
+        k.add_file("/f", b"x")
+        proc = k.spawn("sh", uid=0)
+        k.sys.stat(proc, "/f")
+        assert k.audit == []

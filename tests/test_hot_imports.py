@@ -1,0 +1,22 @@
+"""Function-body-import gate for the mediation hot path.
+
+The same check CI runs via ``tools/check_hot_imports.py``; running it
+as a test makes a per-call import regression fail locally before it
+fails in CI.
+"""
+
+import os
+import sys
+
+TOOLS_DIR = os.path.join(os.path.dirname(__file__), "..", "tools")
+
+
+def test_hot_modules_have_no_function_body_imports(capsys):
+    sys.path.insert(0, os.path.abspath(TOOLS_DIR))
+    try:
+        from check_hot_imports import main
+    finally:
+        sys.path.pop(0)
+    status = main()
+    out = capsys.readouterr().out
+    assert status == 0, "hot-path import offenders:\n" + out

@@ -1,0 +1,325 @@
+"""Unit tests for the name-resolution fast path (repro.vfs.dcache).
+
+The load-bearing section is the invalidation matrix: every mutation
+the module docstring promises to catch (create / unlink / rename /
+symlink / relabel / remount / adversary-epoch) must flip a cached
+answer — either an observable resolution change or, where behaviour is
+identical by construction, a counted invalidation proving the cached
+entry was dropped rather than served.
+"""
+
+import pytest
+
+from repro import errors
+from repro.kernel import Kernel
+from repro.vfs.dcache import Dcache, DentryCache, GenerationSources, WalkCache
+from repro.vfs.inode import FileType
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel()
+    k.mkdirs("/etc")
+    k.add_file("/etc/passwd", b"root:x:0:0\n")
+    k.mkdirs("/var/www")
+    return k
+
+
+def _resolve(kernel, path, **kw):
+    return kernel.walker.resolve(path, **kw)
+
+
+# ---------------------------------------------------------------------------
+# dentry cache basics
+# ---------------------------------------------------------------------------
+
+
+class TestDentryCache:
+    def test_positive_hit_serves_same_inode(self, kernel):
+        first = _resolve(kernel, "/etc/passwd").inode
+        second = _resolve(kernel, "/etc/passwd").inode
+        assert second is first
+
+    def test_shared_prefix_hits_dentry_layer(self, kernel):
+        """Distinct paths share dentry entries even when their walk
+        keys differ — the second walk misses the walk cache but finds
+        (root, "etc") already cached."""
+        kernel.add_file("/etc/other", b"y")
+        _resolve(kernel, "/etc/passwd")
+        hits_before = kernel.dcache.dentries.hits
+        _resolve(kernel, "/etc/other")
+        assert kernel.dcache.dentries.hits > hits_before
+
+    def test_negative_entry_served_with_identical_error(self, kernel):
+        with pytest.raises(errors.ENOENT) as cold:
+            _resolve(kernel, "/etc/nope")
+        neg_before = kernel.dcache.dentries.neg_hits
+        with pytest.raises(errors.ENOENT) as warm:
+            _resolve(kernel, "/etc/nope")
+        assert kernel.dcache.dentries.neg_hits == neg_before + 1
+        assert warm.value.message == cold.value.message
+
+    def test_lookup_semantics_match_fs(self, kernel):
+        etc = kernel.lookup("/etc")
+        passwd = kernel.lookup("/etc/passwd")
+        dc = kernel.dcache
+        assert dc.lookup(kernel.fs, etc, ".") is etc
+        with pytest.raises(errors.ENOTDIR):
+            dc.lookup(kernel.fs, passwd, "x")
+
+    def test_capacity_wholesale_clear(self, kernel):
+        small = DentryCache(capacity=2)
+        etc = kernel.lookup("/etc")
+        root = kernel.fs.root
+        small.lookup(kernel.fs, root, "etc")
+        small.lookup(kernel.fs, etc, "passwd")
+        assert len(small) == 2
+        small.lookup(kernel.fs, root, "var")  # over capacity: clears first
+        assert len(small) == 1
+
+
+# ---------------------------------------------------------------------------
+# walk cache basics
+# ---------------------------------------------------------------------------
+
+
+class TestWalkCache:
+    def test_hit_after_identical_resolve(self, kernel):
+        _resolve(kernel, "/etc/passwd")
+        hits = kernel.dcache.walks.hits
+        r = _resolve(kernel, "/etc/passwd")
+        assert kernel.dcache.walks.hits == hits + 1
+        assert r.path == "/etc/passwd"
+
+    def test_replay_returns_fresh_equal_resolution(self, kernel):
+        cold = _resolve(kernel, "/etc/passwd")
+        warm = _resolve(kernel, "/etc/passwd")
+        assert warm.inode is cold.inode
+        assert warm.parent is cold.parent
+        assert (warm.name, warm.path, warm.symlinks_followed) == (
+            cold.name, cold.path, cold.symlinks_followed)
+        assert [(s.event, s.inode, s.name, s.prefix, s.depth) for s in warm.steps] == [
+            (s.event, s.inode, s.name, s.prefix, s.depth) for s in cold.steps]
+        # Fresh list container: mutating one caller's view cannot leak.
+        assert warm.steps is not cold.steps
+        warm.steps.append(None)
+        assert _resolve(kernel, "/etc/passwd").steps[-1] is not None
+
+    def test_replay_invokes_observer_identically(self, kernel):
+        cold_seen = []
+        _resolve(kernel, "/etc/passwd", observer=cold_seen.append)
+        warm_seen = []
+        _resolve(kernel, "/etc/passwd", observer=warm_seen.append)
+        assert [(s.event, s.name, s.prefix, s.depth) for s in warm_seen] == [
+            (s.event, s.name, s.prefix, s.depth) for s in cold_seen]
+
+    def test_observer_exception_aborts_mid_replay(self, kernel):
+        _resolve(kernel, "/etc/passwd")  # prime
+
+        seen = []
+
+        def deny_second(step):
+            seen.append(step)
+            if len(seen) == 2:
+                raise errors.PFDenied("stop here")
+
+        with pytest.raises(errors.PFDenied):
+            _resolve(kernel, "/etc/passwd", observer=deny_second)
+        assert len(seen) == 2  # aborted exactly at the denied step
+
+    def test_key_discriminates_flags(self, kernel):
+        kernel.add_symlink("/etc/link", "/etc/passwd")
+        followed = _resolve(kernel, "/etc/link", follow_final=True)
+        nofollow = _resolve(kernel, "/etc/link", follow_final=False)
+        assert followed.inode is not nofollow.inode
+        assert nofollow.inode.is_symlink
+        parent = _resolve(kernel, "/etc/link", want_parent=True)
+        assert parent.parent is kernel.lookup("/etc")
+
+    def test_relative_key_includes_cwd_identity(self, kernel):
+        etc = kernel.lookup("/etc")
+        var = kernel.lookup("/var")
+        kernel.add_file("/var/passwd", b"decoy")
+        proc_a = kernel.spawn("a", cwd="/etc")
+        proc_b = kernel.spawn("b", cwd="/var")
+        ra = _resolve(kernel, "passwd", cwd=proc_a.cwd)
+        rb = _resolve(kernel, "passwd", cwd=proc_b.cwd)
+        assert ra.inode is not rb.inode
+        assert ra.parent is etc and rb.parent is var
+
+    def test_error_walks_never_memoized(self, kernel):
+        with pytest.raises(errors.ENOENT):
+            _resolve(kernel, "/etc/missing/deep")
+        assert len(kernel.dcache.walks) == 0 or all(
+            k[0] != "/etc/missing/deep" for k in kernel.dcache.walks._entries)
+
+    def test_disabled_goes_cold(self, kernel):
+        _resolve(kernel, "/etc/passwd")
+        kernel.dcache.enabled = False
+        hits = kernel.dcache.walks.hits
+        dhits = kernel.dcache.dentries.hits
+        _resolve(kernel, "/etc/passwd")
+        assert kernel.dcache.walks.hits == hits
+        assert kernel.dcache.dentries.hits == dhits
+
+
+# ---------------------------------------------------------------------------
+# the invalidation matrix — every source flips a cached answer
+# ---------------------------------------------------------------------------
+
+
+class TestInvalidationMatrix:
+    def test_create_flips_negative_dentry(self, kernel):
+        with pytest.raises(errors.ENOENT):
+            _resolve(kernel, "/etc/newfile")
+        with pytest.raises(errors.ENOENT):
+            _resolve(kernel, "/etc/newfile")  # negative entry is live
+        inode = kernel.add_file("/etc/newfile", b"now exists")
+        assert _resolve(kernel, "/etc/newfile").inode is inode
+
+    def test_unlink_flips_positive_walk_and_dentry(self, kernel):
+        inode = _resolve(kernel, "/etc/passwd").inode
+        assert _resolve(kernel, "/etc/passwd").inode is inode
+        kernel.fs.unlink(kernel.lookup("/etc"), "passwd")
+        with pytest.raises(errors.ENOENT):
+            _resolve(kernel, "/etc/passwd")
+
+    def test_unlinked_then_recycled_ino_never_served(self, kernel):
+        etc = kernel.lookup("/etc")
+        victim = kernel.add_file("/etc/victim", b"old tenant")
+        old_ino = victim.ino
+        _resolve(kernel, "/etc/victim")
+        kernel.fs.unlink(etc, "victim")
+        # The inode table recycles the lowest freed number.
+        tenant = kernel.fs.create(etc, "tenant", FileType.REG)
+        assert tenant.ino == old_ino  # same number, new object
+        with pytest.raises(errors.ENOENT):
+            _resolve(kernel, "/etc/victim")
+        assert _resolve(kernel, "/etc/tenant").inode is tenant
+
+    def test_rename_flips_both_names(self, kernel):
+        inode = _resolve(kernel, "/etc/passwd").inode
+        with pytest.raises(errors.ENOENT):
+            _resolve(kernel, "/etc/passwd.bak")
+        etc = kernel.lookup("/etc")
+        kernel.fs.rename(etc, "passwd", etc, "passwd.bak")
+        with pytest.raises(errors.ENOENT):
+            _resolve(kernel, "/etc/passwd")
+        assert _resolve(kernel, "/etc/passwd.bak").inode is inode
+
+    def test_symlink_swap_changes_cached_resolution(self, kernel):
+        """The E3/E5 pattern: replacing a link retargets the next walk."""
+        kernel.add_file("/var/www/good", b"good")
+        kernel.add_file("/etc/shadow", b"secret", mode=0o600, label="shadow_t")
+        kernel.add_symlink("/var/www/upload", "/var/www/good")
+        good = _resolve(kernel, "/var/www/upload").inode
+        assert good is kernel.lookup("/var/www/good")
+        www = kernel.lookup("/var/www")
+        kernel.fs.unlink(www, "upload")
+        kernel.fs.symlink(www, "upload", "/etc/shadow")
+        swapped = _resolve(kernel, "/var/www/upload").inode
+        assert swapped is kernel.lookup("/etc/shadow")
+
+    def test_relabel_drops_cached_walks(self, kernel):
+        passwd = _resolve(kernel, "/etc/passwd").inode
+        hits = kernel.dcache.walks.hits
+        inval = kernel.dcache.walks.invalidations
+        kernel.fs.relabel(passwd, "shadow_t")
+        _resolve(kernel, "/etc/passwd")  # must re-walk cold
+        assert kernel.dcache.walks.hits == hits
+        assert kernel.dcache.walks.invalidations == inval + 1
+
+    def test_remount_clears_both_caches(self, kernel):
+        _resolve(kernel, "/etc/passwd")
+        assert len(kernel.dcache.dentries) > 0
+        assert len(kernel.dcache.walks) > 0
+        kernel.fs.remount()
+        assert len(kernel.dcache.dentries) == 0
+        assert len(kernel.dcache.walks) == 0
+        hits = kernel.dcache.walks.hits
+        _resolve(kernel, "/etc/passwd")
+        assert kernel.dcache.walks.hits == hits  # cold again
+
+    def test_adversary_epoch_drops_cached_walks(self, kernel):
+        _resolve(kernel, "/etc/passwd")
+        hits = kernel.dcache.walks.hits
+        inval = kernel.dcache.walks.invalidations
+        kernel.adversaries.register_uid(4242)  # population grows: new epoch
+        _resolve(kernel, "/etc/passwd")
+        assert kernel.dcache.walks.hits == hits
+        assert kernel.dcache.walks.invalidations == inval + 1
+
+    def test_hardlink_and_rmdir_flip_entries(self, kernel):
+        etc = kernel.lookup("/etc")
+        with pytest.raises(errors.ENOENT):
+            _resolve(kernel, "/etc/alias")
+        kernel.fs.hardlink(etc, "alias", kernel.lookup("/etc/passwd"))
+        assert _resolve(kernel, "/etc/alias").inode is kernel.lookup("/etc/passwd")
+        kernel.mkdirs("/etc/empty")
+        assert _resolve(kernel, "/etc/empty").inode.is_dir
+        kernel.fs.rmdir(etc, "empty")
+        with pytest.raises(errors.ENOENT):
+            _resolve(kernel, "/etc/empty")
+
+    def test_chmod_does_not_invalidate(self, kernel):
+        """Verdicts re-run live on replay, so chmod needs no stamp bump."""
+        _resolve(kernel, "/etc/passwd")
+        inval = kernel.dcache.walks.invalidations
+        gen = kernel.fs.ns_gen
+        kernel.fs.chmod(kernel.lookup("/etc/passwd"), 0o600)
+        hits = kernel.dcache.walks.hits
+        _resolve(kernel, "/etc/passwd")
+        assert kernel.fs.ns_gen == gen
+        assert kernel.dcache.walks.invalidations == inval
+        assert kernel.dcache.walks.hits == hits + 1
+
+
+# ---------------------------------------------------------------------------
+# stamps, counters, publish
+# ---------------------------------------------------------------------------
+
+
+class TestStampsAndCounters:
+    def test_generation_sources_shared_with_rescache(self, kernel):
+        assert kernel.generations.fs is kernel.fs
+        assert kernel.generations.adversaries is kernel.adversaries
+        epoch, mount = kernel.generations.shared_stamp()
+        assert epoch == kernel.adversaries.epoch
+        assert mount == kernel.fs.mount_generation
+        ns, mnt, ep = kernel.generations.walk_stamp()
+        assert (ns, mnt, ep) == (kernel.fs.ns_gen, kernel.fs.mount_generation,
+                                 kernel.adversaries.epoch)
+
+    def test_walk_stamp_without_adversaries(self, kernel):
+        gens = GenerationSources(kernel.fs, None)
+        assert gens.walk_stamp()[2] == 0
+        assert gens.shared_stamp()[0] == 0
+
+    def test_counters_shape(self, kernel):
+        _resolve(kernel, "/etc/passwd")
+        _resolve(kernel, "/etc/passwd")
+        rows = kernel.dcache.counters()
+        assert rows[("walk", "hit")] >= 1
+        assert rows[("dentry", "miss")] >= 1
+        assert set(cache for cache, _ in rows) == {"dentry", "walk"}
+
+    def test_publish_exports_family(self, kernel):
+        from repro.obs.metrics import MetricsRegistry
+
+        _resolve(kernel, "/etc/passwd")
+        _resolve(kernel, "/etc/passwd")
+        registry = MetricsRegistry()
+        registry.enable()
+        kernel.dcache.publish(registry)
+        assert registry.value("pf_dcache_total",
+                              {"cache": "walk", "result": "hit"}) >= 1
+        assert registry.value("pf_dcache_entries", {"cache": "dentry"}) >= 1
+
+    def test_walk_cache_capacity_clears(self):
+        wc = WalkCache(capacity=1)
+        stamp = (0, 0, 0)
+        from repro.vfs.namei import ResolvedPath
+        r = ResolvedPath(None, None, "x", "/x", [], 0)
+        wc.store(("a",), stamp, r)
+        wc.store(("b",), stamp, r)  # over capacity: wholesale clear
+        assert wc.fetch(("a",), stamp) is None

@@ -1,0 +1,233 @@
+"""PathWalker edge semantics the walk-replay cache must reproduce.
+
+Each edge case is pinned twice: once cold (dcache disabled) and once
+through the cache (second resolution of the same key), asserting the
+two produce identical ResolvedPath fields, step streams, and
+exceptions.  A hypothesis differential drives random trees and random
+paths through both walkers and requires byte-identical observables.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import errors
+from repro.kernel import Kernel
+from repro.vfs.namei import PathWalker, WalkEvent
+
+
+def _build(dcache_on=True):
+    k = Kernel()
+    k.dcache.enabled = dcache_on
+    k.mkdirs("/a/b/c")
+    k.add_file("/a/b/c/leaf", b"leaf")
+    k.add_file("/a/top", b"top")
+    k.add_symlink("/a/link", "/a/b/c/leaf")
+    k.add_symlink("/a/rel", "b/c")
+    return k
+
+
+def _observe_resolution(kernel, path, **kw):
+    """Resolve and capture every observable: result fields, the step
+    stream (as plain tuples), and any exception type+message."""
+    seen = []
+    try:
+        r = kernel.walker.resolve(path, observer=seen.append, **kw)
+    except errors.KernelError as exc:
+        return {
+            "error": (type(exc).__name__, exc.message),
+            "steps": [(s.event.value, s.inode.ino if s.inode else None,
+                       s.name, s.prefix, s.depth) for s in seen],
+        }
+    return {
+        "inode": r.inode.ino if r.inode is not None else None,
+        "parent": r.parent.ino if r.parent is not None else None,
+        "name": r.name,
+        "path": r.path,
+        "symlinks_followed": r.symlinks_followed,
+        "steps": [(s.event.value, s.inode.ino if s.inode else None,
+                   s.name, s.prefix, s.depth) for s in r.steps],
+        "observed": [(s.event.value, s.inode.ino if s.inode else None,
+                      s.name, s.prefix, s.depth) for s in seen],
+    }
+
+
+def _pin_cached_vs_cold(path, **kw):
+    """The core differential: cold walk == first cached walk == replay."""
+    cold = _observe_resolution(_build(dcache_on=False), path, **kw)
+    warm_kernel = _build(dcache_on=True)
+    first = _observe_resolution(warm_kernel, path, **kw)
+    replay = _observe_resolution(warm_kernel, path, **kw)
+    assert first == cold
+    assert replay == cold
+    return cold
+
+
+class TestEdgeSemantics:
+    def test_dotdot_at_root_stays_root(self):
+        r = _pin_cached_vs_cold("/../../a/top")
+        assert r["path"] == "/a/top"
+
+    def test_dotdot_at_start_of_relative_walk_stays_at_cwd(self):
+        """Quirk pinned on purpose: a relative walk starts with empty
+        ancestry, so a leading ".." stays at the cwd (like ".." at
+        root), it does not ascend."""
+        k = _build()
+        cwd = k.lookup("/a/b")
+        r1 = k.walker.resolve("../top", cwd=cwd, want_parent=True)
+        r2 = k.walker.resolve("../top", cwd=cwd, want_parent=True)
+        assert r1.parent is cwd and r2.parent is cwd
+        assert r1.inode is None and r2.inode is None  # no /a/b/top
+
+    def test_want_parent_with_trailing_dotdot_returns_dir_itself(self):
+        """".." is consumed by the ancestry logic, so the FINAL branch
+        returns the directory itself rather than a (parent, name) pair."""
+        r = _pin_cached_vs_cold("/a/b/..", want_parent=True)
+        assert r["steps"][-1][0] == WalkEvent.FINAL.value
+        k = _build()
+        resolved = k.walker.resolve("/a/b/..", want_parent=True)
+        assert resolved.inode is k.lookup("/a")
+
+    def test_terminal_symlink_nofollow_returns_link(self):
+        r = _pin_cached_vs_cold("/a/link", follow_final=False)
+        assert r["path"] == "/a/link"
+        assert r["symlinks_followed"] == 0
+        k = _build()
+        assert k.walker.resolve("/a/link", follow_final=False).inode.is_symlink
+
+    def test_terminal_symlink_followed(self):
+        r = _pin_cached_vs_cold("/a/link", follow_final=True)
+        assert r["path"] == "/a/b/c/leaf"
+        assert r["symlinks_followed"] == 1
+        events = [s[0] for s in r["steps"]]
+        assert WalkEvent.SYMLINK_FOLLOW.value in events
+
+    def test_relative_symlink_body_spliced(self):
+        r = _pin_cached_vs_cold("/a/rel/leaf")
+        assert r["path"] == "/a/b/c/leaf"
+
+    def test_eloop_at_exactly_max_symlinks(self):
+        """A chain of exactly max_symlinks resolves; one more is ELOOP —
+        and the boundary is identical cold and cached."""
+        for on in (False, True):
+            k = Kernel()
+            k.dcache.enabled = on
+            k.add_file("/target", b"t")
+            k.walker.max_symlinks = 5
+            k.add_symlink("/l0", "/target")
+            for i in range(1, 7):
+                k.add_symlink("/l{}".format(i), "/l{}".format(i - 1))
+            # l4 -> ... -> target: exactly 5 expansions, allowed.
+            assert k.walker.resolve("/l4").inode is k.lookup("/target")
+            assert k.walker.resolve("/l4").symlinks_followed == 5
+            # l5 needs 6: ELOOP, both cold and on a would-be-warm rerun.
+            with pytest.raises(errors.ELOOP):
+                k.walker.resolve("/l5")
+            with pytest.raises(errors.ELOOP):
+                k.walker.resolve("/l5")
+
+    def test_relative_path_cwd_prefix(self):
+        k = _build()
+        cwd = k.lookup("/a/b")
+        r1 = k.walker.resolve("c/leaf", cwd=cwd)
+        r2 = k.walker.resolve("c/leaf", cwd=cwd)
+        for r in (r1, r2):
+            assert r.path == "/<cwd>/c/leaf"
+            assert r.steps[0].prefix == "/<cwd>"
+        assert r1.inode is r2.inode is k.lookup("/a/b/c/leaf")
+
+    def test_root_resolution(self):
+        r = _pin_cached_vs_cold("/")
+        assert r["name"] == ""
+        assert r["path"] == "/"
+
+    def test_empty_and_nonstring_paths_raise_einval(self):
+        k = _build()
+        for bad in ("", None, 42):
+            with pytest.raises(errors.EINVAL):
+                k.walker.resolve(bad)
+
+    def test_relative_with_no_cwd_raises_einval(self):
+        k = _build()
+        with pytest.raises(errors.EINVAL):
+            k.walker.resolve("a/top")
+
+    def test_enotdir_through_file_component(self):
+        r = _pin_cached_vs_cold("/a/top/below")
+        assert r["error"][0] == "ENOTDIR"
+
+    def test_step_pool_never_leaks_into_results(self):
+        """Pooled steps are recycled only from observer-less error
+        walks; successful resolutions keep their own live objects."""
+        k = _build()
+        for _ in range(3):
+            with pytest.raises(errors.ENOENT):
+                k.walker.resolve("/a/b/missing")
+        assert len(k.walker._step_pool) > 0
+        r = k.walker.resolve("/a/b/c/leaf")
+        held = [(s.event, s.name, s.prefix) for s in r.steps]
+        for _ in range(3):
+            with pytest.raises(errors.ENOENT):
+                k.walker.resolve("/a/b/missing")
+        assert [(s.event, s.name, s.prefix) for s in r.steps] == held
+
+
+# ---------------------------------------------------------------------------
+# hypothesis differential: random trees, cached vs cold
+# ---------------------------------------------------------------------------
+
+_NAMES = ["a", "b", "c", "d", "ln"]
+
+
+@st.composite
+def tree_and_paths(draw):
+    """A random small tree (dirs, files, symlinks) plus probe paths."""
+    ops = draw(st.lists(st.tuples(
+        st.sampled_from(["dir", "file", "link"]),
+        st.lists(st.sampled_from(_NAMES), min_size=1, max_size=3),
+        st.lists(st.sampled_from(_NAMES + ["..", "."]), min_size=1, max_size=3),
+    ), min_size=1, max_size=8))
+    probes = draw(st.lists(st.tuples(
+        st.lists(st.sampled_from(_NAMES + ["..", "."]), min_size=1, max_size=4),
+        st.booleans(),  # absolute?
+        st.booleans(),  # follow_final
+        st.booleans(),  # want_parent
+    ), min_size=1, max_size=6))
+    return ops, probes
+
+
+def _populate(kernel, ops):
+    for kind, where, target in ops:
+        path = "/" + "/".join(where)
+        try:
+            if kind == "dir":
+                kernel.mkdirs(path)
+            elif kind == "file":
+                kernel.mkdirs("/".join(["/" + where[0]] + where[1:-1]) if len(where) > 1 else "/")
+                kernel.add_file(path, b"x")
+            else:
+                kernel.add_symlink(path, "/" + "/".join(target))
+        except errors.KernelError:
+            pass  # collisions/conflicts are fine; both sides get the same tree
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(tree_and_paths())
+def test_random_trees_cached_equals_cold(spec):
+    ops, probes = spec
+    cold_kernel = Kernel()
+    cold_kernel.dcache.enabled = False
+    warm_kernel = Kernel()
+    _populate(cold_kernel, ops)
+    _populate(warm_kernel, ops)
+    for parts, absolute, follow_final, want_parent in probes:
+        path = ("/" if absolute else "") + "/".join(parts)
+        kw = dict(follow_final=follow_final, want_parent=want_parent,
+                  cwd=None if absolute else warm_kernel.fs.root)
+        cold_kw = dict(kw, cwd=None if absolute else cold_kernel.fs.root)
+        cold = _observe_resolution(cold_kernel, path, **cold_kw)
+        # Twice on the warm side: first primes, second replays.
+        first = _observe_resolution(warm_kernel, path, **kw)
+        replay = _observe_resolution(warm_kernel, path, **kw)
+        assert first == cold, path
+        assert replay == cold, path

@@ -51,6 +51,7 @@ CHECKED_MODULES = [
     "repro.service.driver",
     "repro.service.wire",
     "repro.workloads.generators",
+    "repro.vfs.dcache",
 ]
 
 
